@@ -1,0 +1,341 @@
+package mxq
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mxq/internal/serialize"
+	"mxq/internal/tx"
+	"mxq/internal/wal"
+	"mxq/internal/xenc"
+	"mxq/internal/xpath"
+	"mxq/internal/xupdate"
+
+	"mxq/internal/core"
+)
+
+// Document is one stored XML document.
+type Document struct {
+	name  string
+	db    *Database
+	store *core.Store
+	mgr   *tx.Manager
+	log   *wal.Log
+}
+
+// Name returns the document's name.
+func (d *Document) Name() string { return d.name }
+
+// Item is one materialized query result: results are copied out of the
+// store under the read lock, so they stay valid across later updates.
+type Item struct {
+	// Kind is "element", "text", "comment", "processing-instruction",
+	// "attribute", "document", "number", "string" or "boolean".
+	Kind string
+	// Value is the item's string value.
+	Value string
+	// XML is the serialized form for element items ("" otherwise).
+	XML string
+}
+
+// Result is a materialized query result sequence.
+type Result []Item
+
+// Strings returns the items' string values.
+func (r Result) Strings() []string {
+	out := make([]string, len(r))
+	for i, it := range r {
+		out[i] = it.Value
+	}
+	return out
+}
+
+// Query compiles and runs an XPath expression as a read-only transaction.
+func (d *Document) Query(q string) (Result, error) {
+	expr, err := xpath.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	err = d.mgr.View(func(v xenc.DocView) error {
+		var inner error
+		res, inner = materialize(v, expr, nil)
+		return inner
+	})
+	return res, err
+}
+
+// QueryVars runs a query with variable bindings (values are strings).
+func (d *Document) QueryVars(q string, vars map[string]string) (Result, error) {
+	expr, err := xpath.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	bound := make(map[string]xpath.Value, len(vars))
+	for k, v := range vars {
+		bound[k] = xpath.String(v)
+	}
+	var res Result
+	err = d.mgr.View(func(v xenc.DocView) error {
+		var inner error
+		res, inner = materialize(v, expr, bound)
+		return inner
+	})
+	return res, err
+}
+
+// Prepared is a compiled query bound to a document. Compiling once and
+// running many times skips the parse on every execution; the compiled
+// form is safe for concurrent use.
+type Prepared struct {
+	doc  *Document
+	expr *xpath.Expr
+}
+
+// Prepare compiles a query for repeated execution against this document.
+func (d *Document) Prepare(q string) (*Prepared, error) {
+	expr, err := xpath.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{doc: d, expr: expr}, nil
+}
+
+// Run executes the prepared query; vars may be nil.
+func (p *Prepared) Run(vars map[string]string) (Result, error) {
+	var bound map[string]xpath.Value
+	if len(vars) > 0 {
+		bound = make(map[string]xpath.Value, len(vars))
+		for k, v := range vars {
+			bound[k] = xpath.String(v)
+		}
+	}
+	var res Result
+	err := p.doc.mgr.View(func(v xenc.DocView) error {
+		var inner error
+		res, inner = materialize(v, p.expr, bound)
+		return inner
+	})
+	return res, err
+}
+
+// Source returns the query text.
+func (p *Prepared) Source() string { return p.expr.Source() }
+
+// QueryValue runs a query and returns its single string value.
+func (d *Document) QueryValue(q string) (string, error) {
+	res, err := d.Query(q)
+	if err != nil {
+		return "", err
+	}
+	if len(res) == 0 {
+		return "", nil
+	}
+	return res[0].Value, nil
+}
+
+// Count returns the number of nodes a path selects.
+func (d *Document) Count(q string) (int, error) {
+	res, err := d.Query(q)
+	if err != nil {
+		return 0, err
+	}
+	return len(res), nil
+}
+
+func materialize(v xenc.DocView, expr *xpath.Expr, vars map[string]xpath.Value) (Result, error) {
+	val, err := expr.EvalVars(v, vars)
+	if err != nil {
+		return nil, err
+	}
+	switch x := val.(type) {
+	case xpath.NodeSet:
+		res := make(Result, 0, len(x))
+		for _, n := range x {
+			res = append(res, materializeNode(v, n))
+		}
+		return res, nil
+	case xpath.Number:
+		return Result{{Kind: "number", Value: xpath.FormatNumber(float64(x))}}, nil
+	case xpath.String:
+		return Result{{Kind: "string", Value: string(x)}}, nil
+	case xpath.Boolean:
+		return Result{{Kind: "boolean", Value: fmt.Sprint(bool(x))}}, nil
+	}
+	return nil, fmt.Errorf("mxq: unexpected result type %T", val)
+}
+
+func materializeNode(v xenc.DocView, n xpath.Node) Item {
+	if n.Pre == xpath.DocNodePre {
+		return Item{Kind: "document", Value: xpath.StringValue(v, n)}
+	}
+	if n.Attr != xpath.NoAttr {
+		return Item{Kind: "attribute", Value: xpath.StringValue(v, n)}
+	}
+	it := Item{Value: xpath.StringValue(v, n)}
+	switch v.Kind(n.Pre) {
+	case xenc.KindElem:
+		it.Kind = "element"
+		if s, err := serialize.String(v, n.Pre, serialize.Options{}); err == nil {
+			it.XML = s
+		}
+	case xenc.KindText:
+		it.Kind = "text"
+	case xenc.KindComment:
+		it.Kind = "comment"
+	case xenc.KindPI:
+		it.Kind = "processing-instruction"
+	}
+	return it
+}
+
+// Update parses an XUpdate modification list and applies it in a single
+// transaction (parse → select → bulk structural updates → validate →
+// WAL → commit).
+func (d *Document) Update(xupdateXML string) (xupdate.Result, error) {
+	mods, err := xupdate.ParseString(xupdateXML)
+	if err != nil {
+		return xupdate.Result{}, err
+	}
+	t := d.Begin()
+	res, err := xupdate.Execute(t.inner, mods)
+	if err != nil {
+		t.Abort()
+		return res, err
+	}
+	if err := t.Commit(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Begin starts a write transaction.
+func (d *Document) Begin() *Tx {
+	return &Tx{inner: d.mgr.Begin(), doc: d}
+}
+
+// SerializeTo writes the document as XML.
+func (d *Document) SerializeTo(w io.Writer, indent string) error {
+	return d.mgr.View(func(v xenc.DocView) error {
+		return serialize.Document(w, v, serialize.Options{Indent: indent})
+	})
+}
+
+// XML returns the serialized document.
+func (d *Document) XML() (string, error) {
+	var b strings.Builder
+	if err := d.SerializeTo(&b, ""); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Stats describe a document's storage state.
+type Stats struct {
+	LiveNodes int     // live nodes
+	Tuples    int     // tuples including unused space
+	Pages     int     // logical pages
+	PageSize  int     // tuples per page
+	Fill      float64 // live / total
+	Commits   uint64  // committed write transactions
+	Aborts    uint64  // aborted write transactions
+}
+
+// Stats returns storage statistics.
+func (d *Document) Stats() Stats {
+	var s Stats
+	d.mgr.View(func(v xenc.DocView) error {
+		s.LiveNodes = v.LiveNodes()
+		s.Tuples = int(v.Len())
+		s.Pages = d.store.Pages()
+		s.PageSize = d.store.PageSize()
+		if s.Tuples > 0 {
+			s.Fill = float64(s.LiveNodes) / float64(s.Tuples)
+		}
+		return nil
+	})
+	s.Commits, s.Aborts = d.mgr.Stats()
+	return s
+}
+
+// Checkpoint writes the document snapshot to its .ckpt file (durability
+// directory required) and truncates the WAL.
+func (d *Document) Checkpoint() error {
+	if d.db.opts.Dir == "" || d.log == nil {
+		return fmt.Errorf("mxq: document %q has no durability directory", d.name)
+	}
+	path := filepath.Join(d.db.opts.Dir, d.name+".ckpt")
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := d.mgr.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return d.log.Truncate()
+}
+
+// View runs fn under the global read lock with direct access to the
+// document view (advanced use: the view must not escape fn).
+func (d *Document) View(fn func(v xenc.DocView) error) error {
+	return d.mgr.View(fn)
+}
+
+// CheckInvariants validates the storage invariants (testing hook).
+func (d *Document) CheckInvariants() error {
+	var err error
+	d.mgr.View(func(xenc.DocView) error {
+		err = d.store.CheckInvariants()
+		return nil
+	})
+	return err
+}
+
+// Tx is a write transaction over one document. It supports queries (with
+// read-your-writes semantics) and XUpdate lists; Commit applies the
+// Figure 8 protocol.
+type Tx struct {
+	inner *tx.Tx
+	doc   *Document
+}
+
+// Query runs an XPath expression against the transaction image.
+func (t *Tx) Query(q string) (Result, error) {
+	expr, err := xpath.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return materialize(t.inner, expr, nil)
+}
+
+// Update applies an XUpdate modification list inside the transaction.
+func (t *Tx) Update(xupdateXML string) (xupdate.Result, error) {
+	mods, err := xupdate.ParseString(xupdateXML)
+	if err != nil {
+		return xupdate.Result{}, err
+	}
+	return xupdate.Execute(t.inner, mods)
+}
+
+// Commit makes the transaction durable and visible.
+func (t *Tx) Commit() error { return t.inner.Commit() }
+
+// Abort discards the transaction.
+func (t *Tx) Abort() { t.inner.Abort() }

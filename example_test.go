@@ -1,0 +1,78 @@
+package mxq_test
+
+import (
+	"fmt"
+	"log"
+
+	"mxq"
+)
+
+// Loading a document and running XPath queries.
+func ExampleDatabase_LoadXMLString() {
+	db, _ := mxq.Open(mxq.Options{})
+	doc, err := db.LoadXMLString("zoo", `<zoo><animal legs="4">tiger</animal><animal legs="2">crane</animal></zoo>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _ := doc.Query(`/zoo/animal[@legs="4"]/text()`)
+	fmt.Println(res[0].Value)
+	// Output: tiger
+}
+
+// Aggregates return typed values.
+func ExampleDocument_Query() {
+	db, _ := mxq.Open(mxq.Options{})
+	doc, _ := db.LoadXMLString("zoo", `<zoo><animal/><animal/><animal/></zoo>`)
+	res, _ := doc.Query(`count(/zoo/animal)`)
+	fmt.Println(res[0].Kind, res[0].Value)
+	// Output: number 3
+}
+
+// Structural updates are XUpdate modification lists; each list is one
+// ACID transaction.
+func ExampleDocument_Update() {
+	db, _ := mxq.Open(mxq.Options{})
+	doc, _ := db.LoadXMLString("zoo", `<zoo><animal>tiger</animal></zoo>`)
+	_, err := doc.Update(`<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+	  <xupdate:append select="/zoo"><animal>heron</animal></xupdate:append>
+	</xupdate:modifications>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xml, _ := doc.XML()
+	fmt.Println(xml)
+	// Output: <zoo><animal>tiger</animal><animal>heron</animal></zoo>
+}
+
+// Explicit transactions give read-your-writes isolation.
+func ExampleDocument_Begin() {
+	db, _ := mxq.Open(mxq.Options{})
+	doc, _ := db.LoadXMLString("zoo", `<zoo><animal>tiger</animal></zoo>`)
+	tx := doc.Begin()
+	tx.Update(`<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+	  <xupdate:remove select="//animal"/>
+	</xupdate:modifications>`)
+	inside, _ := tx.Query(`count(//animal)`)
+	outside, _ := doc.Query(`count(//animal)`)
+	fmt.Println("tx sees:", inside[0].Value, "— readers see:", outside[0].Value)
+	tx.Abort()
+	after, _ := doc.Query(`count(//animal)`)
+	fmt.Println("after abort:", after[0].Value)
+	// Output:
+	// tx sees: 0 — readers see: 1
+	// after abort: 1
+}
+
+// Prepared queries skip re-parsing and accept variables.
+func ExampleDocument_Prepare() {
+	db, _ := mxq.Open(mxq.Options{})
+	doc, _ := db.LoadXMLString("zoo", `<zoo><animal legs="4">tiger</animal><animal legs="2">crane</animal></zoo>`)
+	byLegs, _ := doc.Prepare(`//animal[@legs = $n]/text()`)
+	for _, n := range []string{"2", "4"} {
+		res, _ := byLegs.Run(map[string]string{"n": n})
+		fmt.Println(n, "legs:", res[0].Value)
+	}
+	// Output:
+	// 2 legs: crane
+	// 4 legs: tiger
+}

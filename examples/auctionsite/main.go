@@ -1,0 +1,85 @@
+// Auctionsite: drive the paper's evaluation workload end to end — load a
+// generated XMark document, run XMark queries through the public API, and
+// place a bid via XUpdate, all on the updatable pre/size/level store.
+//
+// Run with: go run ./examples/auctionsite
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"mxq"
+	"mxq/internal/xmark"
+)
+
+func main() {
+	// Generate a small XMark auction site (SF 0.003 ≈ a few hundred KB).
+	var buf bytes.Buffer
+	if _, err := xmark.NewGenerator(0.003, 7).WriteTo(&buf); err != nil {
+		log.Fatal(err)
+	}
+
+	db, err := mxq.Open(mxq.Options{FillFactor: 0.8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := db.LoadXML("auction", &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := doc.Stats()
+	fmt.Printf("loaded XMark site: %d nodes, %d logical pages (%.0f%% full)\n",
+		s.LiveNodes, s.Pages, 100*s.Fill)
+
+	// XMark Q1: the registered name of person0.
+	name, err := doc.QueryValue(`/site/people/person[@id="person0"]/name/text()`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Q1  person0 is:", name)
+
+	// XMark Q2-flavored: current high bids.
+	increases, err := doc.Query(`/site/open_auctions/open_auction/bidder[1]/increase/text()`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q2  first increases of %d open auctions\n", len(increases))
+
+	// XMark Q5: expensive sales.
+	n, err := doc.QueryValue(`count(/site/closed_auctions/closed_auction[price >= 40])`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Q5  sold items >= 40:", n)
+
+	// Place a bid: a structural insert into open_auction0. The new
+	// bidder element must come after all existing bidders, i.e. directly
+	// before <current> — XUpdate insert-before does exactly that.
+	before, _ := doc.QueryValue(`count(//open_auction[@id="open_auction0"]/bidder)`)
+	_, err = doc.Update(`<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+	  <xupdate:insert-before select='//open_auction[@id="open_auction0"]/current'>
+	    <bidder><date>06/11/2026</date><time>12:00:00</time>
+	      <personref person="person0"/><increase>9.00</increase></bidder>
+	  </xupdate:insert-before>
+	  <xupdate:update select='//open_auction[@id="open_auction0"]/current'>999.00</xupdate:update>
+	</xupdate:modifications>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, _ := doc.QueryValue(`count(//open_auction[@id="open_auction0"]/bidder)`)
+	fmt.Printf("bid placed: open_auction0 has %s -> %s bidders\n", before, after)
+
+	cur, _ := doc.QueryValue(`//open_auction[@id="open_auction0"]/current/text()`)
+	fmt.Println("new current price:", cur)
+
+	// The insert went into page free space: node count grew, page count
+	// typically did not.
+	s2 := doc.Stats()
+	fmt.Printf("storage after update: %d nodes, %d pages (was %d)\n", s2.LiveNodes, s2.Pages, s.Pages)
+	if err := doc.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("storage invariants: ok")
+}

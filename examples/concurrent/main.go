@@ -1,0 +1,88 @@
+// Concurrent: demonstrate the paper's concurrency claim — writers under
+// *different* logical pages commit concurrently even though they all
+// update the size of the shared document root, because ancestor sizes
+// are maintained with commutative delta increments instead of locks
+// (Section 3.2).
+//
+// Run with: go run ./examples/concurrent
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+
+	"mxq"
+)
+
+func main() {
+	// A site with eight departments, each big enough to fill its own
+	// logical page.
+	var sb strings.Builder
+	sb.WriteString("<site>")
+	for d := 0; d < 8; d++ {
+		fmt.Fprintf(&sb, `<department id="d%d">`, d)
+		for i := 0; i < 40; i++ {
+			fmt.Fprintf(&sb, "<doc>report %d-%d</doc>", d, i)
+		}
+		sb.WriteString("</department>")
+	}
+	sb.WriteString("</site>")
+
+	db, err := mxq.Open(mxq.Options{PageSize: 128, FillFactor: 0.7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := db.LoadXMLString("site", sb.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rootSize, _ := doc.QueryValue(`count(/site//node())`)
+	fmt.Printf("before: %s nodes under the root\n", rootSize)
+
+	// Eight writers, one per department, each appending 25 documents in
+	// individual transactions; a concurrent reader keeps querying.
+	var wg sync.WaitGroup
+	for d := 0; d < 8; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				for {
+					_, err := doc.Update(fmt.Sprintf(
+						`<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+						   <xupdate:append select='/site/department[@id="d%d"]'><doc>new %d-%d</doc></xupdate:append>
+						 </xupdate:modifications>`, d, d, i))
+					if err == nil {
+						break
+					}
+					// Page-lock conflict with a neighbour: retry.
+				}
+			}
+		}(d)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; i < 50; i++ {
+			if _, err := doc.Query(`count(//doc)`); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+
+	docs, _ := doc.QueryValue(`count(//doc)`)
+	fmt.Printf("after: %s docs (8 writers x 25 inserts + 320 initial)\n", docs)
+
+	s := doc.Stats()
+	fmt.Printf("transactions: %d committed, %d aborted on page conflicts\n", s.Commits, s.Aborts)
+	fmt.Println("every commit bumped the root's size by a commutative delta —")
+	fmt.Println("no transaction ever locked the root's page.")
+	if err := doc.CheckInvariants(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("storage invariants: ok")
+}

@@ -1,0 +1,69 @@
+// Quickstart: load a document, query it, update it, serialize it.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mxq"
+)
+
+const catalog = `<catalog>
+  <product sku="P-100"><name>Copper kettle</name><price>49.50</price></product>
+  <product sku="P-200"><name>Iron skillet</name><price>32.00</price></product>
+  <product sku="P-300"><name>Gold ladle</name><price>180.00</price></product>
+</catalog>`
+
+func main() {
+	db, err := mxq.Open(mxq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := db.LoadXMLString("catalog", catalog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// XPath queries run against the pre/size/level encoding via
+	// staircase join.
+	names, err := doc.Query(`/catalog/product/name/text()`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("products:")
+	for _, item := range names {
+		fmt.Println("  -", item.Value)
+	}
+
+	cheap, err := doc.QueryValue(`count(/catalog/product[price < 50])`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("products under 50:", cheap)
+
+	// Structural updates go through XUpdate. The insert lands in the
+	// unused tuples of the product's logical page — no pre renumbering.
+	res, err := doc.Update(`<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+	  <xupdate:append select="/catalog">
+	    <product sku="P-400"><name>Tin whistle</name><price>12.50</price></product>
+	  </xupdate:append>
+	  <xupdate:update select="/catalog/product[@sku='P-200']/price">35.00</xupdate:update>
+	  <xupdate:remove select="/catalog/product[@sku='P-300']"/>
+	</xupdate:modifications>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("update: %d commands, %d nodes affected\n", res.Ops, res.Affected)
+
+	fmt.Println("\nfinal document:")
+	if err := doc.SerializeTo(os.Stdout, "  "); err != nil {
+		log.Fatal(err)
+	}
+
+	s := doc.Stats()
+	fmt.Printf("\nstorage: %d live nodes in %d pages of %d tuples (%.0f%% full)\n",
+		s.LiveNodes, s.Pages, s.PageSize, 100*s.Fill)
+}

@@ -1,0 +1,214 @@
+package bat
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPositionalJoin(t *testing.T) {
+	inner := []int32{10, 11, 12, 13}
+	got := PositionalJoin([]int32{3, 0, 2}, inner)
+	want := []int32{13, 10, 12}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PositionalJoin = %v, want %v", got, want)
+	}
+}
+
+func TestPositionalJoinEmpty(t *testing.T) {
+	if got := PositionalJoin(nil, []int32{1}); len(got) != 0 {
+		t.Fatalf("PositionalJoin(nil) = %v, want empty", got)
+	}
+}
+
+func TestPositionalSelect(t *testing.T) {
+	col := []int32{5, 1, 9, 5, 0}
+	got := PositionalSelect(col, 1, 5)
+	want := []int32{0, 1, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PositionalSelect = %v, want %v", got, want)
+	}
+}
+
+func TestInsertDeleteInt32(t *testing.T) {
+	s := []int32{1, 2, 3}
+	s = InsertInt32(s, 1, 8, 9)
+	if want := []int32{1, 8, 9, 2, 3}; !reflect.DeepEqual(s, want) {
+		t.Fatalf("InsertInt32 = %v, want %v", s, want)
+	}
+	s = DeleteInt32(s, 1, 2)
+	if want := []int32{1, 2, 3}; !reflect.DeepEqual(s, want) {
+		t.Fatalf("DeleteInt32 = %v, want %v", s, want)
+	}
+}
+
+func TestInsertInt32Ends(t *testing.T) {
+	s := InsertInt32(nil, 0, 7)
+	if want := []int32{7}; !reflect.DeepEqual(s, want) {
+		t.Fatalf("insert into empty = %v", s)
+	}
+	s = InsertInt32(s, 1, 8)
+	if want := []int32{7, 8}; !reflect.DeepEqual(s, want) {
+		t.Fatalf("insert at end = %v", s)
+	}
+}
+
+func TestInsertInt32Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	InsertInt32([]int32{1}, 3, 2)
+}
+
+func TestInsertInt16AndUint8(t *testing.T) {
+	s16 := InsertInt16([]int16{1, 4}, 1, 2, 3)
+	if want := []int16{1, 2, 3, 4}; !reflect.DeepEqual(s16, want) {
+		t.Fatalf("InsertInt16 = %v", s16)
+	}
+	s16 = DeleteInt16(s16, 0, 2)
+	if want := []int16{3, 4}; !reflect.DeepEqual(s16, want) {
+		t.Fatalf("DeleteInt16 = %v", s16)
+	}
+	s8 := InsertUint8([]uint8{1, 4}, 1, 2, 3)
+	if want := []uint8{1, 2, 3, 4}; !reflect.DeepEqual(s8, want) {
+		t.Fatalf("InsertUint8 = %v", s8)
+	}
+	s8 = DeleteUint8(s8, 3, 1)
+	if want := []uint8{1, 2, 3}; !reflect.DeepEqual(s8, want) {
+		t.Fatalf("DeleteUint8 = %v", s8)
+	}
+}
+
+func TestDict(t *testing.T) {
+	d := NewDict()
+	a := d.Put("alpha")
+	b := d.Put("beta")
+	if a == b {
+		t.Fatal("distinct strings share an id")
+	}
+	if got := d.Put("alpha"); got != a {
+		t.Fatalf("re-Put changed id: %d != %d", got, a)
+	}
+	if d.Get(a) != "alpha" || d.Get(b) != "beta" {
+		t.Fatal("Get mismatch")
+	}
+	if id, ok := d.Lookup("beta"); !ok || id != b {
+		t.Fatal("Lookup(beta) failed")
+	}
+	if _, ok := d.Lookup("gamma"); ok {
+		t.Fatal("Lookup of absent value succeeded")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestDictClone(t *testing.T) {
+	d := NewDict()
+	d.Put("x")
+	c := d.Clone()
+	c.Put("y")
+	if d.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("clone not independent: base=%d clone=%d", d.Len(), c.Len())
+	}
+	if c.Get(0) != "x" {
+		t.Fatal("clone lost base value")
+	}
+}
+
+func TestDeltaApplyRevert(t *testing.T) {
+	col := []int32{10, 20, 30}
+	var d Delta
+	d.Update(1, 20, 99)
+	d.Update(1, 99, 77) // second update to the same cell
+	d.Append(40)
+	col = d.Apply(col)
+	if want := []int32{10, 77, 30, 40}; !reflect.DeepEqual(col, want) {
+		t.Fatalf("Apply = %v, want %v", col, want)
+	}
+	col = d.Revert(col)
+	if want := []int32{10, 20, 30}; !reflect.DeepEqual(col, want) {
+		t.Fatalf("Revert = %v, want %v", col, want)
+	}
+}
+
+func TestDeltaView(t *testing.T) {
+	base := []int32{1, 2, 3}
+	var d Delta
+	d.Update(0, 1, 100)
+	d.Append(4)
+	if got := d.View(base, 0); got != 100 {
+		t.Fatalf("View(updated) = %d", got)
+	}
+	if got := d.View(base, 2); got != 3 {
+		t.Fatalf("View(base) = %d", got)
+	}
+	if got := d.View(base, 3); got != 4 {
+		t.Fatalf("View(append) = %d", got)
+	}
+	if d.Empty() {
+		t.Fatal("Empty on a non-empty delta")
+	}
+	if !(&Delta{}).Empty() {
+		t.Fatal("Empty false on zero delta")
+	}
+}
+
+// Property: Apply followed by Revert is the identity for any sequence of
+// valid updates and appends (the transaction abort path relies on this).
+func TestDeltaRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%32) + 1
+		col := make([]int32, size)
+		for i := range col {
+			col[i] = rng.Int31n(1000)
+		}
+		orig := append([]int32(nil), col...)
+		var d Delta
+		for i := 0; i < int(n%20); i++ {
+			if rng.Intn(2) == 0 {
+				p := int32(rng.Intn(size))
+				old := d.View(col, p)
+				d.Update(p, old, rng.Int31n(1000))
+			} else {
+				d.Append(rng.Int31n(1000))
+			}
+		}
+		col = d.Apply(col)
+		col = d.Revert(col)
+		return reflect.DeepEqual(col, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedOffsets(t *testing.T) {
+	owners := []int32{0, 0, 2, 2, 2, 4}
+	off := SortedOffsets(owners, 5)
+	want := []int32{0, 2, 2, 5, 5, 6}
+	if !reflect.DeepEqual(off, want) {
+		t.Fatalf("SortedOffsets = %v, want %v", off, want)
+	}
+	// Bucket k must select exactly the rows owned by k.
+	for k := int32(0); k < 5; k++ {
+		for r := off[k]; r < off[k+1]; r++ {
+			if owners[r] != k {
+				t.Fatalf("row %d in bucket %d has owner %d", r, k, owners[r])
+			}
+		}
+	}
+}
+
+func TestSortedOffsetsUnsortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unsorted owners")
+		}
+	}()
+	SortedOffsets([]int32{2, 1}, 3)
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"mxq/internal/xenc"
+)
+
+// CheckInvariants verifies the store's structural invariants in O(N).
+// Tests run it after every mutation; it is the executable form of the
+// encoding rules in Section 3:
+//
+//   - logToPhys and physToLog are inverse bijections over the pages;
+//   - free-run lengths count exactly the directly following unused
+//     tuples within their logical page;
+//   - node/pos and the node column are mutually consistent, and every
+//     live node has a valid node id;
+//   - size equals the number of live descendants (recomputed with a
+//     stack over the view);
+//   - levels form a valid pre-order (each node is at most one deeper
+//     than its predecessor);
+//   - parent links match the tree implied by the levels;
+//   - the live-node count and attribute owners agree with the view.
+func (s *Store) CheckInvariants() error {
+	nPages := len(s.logToPhys)
+	if len(s.physToLog) != nPages {
+		return fmt.Errorf("pageOffset tables have different lengths: %d vs %d", nPages, len(s.physToLog))
+	}
+	if int32(nPages)<<s.pageBits != int32(len(s.size)) {
+		return fmt.Errorf("columns hold %d tuples, want %d pages × %d", len(s.size), nPages, s.pageSize)
+	}
+	for lg, ph := range s.logToPhys {
+		if ph < 0 || int(ph) >= nPages {
+			return fmt.Errorf("logToPhys[%d] = %d out of range", lg, ph)
+		}
+		if s.physToLog[ph] != int32(lg) {
+			return fmt.Errorf("pageOffset not a bijection: logToPhys[%d]=%d but physToLog[%d]=%d", lg, ph, ph, s.physToLog[ph])
+		}
+	}
+
+	// Free runs, node map, level discipline, live count.
+	live := 0
+	prevLevel := xenc.Level(-1)
+	seen := make(map[xenc.NodeID]xenc.Pre)
+	for p := xenc.Pre(0); p < s.Len(); p++ {
+		pos := s.physOf(p)
+		if s.level[pos] == xenc.LevelUnused {
+			if s.node[pos] != xenc.NoNode {
+				return fmt.Errorf("unused tuple at pre %d has node id %d", p, s.node[pos])
+			}
+			// Count the following unused tuples within the page.
+			run := int32(0)
+			for q := pos + 1; q&s.pageMask != 0 && s.level[q] == xenc.LevelUnused; q++ {
+				run++
+			}
+			if s.size[pos] != run {
+				return fmt.Errorf("free run at pre %d (pos %d): size %d, want %d", p, pos, s.size[pos], run)
+			}
+			continue
+		}
+		live++
+		id := s.node[pos]
+		if id < 0 || int(id) >= len(s.nodePos) {
+			return fmt.Errorf("live tuple at pre %d has invalid node id %d", p, id)
+		}
+		if prev, dup := seen[id]; dup {
+			return fmt.Errorf("node id %d appears at pre %d and %d", id, prev, p)
+		}
+		seen[id] = p
+		if s.nodePos[id] != pos {
+			return fmt.Errorf("node/pos[%d] = %d, want %d", id, s.nodePos[id], pos)
+		}
+		lvl := s.level[pos]
+		if lvl > prevLevel+1 {
+			return fmt.Errorf("level jump at pre %d: %d after %d", p, lvl, prevLevel)
+		}
+		prevLevel = lvl
+		if !xenc.Kind(s.kind[pos]).Valid() {
+			return fmt.Errorf("invalid kind %d at pre %d", s.kind[pos], p)
+		}
+	}
+	if live != s.liveNodes {
+		return fmt.Errorf("liveNodes = %d, but the view holds %d live tuples", s.liveNodes, live)
+	}
+
+	// Sizes and parents via a stack over the live view.
+	type frame struct {
+		id    xenc.NodeID
+		pre   xenc.Pre
+		level xenc.Level
+		count int32
+	}
+	var stack []frame
+	pop := func() error {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if got := s.Size(top.pre); got != top.count {
+			return fmt.Errorf("size at pre %d = %d, want %d live descendants", top.pre, got, top.count)
+		}
+		if len(stack) > 0 {
+			stack[len(stack)-1].count += top.count + 1
+		}
+		return nil
+	}
+	for p := xenc.SkipFree(s, 0); p < s.Len(); p = xenc.SkipFree(s, p+1) {
+		lvl := s.Level(p)
+		for len(stack) > 0 && stack[len(stack)-1].level >= lvl {
+			if err := pop(); err != nil {
+				return err
+			}
+		}
+		id := s.NodeOf(p)
+		wantParent := xenc.NoNode
+		if len(stack) > 0 {
+			wantParent = stack[len(stack)-1].id
+		}
+		if s.parentOf[id] != wantParent {
+			return fmt.Errorf("parentOf[%d] (pre %d) = %d, want %d", id, p, s.parentOf[id], wantParent)
+		}
+		stack = append(stack, frame{id: id, pre: p, level: lvl})
+	}
+	for len(stack) > 0 {
+		if err := pop(); err != nil {
+			return err
+		}
+	}
+
+	// Free node ids must not be referenced; attribute owners must live.
+	for _, id := range s.freeNodes {
+		if s.nodePos[id] != -1 {
+			return fmt.Errorf("free node id %d still mapped to pos %d", id, s.nodePos[id])
+		}
+	}
+	if len(s.attrs) != len(s.nodePos) {
+		return fmt.Errorf("attribute index holds %d entries, node/pos %d", len(s.attrs), len(s.nodePos))
+	}
+	for id, refs := range s.attrs {
+		if len(refs) > 0 && s.nodePos[id] < 0 {
+			return fmt.Errorf("attributes owned by dead node id %d", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"mxq/internal/xenc"
+)
+
+// Compact rebuilds the physical layout at the given fill factor: live
+// tuples are rewritten in document order into fresh pages, the logical
+// and physical page orders coincide again, and the space of deleted
+// tuples and splice overflow is reclaimed. Node ids (and with them the
+// attribute table, parent links and any external references) are
+// preserved — only pos values change, which is exactly what the node/pos
+// indirection exists to absorb.
+//
+// The paper treats reorganization as an offline concern ("new logical
+// pages are appended only"); Compact is the natural maintenance
+// companion: run it when Stats show fill dropping, like a VACUUM.
+// fill == 0 means DefaultFillFactor.
+func (s *Store) Compact(fill float64) error {
+	if fill == 0 {
+		fill = DefaultFillFactor
+	}
+	if fill < 0 || fill > 1 {
+		return fmt.Errorf("core: fill factor %g out of (0,1]", fill)
+	}
+	perPage := int32(float64(s.pageSize) * fill)
+	if perPage < 1 {
+		perPage = 1
+	}
+	nPages := (int32(s.liveNodes) + perPage - 1) / perPage
+	if nPages == 0 {
+		nPages = 1
+	}
+	n := nPages << s.pageBits
+
+	size := make([]int32, n)
+	level := make([]int16, n)
+	kind := make([]uint8, n)
+	name := make([]int32, n)
+	text := make([]string, n)
+	node := make([]int32, n)
+
+	// Walk the live view in document order, packing perPage tuples into
+	// each fresh page.
+	w := int32(0)
+	written := int32(0)
+	for p := xenc.SkipFree(s, 0); p < s.Len(); p = xenc.SkipFree(s, p+1) {
+		if written == perPage {
+			// Seal the page just completed: its tail becomes a free run.
+			// (With fill 1.0, w already sits on the next page boundary
+			// and there is nothing to seal.)
+			pageEnd := ((w-1)>>s.pageBits + 1) << s.pageBits
+			for q := w; q < pageEnd; q++ {
+				level[q] = xenc.LevelUnused
+				size[q] = pageEnd - q - 1
+				node[q] = xenc.NoNode
+			}
+			w = pageEnd
+			written = 0
+		}
+		pos := s.physOf(p)
+		size[w] = s.size[pos]
+		level[w] = s.level[pos]
+		kind[w] = s.kind[pos]
+		name[w] = s.name[pos]
+		text[w] = s.text[pos]
+		id := s.node[pos]
+		node[w] = id
+		s.nodePos[id] = w
+		w++
+		written++
+	}
+	// Seal the final page.
+	for q := w; q < n; q++ {
+		level[q] = xenc.LevelUnused
+		pageEnd := (q >> s.pageBits << s.pageBits) + s.pageSize
+		size[q] = pageEnd - q - 1
+		node[q] = xenc.NoNode
+	}
+
+	s.size, s.level, s.kind, s.name, s.text, s.node = size, level, kind, name, text, node
+	s.logToPhys = make([]int32, nPages)
+	s.physToLog = make([]int32, nPages)
+	for i := int32(0); i < nPages; i++ {
+		s.logToPhys[i] = i
+		s.physToLog[i] = i
+	}
+	return nil
+}

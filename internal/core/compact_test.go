@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mxq/internal/xenc"
+)
+
+func TestCompactReclaimsSpace(t *testing.T) {
+	s := mustBuild(t, paperDoc, Options{PageSize: 8, FillFactor: 0.5})
+	// Blow the store up with splicing inserts and deletes.
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 120; step++ {
+		var live []xenc.Pre
+		for p := xenc.SkipFree(s, 0); p < s.Len(); p = xenc.SkipFree(s, p+1) {
+			live = append(live, p)
+		}
+		target := live[rng.Intn(len(live))]
+		if rng.Intn(3) == 0 && target != s.Root() {
+			if err := s.Delete(target); err != nil {
+				t.Fatal(err)
+			}
+		} else if s.Kind(target) == xenc.KindElem {
+			if _, err := s.AppendChild(target, mustFragment(t, `<n><m/>t</n>`)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	before := liveNames(s)
+	idOf := map[xenc.NodeID]string{}
+	for p := xenc.SkipFree(s, 0); p < s.Len(); p = xenc.SkipFree(s, p+1) {
+		if s.Kind(p) == xenc.KindElem {
+			idOf[s.NodeOf(p)] = s.Names().Name(s.Name(p))
+		}
+	}
+	pagesBefore := s.Pages()
+
+	if err := s.Compact(0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after Compact: %v", err)
+	}
+	if got := liveNames(s); fmt.Sprint(got) != fmt.Sprint(before) {
+		t.Fatalf("compact changed the document:\nbefore %v\nafter  %v", before, got)
+	}
+	if s.Pages() >= pagesBefore {
+		t.Fatalf("compact did not shrink: %d -> %d pages", pagesBefore, s.Pages())
+	}
+	// Node ids must survive compaction (the whole point of node/pos).
+	for id, name := range idOf {
+		p := s.PreOf(id)
+		if p == xenc.NoPre {
+			t.Fatalf("node %d (%s) lost by Compact", id, name)
+		}
+		if got := s.Names().Name(s.Name(p)); got != name {
+			t.Fatalf("node %d renamed by Compact: %s -> %s", id, name, got)
+		}
+	}
+	// And the store stays updatable.
+	if _, err := s.AppendChild(s.Root(), mustFragment(t, `<after/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactFullFill(t *testing.T) {
+	s := mustBuild(t, paperDoc, Options{PageSize: 8, FillFactor: 0.5})
+	if err := s.Compact(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 live nodes at fill 1.0 on 8-tuple pages = 2 pages.
+	if s.Pages() != 2 {
+		t.Fatalf("pages = %d, want 2", s.Pages())
+	}
+}
+
+func TestCompactAttrsSurvive(t *testing.T) {
+	s := mustBuild(t, `<r><p id="1" k="v"/><q id="2"/></r>`, Options{PageSize: 8, FillFactor: 0.5})
+	if err := s.Compact(0.9); err != nil {
+		t.Fatal(err)
+	}
+	idName, _ := s.Names().Lookup("id")
+	found := 0
+	for p := xenc.SkipFree(s, 0); p < s.Len(); p = xenc.SkipFree(s, p+1) {
+		if v, ok := s.AttrValue(p, idName); ok {
+			found++
+			if v != "1" && v != "2" {
+				t.Fatalf("attr value %q", v)
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("found %d attributed nodes, want 2", found)
+	}
+}
+
+func TestCompactBadFill(t *testing.T) {
+	s := mustBuild(t, paperDoc, Options{})
+	if err := s.Compact(1.5); err == nil {
+		t.Fatal("fill 1.5 accepted")
+	}
+	if err := s.Compact(-1); err == nil {
+		t.Fatal("fill -1 accepted")
+	}
+}

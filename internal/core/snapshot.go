@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mxq/internal/xenc"
+)
+
+// Clone returns a deep copy of the store. Transactions clone the base
+// store on their first write: this plays the role of the copy-on-write
+// memory-mapped view of Section 3.2 ("create a temporary view backed by a
+// copy-on-write memory-map on the base table... the base table is never
+// altered"), giving the writer a private image to update while readers
+// keep using the base.
+func (s *Store) Clone() *Store {
+	c := &Store{
+		pageBits:  s.pageBits,
+		pageMask:  s.pageMask,
+		pageSize:  s.pageSize,
+		size:      append([]int32(nil), s.size...),
+		level:     append([]int16(nil), s.level...),
+		kind:      append([]uint8(nil), s.kind...),
+		name:      append([]int32(nil), s.name...),
+		text:      append([]string(nil), s.text...),
+		node:      append([]int32(nil), s.node...),
+		logToPhys: append([]int32(nil), s.logToPhys...),
+		physToLog: append([]int32(nil), s.physToLog...),
+		nodePos:   append([]int32(nil), s.nodePos...),
+		freeNodes: append([]int32(nil), s.freeNodes...),
+		parentOf:  append([]int32(nil), s.parentOf...),
+		attrs:     make([][]attrRef, len(s.attrs)),
+		prop: &propDict{
+			vals: append([]string(nil), s.prop.vals...),
+			ids:  make(map[string]int32, len(s.prop.ids)),
+		},
+		qn:        s.qn.Clone(),
+		liveNodes: s.liveNodes,
+	}
+	for id, refs := range s.attrs {
+		if len(refs) > 0 {
+			c.attrs[id] = append([]attrRef(nil), refs...)
+		}
+	}
+	for k, v := range s.prop.ids {
+		c.prop.ids[k] = v
+	}
+	return c
+}
+
+// snapshot is the gob wire form of a store.
+type snapshot struct {
+	PageBits  uint
+	Size      []int32
+	Level     []int16
+	Kind      []uint8
+	Name      []int32
+	Text      []string
+	Node      []int32
+	LogToPhys []int32
+	PhysToLog []int32
+	NodePos   []int32
+	FreeNodes []int32
+	ParentOf  []int32
+	AttrKeys  []int32
+	AttrVals  [][]int32 // name/val id pairs, flattened per owner
+	PropVals  []string
+	Names     []string
+	LiveNodes int
+}
+
+// Save writes a snapshot of the store (the checkpoint the WAL recovers
+// from).
+func (s *Store) Save(w io.Writer) error {
+	snap := snapshot{
+		PageBits:  s.pageBits,
+		Size:      s.size,
+		Level:     s.level,
+		Kind:      s.kind,
+		Name:      s.name,
+		Text:      s.text,
+		Node:      s.node,
+		LogToPhys: s.logToPhys,
+		PhysToLog: s.physToLog,
+		NodePos:   s.nodePos,
+		FreeNodes: s.freeNodes,
+		ParentOf:  s.parentOf,
+		PropVals:  s.prop.vals,
+		LiveNodes: s.liveNodes,
+	}
+	for i := 0; i < s.qn.Len(); i++ {
+		snap.Names = append(snap.Names, s.qn.Name(int32(i)))
+	}
+	for id, refs := range s.attrs {
+		if len(refs) == 0 {
+			continue
+		}
+		snap.AttrKeys = append(snap.AttrKeys, int32(id))
+		flat := make([]int32, 0, 2*len(refs))
+		for _, r := range refs {
+			flat = append(flat, r.name, r.val)
+		}
+		snap.AttrVals = append(snap.AttrVals, flat)
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load reads a snapshot written by Save.
+func Load(r io.Reader) (*Store, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: loading snapshot: %w", err)
+	}
+	s := &Store{
+		pageBits:  snap.PageBits,
+		pageMask:  int32(1)<<snap.PageBits - 1,
+		pageSize:  int32(1) << snap.PageBits,
+		size:      snap.Size,
+		level:     snap.Level,
+		kind:      snap.Kind,
+		name:      snap.Name,
+		text:      snap.Text,
+		node:      snap.Node,
+		logToPhys: snap.LogToPhys,
+		physToLog: snap.PhysToLog,
+		nodePos:   snap.NodePos,
+		freeNodes: snap.FreeNodes,
+		parentOf:  snap.ParentOf,
+		attrs:     make([][]attrRef, len(snap.NodePos)),
+		prop:      newPropDict(),
+		qn:        xenc.NewQNamePool(),
+		liveNodes: snap.LiveNodes,
+	}
+	for i, id := range snap.AttrKeys {
+		flat := snap.AttrVals[i]
+		refs := make([]attrRef, 0, len(flat)/2)
+		for j := 0; j+1 < len(flat); j += 2 {
+			refs = append(refs, attrRef{name: flat[j], val: flat[j+1]})
+		}
+		s.attrs[id] = refs
+	}
+	for i, v := range snap.PropVals {
+		s.prop.vals = append(s.prop.vals, v)
+		s.prop.ids[v] = int32(i)
+	}
+	for _, n := range snap.Names {
+		s.qn.Intern(n)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("core: snapshot is corrupt: %w", err)
+	}
+	return s, nil
+}

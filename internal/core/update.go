@@ -1,0 +1,510 @@
+package core
+
+import (
+	"fmt"
+
+	"mxq/internal/shred"
+	"mxq/internal/xenc"
+)
+
+// Structural update entry points. All positions are view ranks (pre).
+//
+// The two insert scenarios of Figure 7:
+//
+//	(a) "within page": the logical page holding the insert point has
+//	    enough unused tuples at or after it. The used tuples after the
+//	    insert point move towards the page end, their new positions are
+//	    written to node/pos, and the new nodes fill the gap. No other
+//	    page is touched.
+//	(b) "page overflow": the insert does not fit. The used tuples after
+//	    the insert point and the new nodes are written into freshly
+//	    appended physical pages, the old tail becomes an unused run, and
+//	    the new pages are spliced into the pageOffset order directly
+//	    after the insert page. All pre numbers after the splice shift
+//	    automatically because pre is a virtual column of the view.
+//
+// In both cases the only ancestor maintenance is size += k on the chain
+// of ancestors of the insert point, which the transaction layer turns
+// into commutative delta increments (Section 3.2).
+
+// errIsRoot guards operations that are illegal on the document root.
+var errIsRoot = fmt.Errorf("core: operation not allowed on the document root")
+
+// InsertBefore inserts the fragment as the directly preceding sibling(s)
+// of the node at target (XUpdate insert-before).
+func (s *Store) InsertBefore(target xenc.Pre, frag *shred.Tree) ([]xenc.NodeID, error) {
+	if err := s.checkLive(target); err != nil {
+		return nil, err
+	}
+	parent := s.ParentPre(target)
+	if parent == xenc.NoPre {
+		return nil, errIsRoot
+	}
+	return s.insertAt(target, parent, frag)
+}
+
+// InsertAfter inserts the fragment directly after the subtree of the node
+// at target (XUpdate insert-after).
+func (s *Store) InsertAfter(target xenc.Pre, frag *shred.Tree) ([]xenc.NodeID, error) {
+	if err := s.checkLive(target); err != nil {
+		return nil, err
+	}
+	parent := s.ParentPre(target)
+	if parent == xenc.NoPre {
+		return nil, errIsRoot
+	}
+	return s.insertAt(s.regionEnd(target)+1, parent, frag)
+}
+
+// AppendChild inserts the fragment as the last child(ren) of the element
+// at parent (XUpdate append without a child position).
+func (s *Store) AppendChild(parent xenc.Pre, frag *shred.Tree) ([]xenc.NodeID, error) {
+	if err := s.checkLive(parent); err != nil {
+		return nil, err
+	}
+	if s.Kind(parent) != xenc.KindElem {
+		return nil, fmt.Errorf("core: append target at pre %d is a %v, not an element", parent, s.Kind(parent))
+	}
+	return s.insertAt(s.regionEnd(parent)+1, parent, frag)
+}
+
+// InsertChildAt inserts the fragment as child number idx (0-based) of the
+// element at parent (XUpdate append with a child position). If idx is
+// past the last child the fragment is appended.
+func (s *Store) InsertChildAt(parent xenc.Pre, idx int, frag *shred.Tree) ([]xenc.NodeID, error) {
+	if err := s.checkLive(parent); err != nil {
+		return nil, err
+	}
+	if s.Kind(parent) != xenc.KindElem {
+		return nil, fmt.Errorf("core: append target at pre %d is a %v, not an element", parent, s.Kind(parent))
+	}
+	c := s.childAt(parent, idx)
+	if c == xenc.NoPre {
+		return s.insertAt(s.regionEnd(parent)+1, parent, frag)
+	}
+	return s.insertAt(c, parent, frag)
+}
+
+// Delete removes the subtree rooted at target: the tuples stay in place
+// as unused tuples ("structural deletes just leave the tuples of the
+// deleted nodes in place without causing any shifts in pre numbers").
+func (s *Store) Delete(target xenc.Pre) error {
+	if err := s.checkLive(target); err != nil {
+		return err
+	}
+	parent := s.ParentPre(target)
+	if parent == xenc.NoPre {
+		return errIsRoot
+	}
+	k := s.Size(target) + 1
+	lvl := s.Level(target)
+	// Mark the whole region unused, release node ids and attributes.
+	touched := map[int32]bool{}
+	p := target
+	for p < s.Len() {
+		if s.Level(p) == xenc.LevelUnused {
+			p = xenc.SkipFree(s, p)
+			continue
+		}
+		if p != target && s.Level(p) <= lvl {
+			break
+		}
+		pos := s.physOf(p)
+		id := s.node[pos]
+		s.attrs[id] = nil
+		s.nodePos[id] = -1
+		s.parentOf[id] = xenc.NoNode
+		s.freeNodes = append(s.freeNodes, id)
+		s.level[pos] = xenc.LevelUnused
+		s.node[pos] = xenc.NoNode
+		s.text[pos] = ""
+		touched[pos>>s.pageBits] = true
+		p++
+	}
+	for pg := range touched {
+		s.recomputeFreeRuns(pg)
+	}
+	s.liveNodes -= int(k)
+	s.addAncestorSizes(s.NodeOf(parent), -k)
+	return nil
+}
+
+// SetValue replaces the content of a text, comment or PI node (a value
+// update, which maps trivially to an in-place column update).
+func (s *Store) SetValue(p xenc.Pre, val string) error {
+	if err := s.checkLive(p); err != nil {
+		return err
+	}
+	if k := s.Kind(p); k == xenc.KindElem {
+		return fmt.Errorf("core: SetValue on an element (pre %d); update its text child instead", p)
+	}
+	s.text[s.physOf(p)] = val
+	return nil
+}
+
+// Rename changes the qualified name of an element or PI node.
+func (s *Store) Rename(p xenc.Pre, name string) error {
+	if err := s.checkLive(p); err != nil {
+		return err
+	}
+	if k := s.Kind(p); k != xenc.KindElem && k != xenc.KindPI {
+		return fmt.Errorf("core: Rename on a %v node (pre %d)", k, p)
+	}
+	s.name[s.physOf(p)] = s.qn.Intern(name)
+	return nil
+}
+
+// SetAttr adds or replaces an attribute on the element at p.
+func (s *Store) SetAttr(p xenc.Pre, name, val string) error {
+	if err := s.checkLive(p); err != nil {
+		return err
+	}
+	if s.Kind(p) != xenc.KindElem {
+		return fmt.Errorf("core: SetAttr on a %v node (pre %d)", s.Kind(p), p)
+	}
+	id := s.NodeOf(p)
+	nameID := s.qn.Intern(name)
+	valID := s.prop.put(val)
+	refs := s.attrs[id]
+	for i := range refs {
+		if refs[i].name == nameID {
+			refs[i].val = valID
+			return nil
+		}
+	}
+	s.attrs[id] = append(refs, attrRef{name: nameID, val: valID})
+	return nil
+}
+
+// RemoveAttr deletes an attribute from the element at p. Removing an
+// absent attribute is not an error (XUpdate remove semantics).
+func (s *Store) RemoveAttr(p xenc.Pre, name string) error {
+	if err := s.checkLive(p); err != nil {
+		return err
+	}
+	nameID, ok := s.qn.Lookup(name)
+	if !ok {
+		return nil
+	}
+	id := s.NodeOf(p)
+	refs := s.attrs[id]
+	for i := range refs {
+		if refs[i].name == nameID {
+			s.attrs[id] = append(refs[:i], refs[i+1:]...)
+			return nil
+		}
+	}
+	return nil
+}
+
+// --- navigation used by updates ------------------------------------------
+
+func (s *Store) checkLive(p xenc.Pre) error {
+	if p < 0 || p >= s.Len() {
+		return fmt.Errorf("core: pre %d out of range [0,%d)", p, s.Len())
+	}
+	if s.Level(p) == xenc.LevelUnused {
+		return fmt.Errorf("core: pre %d is an unused tuple", p)
+	}
+	return nil
+}
+
+// ParentPre returns the view rank of p's parent (NoPre for the root),
+// resolved through the parent column in O(1).
+func (s *Store) ParentPre(p xenc.Pre) xenc.Pre {
+	id := s.parentOf[s.NodeOf(p)]
+	if id == xenc.NoNode {
+		return xenc.NoPre
+	}
+	return s.PreOf(id)
+}
+
+// regionEnd returns the view rank of the last tuple of p's region: the
+// position after which "directly after the subtree of p" content goes.
+// It scans forward counting live descendants, skipping free runs.
+func (s *Store) regionEnd(p xenc.Pre) xenc.Pre {
+	remaining := s.Size(p)
+	last := p
+	q := p + 1
+	for remaining > 0 {
+		q = xenc.SkipFree(s, q)
+		last = q
+		remaining--
+		q++
+	}
+	return last
+}
+
+// NthChild returns the view rank of the idx-th (0-based) child of the
+// node at parent, or NoPre. The transaction layer uses it to find the
+// pages an InsertChildAt will write.
+func (s *Store) NthChild(parent xenc.Pre, idx int) xenc.Pre {
+	return s.childAt(parent, idx)
+}
+
+// childAt returns the view rank of the idx-th child of parent, or NoPre.
+func (s *Store) childAt(parent xenc.Pre, idx int) xenc.Pre {
+	lvl := s.Level(parent)
+	q := xenc.SkipFree(s, parent+1)
+	n := s.Len()
+	for q < n && s.Level(q) > lvl {
+		if s.Level(q) == lvl+1 {
+			if idx == 0 {
+				return q
+			}
+			idx--
+		}
+		q = xenc.SkipFree(s, q+s.Size(q)+1)
+	}
+	return xenc.NoPre
+}
+
+// addAncestorSizes walks the ancestor chain starting at node id and adds
+// delta to each ancestor's size. This is the operation the transaction
+// protocol performs with commutative delta increments.
+func (s *Store) addAncestorSizes(id xenc.NodeID, delta int32) {
+	for id != xenc.NoNode {
+		s.size[s.nodePos[id]] += delta
+		id = s.parentOf[id]
+	}
+}
+
+// --- the insert engine ----------------------------------------------------
+
+// insertAt inserts the fragment so that its first node lands at view rank
+// at, as content under the element at parent. It returns the node ids of
+// all inserted nodes in fragment order (transactions record them so a
+// commit replay can map transaction-local ids to base-store ids).
+func (s *Store) insertAt(at xenc.Pre, parent xenc.Pre, frag *shred.Tree) ([]xenc.NodeID, error) {
+	if len(frag.Nodes) == 0 {
+		return nil, nil
+	}
+	if err := s.checkLive(parent); err != nil {
+		return nil, err
+	}
+	baseLevel := s.Level(parent) + 1
+	if int(baseLevel)+maxFragLevel(frag) > 32000 {
+		return nil, fmt.Errorf("core: resulting tree too deep")
+	}
+	parentID := s.NodeOf(parent)
+	k := int32(len(frag.Nodes))
+
+	ids := s.placeTuples(at, frag, baseLevel)
+
+	// Wire parent links: fragment roots hang off parentID, inner nodes
+	// follow the fragment's own structure.
+	var stack []xenc.NodeID
+	for i := range frag.Nodes {
+		lvl := int(frag.Nodes[i].Level)
+		stack = stack[:lvl]
+		if lvl == 0 {
+			s.parentOf[ids[i]] = parentID
+		} else {
+			s.parentOf[ids[i]] = stack[lvl-1]
+		}
+		stack = append(stack, ids[i])
+	}
+	s.liveNodes += int(k)
+	s.addAncestorSizes(parentID, k)
+	return ids, nil
+}
+
+func maxFragLevel(frag *shred.Tree) int {
+	m := 0
+	for i := range frag.Nodes {
+		if l := int(frag.Nodes[i].Level); l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// placeTuples writes the fragment's tuples into the view starting at view
+// rank at, using the within-page path when the page has room and the
+// page-overflow path otherwise. It returns the allocated node ids in
+// fragment order.
+func (s *Store) placeTuples(at xenc.Pre, frag *shred.Tree, baseLevel xenc.Level) []xenc.NodeID {
+	k := int32(len(frag.Nodes))
+
+	// At a page boundary, prefer the unused tail of the *previous*
+	// logical page (this is how the paper's example places node k on the
+	// free tuple of page 0).
+	if at&s.pageMask == 0 && at > 0 {
+		prevPg := (at - 1) >> s.pageBits
+		physBase := s.logToPhys[prevPg] << s.pageBits
+		tailStart := s.pageSize
+		for tailStart > 0 && s.level[physBase+tailStart-1] == xenc.LevelUnused {
+			tailStart--
+		}
+		if s.pageSize-tailStart >= k {
+			ids := s.newIDs(k)
+			for i := range frag.Nodes {
+				n := frag.Nodes[i]
+				n.Level += baseLevel
+				s.writeNode(physBase+tailStart+int32(i), &n, ids[i])
+			}
+			s.markFreeRun(physBase+tailStart+k, physBase+s.pageSize)
+			return ids
+		}
+	}
+
+	pg := at >> s.pageBits
+	if pg < int32(len(s.logToPhys)) {
+		off := at & s.pageMask
+		physBase := s.logToPhys[pg] << s.pageBits
+		free := int32(0)
+		for i := off; i < s.pageSize; i++ {
+			if s.level[physBase+i] == xenc.LevelUnused {
+				free++
+			}
+		}
+		if free >= k {
+			return s.insertWithinPage(physBase, off, frag, baseLevel)
+		}
+		return s.insertOverflow(pg, physBase, off, frag, baseLevel)
+	}
+	// at == Len(): append fresh pages at the very end.
+	return s.insertOverflow(pg-1, -1, 0, frag, baseLevel)
+}
+
+// insertWithinPage is Figure 7(a): tuples after the insert point move
+// towards the page end (their node/pos entries are updated), the new
+// nodes fill the gap.
+func (s *Store) insertWithinPage(physBase, off int32, frag *shred.Tree, baseLevel xenc.Level) []xenc.NodeID {
+	k := int32(len(frag.Nodes))
+	// Save the used tail in order.
+	type saved struct {
+		size  int32
+		level int16
+		kind  uint8
+		name  int32
+		text  string
+		node  int32
+	}
+	var tail []saved
+	for i := off; i < s.pageSize; i++ {
+		pos := physBase + i
+		if s.level[pos] != xenc.LevelUnused {
+			tail = append(tail, saved{s.size[pos], s.level[pos], s.kind[pos], s.name[pos], s.text[pos], s.node[pos]})
+		}
+	}
+	ids := s.newIDs(k)
+	// New nodes at [off, off+k).
+	for i := range frag.Nodes {
+		n := frag.Nodes[i]
+		n.Level += baseLevel
+		s.writeNode(physBase+off+int32(i), &n, ids[i])
+	}
+	// Moved tail directly after them.
+	w := physBase + off + k
+	for _, t := range tail {
+		s.size[w] = t.size
+		s.level[w] = t.level
+		s.kind[w] = t.kind
+		s.name[w] = t.name
+		s.text[w] = t.text
+		s.node[w] = t.node
+		s.nodePos[t.node] = w
+		w++
+	}
+	s.markFreeRun(w, physBase+s.pageSize)
+	// An unused run that ended directly before off may have interior runs
+	// recorded before the compaction; rebuild the whole page's run lengths
+	// so no stale run length can jump over the freshly written tuples.
+	s.recomputeFreeRuns(physBase >> s.pageBits)
+	return ids
+}
+
+// insertOverflow is Figure 7(b): the new nodes plus the used tail of the
+// insert page are written into freshly appended physical pages, which are
+// then spliced into the logical page order directly after the insert
+// page. Only appended pages are written (bulk updates are "written only
+// in newly appended logical pages"), so a transaction can keep them
+// private until commit.
+//
+// physBase < 0 means "append at the very end of the document" (no tail to
+// move, splice after logical page pg).
+func (s *Store) insertOverflow(pg, physBase, off int32, frag *shred.Tree, baseLevel xenc.Level) []xenc.NodeID {
+	k := int32(len(frag.Nodes))
+	type saved struct {
+		size  int32
+		level int16
+		kind  uint8
+		name  int32
+		text  string
+		node  int32
+		isNew int32 // index into frag, or -1
+	}
+	seq := make([]saved, 0, k)
+	for i := range frag.Nodes {
+		seq = append(seq, saved{isNew: int32(i)})
+	}
+	if physBase >= 0 {
+		for i := off; i < s.pageSize; i++ {
+			pos := physBase + i
+			if s.level[pos] != xenc.LevelUnused {
+				seq = append(seq, saved{
+					size: s.size[pos], level: s.level[pos], kind: s.kind[pos],
+					name: s.name[pos], text: s.text[pos], node: s.node[pos], isNew: -1,
+				})
+			}
+		}
+		// The old tail becomes an unused run; rebuild the page's run
+		// lengths so a run that ended directly before off absorbs it.
+		s.markFreeRun(physBase+off, physBase+s.pageSize)
+		s.recomputeFreeRuns(physBase >> s.pageBits)
+	}
+	ids := s.newIDs(k)
+	nNew := (int32(len(seq)) + s.pageSize - 1) >> s.pageBits
+	for p := int32(0); p < nNew; p++ {
+		phys := s.appendPhysPage()
+		base := phys << s.pageBits
+		chunk := seq[p<<s.pageBits : min32((p+1)<<s.pageBits, int32(len(seq)))]
+		for i := range chunk {
+			t := chunk[i]
+			pos := base + int32(i)
+			if t.isNew >= 0 {
+				n := frag.Nodes[t.isNew]
+				n.Level += baseLevel
+				s.writeNode(pos, &n, ids[t.isNew])
+			} else {
+				s.size[pos] = t.size
+				s.level[pos] = t.level
+				s.kind[pos] = t.kind
+				s.name[pos] = t.name
+				s.text[pos] = t.text
+				s.node[pos] = t.node
+				s.nodePos[t.node] = pos
+			}
+		}
+		s.markFreeRun(base+int32(len(chunk)), base+s.pageSize)
+		s.spliceLogical(pg+1+p, phys)
+	}
+	return ids
+}
+
+// spliceLogical inserts physical page phys at logical index logIdx: the
+// pageOffset maintenance of Figure 7(b) ("a new entry for it is appended
+// to the pageOffset table, and the offset of all pages after the insert
+// point is incremented").
+func (s *Store) spliceLogical(logIdx, phys int32) {
+	s.logToPhys = append(s.logToPhys, 0)
+	copy(s.logToPhys[logIdx+1:], s.logToPhys[logIdx:])
+	s.logToPhys[logIdx] = phys
+	// physToLog: every logical index >= logIdx shifted by one.
+	s.physToLog = append(s.physToLog, 0)
+	for ph, lg := range s.physToLog[:len(s.physToLog)-1] {
+		if lg >= logIdx {
+			s.physToLog[ph] = lg + 1
+		}
+	}
+	s.physToLog[phys] = logIdx
+}
+
+func (s *Store) newIDs(k int32) []xenc.NodeID {
+	ids := make([]xenc.NodeID, k)
+	for i := range ids {
+		ids[i] = s.newNodeID()
+	}
+	return ids
+}

@@ -1,0 +1,175 @@
+package naive
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mxq/internal/shred"
+	"mxq/internal/xenc"
+)
+
+const paperDoc = `<a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>`
+
+func mustBuild(t *testing.T, doc string) *Store {
+	t.Helper()
+	tr, err := shred.Parse(strings.NewReader(doc), shred.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustFragment(t *testing.T, frag string) *shred.Tree {
+	t.Helper()
+	tr, err := shred.ParseFragment(frag, shred.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func names(s *Store) []string {
+	var out []string
+	for p := xenc.Pre(0); p < s.Len(); p++ {
+		if s.Kind(p) == xenc.KindElem {
+			out = append(out, s.Names().Name(s.Name(p)))
+		} else {
+			out = append(out, "#"+s.Value(p))
+		}
+	}
+	return out
+}
+
+// checkSizes recomputes sizes from levels and compares.
+func checkSizes(t *testing.T, s *Store) {
+	t.Helper()
+	n := int(s.Len())
+	for p := 0; p < n; p++ {
+		count := int32(0)
+		for q := p + 1; q < n && s.Level(xenc.Pre(q)) > s.Level(xenc.Pre(p)); q++ {
+			count++
+		}
+		if got := s.Size(xenc.Pre(p)); got != count {
+			t.Fatalf("size(%d) = %d, want %d", p, got, count)
+		}
+	}
+}
+
+// TestFigure3Insert replays the paper's Figure 3: appending
+// <k><l/><m/></k> under g shifts all following pre values and grows
+// every ancestor by 3.
+func TestFigure3Insert(t *testing.T) {
+	s := mustBuild(t, paperDoc)
+	// g is at pre 6.
+	if err := s.AppendChild(6, mustFragment(t, `<k><l/><m/></k>`)); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "d", "e", "f", "g", "k", "l", "m", "h", "i", "j"}
+	if got := names(s); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	// Figure 3's resulting sizes: a 9->12, f 4->7, g 0->3.
+	for _, tc := range []struct {
+		pre  xenc.Pre
+		want int32
+	}{{0, 12}, {5, 7}, {6, 3}} {
+		if got := s.Size(tc.pre); got != tc.want {
+			t.Errorf("size(%d) = %d, want %d", tc.pre, got, tc.want)
+		}
+	}
+	checkSizes(t, s)
+}
+
+func TestInsertBeforeAfterDelete(t *testing.T) {
+	s := mustBuild(t, paperDoc)
+	if err := s.InsertBefore(5, mustFragment(t, `<x/>`)); err != nil { // before f
+		t.Fatal(err)
+	}
+	checkSizes(t, s)
+	if err := s.InsertAfter(6, mustFragment(t, `<y/>`)); err != nil { // after f (now at 6)
+		t.Fatal(err)
+	}
+	checkSizes(t, s)
+	want := []string{"a", "b", "c", "d", "e", "x", "f", "g", "h", "i", "j", "y"}
+	if got := names(s); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	if err := s.Delete(6); err != nil { // delete f subtree
+		t.Fatal(err)
+	}
+	checkSizes(t, s)
+	want = []string{"a", "b", "c", "d", "e", "x", "y"}
+	if got := names(s); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+}
+
+func TestAttrOwnersRenumbered(t *testing.T) {
+	s := mustBuild(t, `<r><p id="1"/><q id="2"/></r>`)
+	idName, _ := s.Names().Lookup("id")
+	if err := s.InsertBefore(1, mustFragment(t, `<w0/><w1/>`)); err != nil {
+		t.Fatal(err)
+	}
+	// p moved from pre 1 to 3; q from 2 to 4.
+	if v, ok := s.AttrValue(3, idName); !ok || v != "1" {
+		t.Fatalf("p/@id after shift = %q %v", v, ok)
+	}
+	if v, ok := s.AttrValue(4, idName); !ok || v != "2" {
+		t.Fatalf("q/@id after shift = %q %v", v, ok)
+	}
+	if err := s.Delete(3); err != nil { // delete p
+		t.Fatal(err)
+	}
+	if v, ok := s.AttrValue(3, idName); !ok || v != "2" {
+		t.Fatalf("q/@id after delete = %q %v", v, ok)
+	}
+	if got := len(s.Attrs(3)); got != 1 {
+		t.Fatalf("q attrs = %d", got)
+	}
+}
+
+func TestAttrsWithNewNodes(t *testing.T) {
+	s := mustBuild(t, `<r/>`)
+	if err := s.AppendChild(0, mustFragment(t, `<p id="9" k="v"/>`)); err != nil {
+		t.Fatal(err)
+	}
+	idName, _ := s.Names().Lookup("id")
+	if v, ok := s.AttrValue(1, idName); !ok || v != "9" {
+		t.Fatalf("inserted attr = %q %v", v, ok)
+	}
+}
+
+func TestGuards(t *testing.T) {
+	s := mustBuild(t, paperDoc)
+	if err := s.Delete(0); err == nil {
+		t.Fatal("root delete accepted")
+	}
+	if err := s.InsertBefore(0, mustFragment(t, `<x/>`)); err == nil {
+		t.Fatal("insert before root accepted")
+	}
+	if err := s.AppendChild(3, mustFragment(t, `<x/>`)); err == nil {
+		// pre 3 is element d... d is an element, so this should work.
+		t.Log("append under leaf element is legal")
+	}
+	if err := s.AppendChild(99, mustFragment(t, `<x/>`)); err == nil {
+		t.Fatal("append out of range accepted")
+	}
+}
+
+func TestDocViewBasics(t *testing.T) {
+	s := mustBuild(t, paperDoc)
+	if s.Root() != 0 || s.NodeOf(3) != 3 || s.PreOf(3) != 3 {
+		t.Fatal("identity mapping broken")
+	}
+	if s.PreOf(-5) != xenc.NoPre {
+		t.Fatal("PreOf(-5) must be NoPre")
+	}
+	if xenc.PostOf(s, 0) != 9 {
+		t.Fatalf("post(root) = %d, want 9", xenc.PostOf(s, 0))
+	}
+}

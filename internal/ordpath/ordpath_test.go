@@ -1,0 +1,187 @@
+package ordpath
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicsAndDepth(t *testing.T) {
+	root := Root()
+	if root.Depth() != 1 {
+		t.Fatalf("root depth = %d", root.Depth())
+	}
+	c1 := root.FirstChild()
+	c2 := c1.NextSibling()
+	if c1.Depth() != 2 || c2.Depth() != 2 {
+		t.Fatalf("child depths = %d, %d", c1.Depth(), c2.Depth())
+	}
+	if Compare(c1, c2) >= 0 || Compare(root, c1) >= 0 {
+		t.Fatal("sibling/parent ordering broken")
+	}
+	if !IsAncestor(root, c1) || IsAncestor(c1, c2) || IsAncestor(c1, root) {
+		t.Fatal("IsAncestor broken")
+	}
+	p := c1.PrevSibling()
+	if Compare(p, c1) >= 0 || p.Depth() != 2 {
+		t.Fatalf("PrevSibling = %s", p)
+	}
+}
+
+func TestBetweenSimpleGap(t *testing.T) {
+	l := Label{1, 1}
+	r := Label{1, 5}
+	m := Between(l, r)
+	if Compare(l, m) >= 0 || Compare(m, r) >= 0 {
+		t.Fatalf("Between(%s,%s) = %s out of order", l, r, m)
+	}
+	if m.Depth() != 2 {
+		t.Fatalf("Between depth = %d, want 2", m.Depth())
+	}
+}
+
+func TestBetweenAdjacentUsesCarets(t *testing.T) {
+	l := Label{1, 3}
+	r := Label{1, 5}
+	m := Between(l, r)
+	if Compare(l, m) >= 0 || Compare(m, r) >= 0 {
+		t.Fatalf("Between = %s out of order", m)
+	}
+	if m.Depth() != 2 {
+		t.Fatalf("caret label depth = %d (%s)", m.Depth(), m)
+	}
+	if len(m) <= 2 {
+		t.Fatalf("adjacent odds must caret-extend, got %s", m)
+	}
+}
+
+// TestRepeatedInsertsSamePoint drives the degenerate case the paper
+// warns about: labels grow under repeated inserts into the same gap, but
+// order and depth stay correct throughout.
+func TestRepeatedInsertsSamePoint(t *testing.T) {
+	l := Label{1, 1}
+	r := Label{1, 3}
+	prev := l
+	maxLen := 0
+	for i := 0; i < 200; i++ {
+		m := Between(prev, r)
+		if Compare(prev, m) >= 0 || Compare(m, r) >= 0 {
+			t.Fatalf("step %d: %s not between %s and %s", i, m, prev, r)
+		}
+		if m.Depth() != 2 {
+			t.Fatalf("step %d: depth %d (%s)", i, m.Depth(), m)
+		}
+		if len(m) > maxLen {
+			maxLen = len(m)
+		}
+		prev = m
+	}
+	if maxLen <= 2 {
+		t.Fatal("labels never grew; caret machinery unused")
+	}
+	t.Logf("label length after 200 same-point inserts: %d components", maxLen)
+}
+
+// TestRandomSiblingInserts keeps a sorted sibling list and inserts at
+// random positions, checking total order, depth and encoding order after
+// every insert.
+func TestRandomSiblingInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	parent := Root()
+	sibs := []Label{parent.FirstChild()}
+	for i := 0; i < 400; i++ {
+		pos := rng.Intn(len(sibs) + 1)
+		var nl Label
+		switch {
+		case pos == 0:
+			nl = sibs[0].PrevSibling()
+		case pos == len(sibs):
+			nl = sibs[len(sibs)-1].NextSibling()
+		default:
+			nl = Between(sibs[pos-1], sibs[pos])
+		}
+		if nl.Depth() != 2 {
+			t.Fatalf("insert %d at %d: depth %d (%s)", i, pos, nl.Depth(), nl)
+		}
+		sibs = append(sibs[:pos], append([]Label{nl}, sibs[pos:]...)...)
+		if !sort.SliceIsSorted(sibs, func(a, b int) bool { return Compare(sibs[a], sibs[b]) < 0 }) {
+			t.Fatalf("insert %d at %d broke the order", i, pos)
+		}
+	}
+	// Encoded order must equal label order.
+	for i := 1; i < len(sibs); i++ {
+		if bytes.Compare(sibs[i-1].Encode(), sibs[i].Encode()) >= 0 {
+			t.Fatalf("encoding order broken between %s and %s", sibs[i-1], sibs[i])
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		l := make(Label, len(raw))
+		for i, v := range raw {
+			l[i] = int64(v)
+		}
+		dec, err := Decode(l.Encode())
+		if err != nil {
+			return false
+		}
+		return Compare(l, dec) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeOrderMatchesCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func() Label {
+		n := 1 + rng.Intn(5)
+		l := make(Label, n)
+		for i := range l {
+			l[i] = int64(rng.Intn(2000) - 1000)
+		}
+		return l
+	}
+	for i := 0; i < 2000; i++ {
+		a, b := mk(), mk()
+		cmpL := Compare(a, b)
+		cmpE := bytes.Compare(a.Encode(), b.Encode())
+		if (cmpL < 0) != (cmpE < 0) || (cmpL == 0) != (cmpE == 0) {
+			t.Fatalf("order mismatch: %s vs %s: labels %d, bytes %d", a, b, cmpL, cmpE)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, enc := range [][]byte{
+		{0x00},
+		{0x49},
+		{0x41}, // header promising one byte, none follow
+	} {
+		if _, err := Decode(enc); err == nil {
+			t.Errorf("Decode(%v) succeeded", enc)
+		}
+	}
+}
+
+func TestBetweenPanics(t *testing.T) {
+	for _, tc := range [][2]Label{
+		{{1, 5}, {1, 3}}, // reversed
+		{{1}, {1, 3}},    // ancestor/descendant
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Between(%s,%s) did not panic", tc[0], tc[1])
+				}
+			}()
+			Between(tc[0], tc[1])
+		}()
+	}
+}

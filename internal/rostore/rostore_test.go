@@ -1,0 +1,179 @@
+package rostore
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mxq/internal/shred"
+	"mxq/internal/xenc"
+)
+
+const paperDoc = `<a><b><c><d/><e/></c></b><f><g/><h><i/><j/></h></f></a>`
+
+func mustBuild(t *testing.T, doc string) *Store {
+	t.Helper()
+	tr, err := shred.Parse(strings.NewReader(doc), shred.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPaperEncoding(t *testing.T) {
+	s := mustBuild(t, paperDoc)
+	if s.Len() != 10 || s.LiveNodes() != 10 {
+		t.Fatalf("len=%d live=%d, want 10/10", s.Len(), s.LiveNodes())
+	}
+	// The pre/size/level columns of Figure 2 (iv).
+	wantSize := []int32{9, 3, 2, 0, 0, 4, 0, 2, 0, 0}
+	wantLevel := []int16{0, 1, 2, 3, 3, 1, 2, 2, 3, 3}
+	for p := xenc.Pre(0); p < s.Len(); p++ {
+		if s.Size(p) != wantSize[p] || s.Level(p) != wantLevel[p] {
+			t.Errorf("pre %d: size=%d level=%d, want %d/%d", p, s.Size(p), s.Level(p), wantSize[p], wantLevel[p])
+		}
+	}
+	if s.Root() != 0 {
+		t.Fatalf("root = %d", s.Root())
+	}
+}
+
+// TestPostEquivalence verifies Figure 2's post = pre + size - level on the
+// read-only store: post ranks must be a permutation of 0..n-1 and order
+// closing tags correctly (descendants close before their ancestors).
+func TestPostEquivalence(t *testing.T) {
+	s := mustBuild(t, paperDoc)
+	wantPost := []int32{9, 3, 2, 0, 1, 8, 4, 7, 5, 6}
+	for p := xenc.Pre(0); p < s.Len(); p++ {
+		if got := xenc.PostOf(s, p); got != wantPost[p] {
+			t.Errorf("post(%d) = %d, want %d", p, got, wantPost[p])
+		}
+	}
+}
+
+// Property: on random documents, post is a bijection and the pre/post
+// plane classifies node pairs exactly like the tree does.
+func TestPrePostPlaneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTree(seed, 60)
+		s, err := Build(tr)
+		if err != nil {
+			return false
+		}
+		n := s.Len()
+		seen := make(map[int32]bool, n)
+		for p := xenc.Pre(0); p < n; p++ {
+			post := xenc.PostOf(s, p)
+			if post < 0 || post >= n || seen[post] {
+				return false
+			}
+			seen[post] = true
+		}
+		// Quadrant test (Figure 2 iii): v is an ancestor of u iff
+		// pre(v) < pre(u) and post(v) > post(u).
+		for u := xenc.Pre(0); u < n; u++ {
+			for v := xenc.Pre(0); v < n; v++ {
+				inRegion := v < u && u <= v+s.Size(v)
+				planeSays := v < u && xenc.PostOf(s, v) > xenc.PostOf(s, u)
+				if inRegion != planeSays {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomTree(seed int64, n int) *shred.Tree {
+	b := shred.NewBuilder()
+	b.Start("root")
+	depth := 1
+	state := uint64(seed)*2654435761 + 12345
+	next := func(m int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % m
+	}
+	for i := 0; i < n; i++ {
+		switch next(3) {
+		case 0:
+			b.Start("e")
+			depth++
+		case 1:
+			b.Text("t")
+		default:
+			if depth > 1 {
+				b.End()
+				depth--
+			} else {
+				b.Elem("leaf", "")
+			}
+		}
+	}
+	for depth > 0 {
+		b.End()
+		depth--
+	}
+	return b.Tree()
+}
+
+func TestAttrs(t *testing.T) {
+	s := mustBuild(t, `<r a="1"><p b="2" c="3"/><q/></r>`)
+	aID, _ := s.Names().Lookup("a")
+	bID, _ := s.Names().Lookup("b")
+	if v, ok := s.AttrValue(0, aID); !ok || v != "1" {
+		t.Fatalf("r/@a = %q %v", v, ok)
+	}
+	if v, ok := s.AttrValue(1, bID); !ok || v != "2" {
+		t.Fatalf("p/@b = %q %v", v, ok)
+	}
+	if _, ok := s.AttrValue(2, bID); ok {
+		t.Fatal("q has no attributes")
+	}
+	if got := s.Attrs(1); len(got) != 2 {
+		t.Fatalf("p attrs = %v", got)
+	}
+	if got := s.Attrs(2); got != nil {
+		t.Fatalf("q attrs = %v", got)
+	}
+}
+
+func TestNodeIdentityIsPre(t *testing.T) {
+	s := mustBuild(t, paperDoc)
+	for p := xenc.Pre(0); p < s.Len(); p++ {
+		if s.NodeOf(p) != p || s.PreOf(p) != p {
+			t.Fatalf("identity broken at %d", p)
+		}
+	}
+	if s.PreOf(-1) != xenc.NoPre || s.PreOf(s.Len()) != xenc.NoPre {
+		t.Fatal("out-of-range PreOf must return NoPre")
+	}
+}
+
+func TestEmptyTreeRejected(t *testing.T) {
+	if _, err := Build(&shred.Tree{}); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+}
+
+func TestValuesAndKinds(t *testing.T) {
+	s := mustBuild(t, `<r>hello<!--note--><?p data?></r>`)
+	if s.Kind(1) != xenc.KindText || s.Value(1) != "hello" {
+		t.Fatalf("text node: %v %q", s.Kind(1), s.Value(1))
+	}
+	if s.Kind(2) != xenc.KindComment || s.Value(2) != "note" {
+		t.Fatalf("comment node: %v %q", s.Kind(2), s.Value(2))
+	}
+	if s.Kind(3) != xenc.KindPI || s.Names().Name(s.Name(3)) != "p" {
+		t.Fatalf("pi node: %v", s.Kind(3))
+	}
+	if s.Name(1) != xenc.NoName {
+		t.Fatal("text node has a name")
+	}
+}

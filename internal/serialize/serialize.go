@@ -1,0 +1,154 @@
+// Package serialize renders encoded documents and subtrees back to XML
+// text (the "XML Serialization" kernel extension in Figure 1). It walks
+// the pre/size/level view in document order, skipping unused tuples, and
+// reconstructs element nesting from the level column.
+package serialize
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mxq/internal/xenc"
+)
+
+// Options configure serialization.
+type Options struct {
+	// Indent pretty-prints with the given string per nesting level.
+	// Empty means compact output.
+	Indent string
+}
+
+// Document writes the whole document rooted at v.Root().
+func Document(w io.Writer, v xenc.DocView, opts Options) error {
+	return Subtree(w, v, v.Root(), opts)
+}
+
+// Subtree writes the subtree rooted at p.
+func Subtree(w io.Writer, v xenc.DocView, p xenc.Pre, opts Options) error {
+	if !xenc.IsUsed(v, p) {
+		return fmt.Errorf("serialize: pre %d is not a live node", p)
+	}
+	s := &serializer{w: w, v: v, opts: opts, base: v.Level(p)}
+	if err := s.node(p); err != nil {
+		return err
+	}
+	if opts.Indent != "" {
+		return s.write("\n")
+	}
+	return nil
+}
+
+// String renders the subtree at p to a string.
+func String(v xenc.DocView, p xenc.Pre, opts Options) (string, error) {
+	var b strings.Builder
+	if err := Subtree(&b, v, p, opts); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+type serializer struct {
+	w    io.Writer
+	v    xenc.DocView
+	opts Options
+	base xenc.Level
+	err  error
+}
+
+func (s *serializer) write(str string) error {
+	if s.err == nil {
+		_, s.err = io.WriteString(s.w, str)
+	}
+	return s.err
+}
+
+func (s *serializer) indent(lvl xenc.Level) {
+	if s.opts.Indent == "" {
+		return
+	}
+	s.write("\n")
+	for i := xenc.Level(0); i < lvl-s.base; i++ {
+		s.write(s.opts.Indent)
+	}
+}
+
+// node serializes the node at p and returns after its whole region.
+func (s *serializer) node(p xenc.Pre) error {
+	v := s.v
+	switch v.Kind(p) {
+	case xenc.KindText:
+		s.write(escapeText(v.Value(p)))
+	case xenc.KindComment:
+		s.write("<!--")
+		s.write(v.Value(p))
+		s.write("-->")
+	case xenc.KindPI:
+		s.write("<?")
+		s.write(v.Names().Name(v.Name(p)))
+		if inst := v.Value(p); inst != "" {
+			s.write(" ")
+			s.write(inst)
+		}
+		s.write("?>")
+	case xenc.KindElem:
+		name := v.Names().Name(v.Name(p))
+		s.write("<")
+		s.write(name)
+		for _, a := range v.Attrs(p) {
+			s.write(" ")
+			s.write(v.Names().Name(a.Name))
+			s.write(`="`)
+			s.write(escapeAttr(a.Val))
+			s.write(`"`)
+		}
+		if v.Size(p) == 0 {
+			s.write("/>")
+			return s.err
+		}
+		s.write(">")
+		// Children: walk the region.
+		remaining := v.Size(p)
+		lvl := v.Level(p)
+		q := p
+		hasElemChild := false
+		for remaining > 0 {
+			q = xenc.SkipFree(v, q+1)
+			if q >= v.Len() || v.Level(q) <= lvl {
+				break
+			}
+			if v.Level(q) == lvl+1 {
+				if v.Kind(q) != xenc.KindText {
+					hasElemChild = true
+				}
+				if hasElemChild {
+					s.indent(v.Level(q))
+				}
+				if err := s.node(q); err != nil {
+					return err
+				}
+			}
+			remaining--
+		}
+		if hasElemChild {
+			s.indent(lvl)
+		}
+		s.write("</")
+		s.write(name)
+		s.write(">")
+	}
+	return s.err
+}
+
+func escapeText(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+func escapeAttr(s string) string {
+	s = escapeText(s)
+	s = strings.ReplaceAll(s, `"`, "&quot;")
+	return s
+}

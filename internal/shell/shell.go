@@ -1,0 +1,156 @@
+// Package shell implements the command interpreter behind cmd/mxqshell:
+// a line-oriented front end over an mxq.Database (load / query / update /
+// stats / checkpoint). It lives in its own package so the command logic
+// is unit-testable without a terminal.
+package shell
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mxq"
+)
+
+// Shell interprets commands against a database.
+type Shell struct {
+	db  *mxq.Database
+	out io.Writer
+}
+
+// New returns a shell writing its output to out.
+func New(db *mxq.Database, out io.Writer) *Shell {
+	return &Shell{db: db, out: out}
+}
+
+// LoadFile shreds the XML file at path into the database under name.
+func (s *Shell) LoadFile(name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = s.db.LoadXML(name, f)
+	return err
+}
+
+// Execute interprets one command line and reports whether the shell
+// should exit.
+func (s *Shell) Execute(line string) (quit bool) {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return false
+	}
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	arg := func(i int) string {
+		if i < len(fields) {
+			return fields[i]
+		}
+		return ""
+	}
+	// rest(i) returns everything after the i-th space-separated token,
+	// so queries may contain spaces.
+	rest := func(i int) string {
+		parts := strings.SplitN(line, " ", i+1)
+		if len(parts) > i {
+			return parts[i]
+		}
+		return ""
+	}
+	switch cmd {
+	case "quit", "exit":
+		return true
+	case "help":
+		fmt.Fprintln(s.out, "commands: load <name> <file> | docs | q <name> <xpath> | u <name> <file.xu> | xml <name> | stats <name> | checkpoint <name> | quit")
+	case "docs":
+		for _, n := range s.db.Documents() {
+			fmt.Fprintln(s.out, " ", n)
+		}
+	case "load":
+		if arg(1) == "" || arg(2) == "" {
+			s.errorf("usage: load <name> <file>")
+			return false
+		}
+		if err := s.LoadFile(arg(1), arg(2)); err != nil {
+			s.errorf("%v", err)
+		}
+	case "q":
+		doc := s.doc(arg(1))
+		if doc == nil {
+			return false
+		}
+		res, err := doc.Query(rest(2))
+		if err != nil {
+			s.errorf("%v", err)
+			return false
+		}
+		for i, item := range res {
+			if item.XML != "" {
+				fmt.Fprintf(s.out, "%4d: %s\n", i+1, item.XML)
+			} else {
+				fmt.Fprintf(s.out, "%4d: [%s] %s\n", i+1, item.Kind, item.Value)
+			}
+		}
+		fmt.Fprintf(s.out, "(%d items)\n", len(res))
+	case "u":
+		doc := s.doc(arg(1))
+		if doc == nil {
+			return false
+		}
+		data, err := os.ReadFile(arg(2))
+		if err != nil {
+			s.errorf("%v", err)
+			return false
+		}
+		res, err := doc.Update(string(data))
+		if err != nil {
+			s.errorf("%v", err)
+			return false
+		}
+		fmt.Fprintf(s.out, "ok: %d commands, %d nodes affected\n", res.Ops, res.Affected)
+	case "xml":
+		doc := s.doc(arg(1))
+		if doc == nil {
+			return false
+		}
+		if err := doc.SerializeTo(s.out, "  "); err != nil {
+			s.errorf("%v", err)
+		}
+	case "stats":
+		doc := s.doc(arg(1))
+		if doc == nil {
+			return false
+		}
+		st := doc.Stats()
+		fmt.Fprintf(s.out, "live nodes: %d\ntuples:     %d (%d pages × %d)\nfill:       %.1f%%\ncommits:    %d (aborts %d)\n",
+			st.LiveNodes, st.Tuples, st.Pages, st.PageSize, 100*st.Fill, st.Commits, st.Aborts)
+	case "checkpoint":
+		doc := s.doc(arg(1))
+		if doc == nil {
+			return false
+		}
+		if err := doc.Checkpoint(); err != nil {
+			s.errorf("%v", err)
+		} else {
+			fmt.Fprintln(s.out, "ok")
+		}
+	default:
+		fmt.Fprintf(s.out, "unknown command %q (try 'help')\n", cmd)
+	}
+	return false
+}
+
+func (s *Shell) doc(name string) *mxq.Document {
+	d, ok := s.db.Document(name)
+	if !ok {
+		s.errorf("no document %q (try 'docs')", name)
+		return nil
+	}
+	return d
+}
+
+func (s *Shell) errorf(format string, args ...any) {
+	fmt.Fprintf(s.out, "error: "+format+"\n", args...)
+}

@@ -1,0 +1,130 @@
+package shell
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mxq"
+)
+
+func newShell(t *testing.T) (*Shell, *strings.Builder, *mxq.Database) {
+	t.Helper()
+	db, err := mxq.Open(mxq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	return New(db, &out), &out, db
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadQueryStats(t *testing.T) {
+	sh, out, _ := newShell(t)
+	dir := t.TempDir()
+	path := writeFile(t, dir, "z.xml", `<zoo><animal>tiger</animal><animal>crane</animal></zoo>`)
+
+	if quit := sh.Execute("load zoo " + path); quit {
+		t.Fatal("load quit")
+	}
+	sh.Execute("docs")
+	if !strings.Contains(out.String(), "zoo") {
+		t.Fatalf("docs output: %q", out.String())
+	}
+	out.Reset()
+	sh.Execute("q zoo count(//animal)")
+	if !strings.Contains(out.String(), "[number] 2") {
+		t.Fatalf("query output: %q", out.String())
+	}
+	out.Reset()
+	sh.Execute("q zoo //animal[1]")
+	if !strings.Contains(out.String(), "<animal>tiger</animal>") {
+		t.Fatalf("element output: %q", out.String())
+	}
+	out.Reset()
+	sh.Execute("stats zoo")
+	if !strings.Contains(out.String(), "live nodes: 5") {
+		t.Fatalf("stats output: %q", out.String())
+	}
+}
+
+func TestUpdateAndXML(t *testing.T) {
+	sh, out, _ := newShell(t)
+	dir := t.TempDir()
+	doc := writeFile(t, dir, "z.xml", `<zoo><animal>tiger</animal></zoo>`)
+	xu := writeFile(t, dir, "add.xu",
+		`<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+		   <xupdate:append select="/zoo"><animal>heron</animal></xupdate:append>
+		 </xupdate:modifications>`)
+	sh.Execute("load zoo " + doc)
+	out.Reset()
+	sh.Execute("u zoo " + xu)
+	if !strings.Contains(out.String(), "ok: 1 commands, 1 nodes affected") {
+		t.Fatalf("update output: %q", out.String())
+	}
+	out.Reset()
+	sh.Execute("xml zoo")
+	if !strings.Contains(out.String(), "heron") {
+		t.Fatalf("xml output: %q", out.String())
+	}
+}
+
+func TestErrorsAndUnknown(t *testing.T) {
+	sh, out, _ := newShell(t)
+	sh.Execute("q ghost //x")
+	if !strings.Contains(out.String(), `no document "ghost"`) {
+		t.Fatalf("missing-doc output: %q", out.String())
+	}
+	out.Reset()
+	sh.Execute("frobnicate")
+	if !strings.Contains(out.String(), "unknown command") {
+		t.Fatalf("unknown output: %q", out.String())
+	}
+	out.Reset()
+	sh.Execute("load onlyname")
+	if !strings.Contains(out.String(), "usage:") {
+		t.Fatalf("usage output: %q", out.String())
+	}
+	out.Reset()
+	sh.Execute("load x /nonexistent/file.xml")
+	if !strings.Contains(out.String(), "error:") {
+		t.Fatalf("load error output: %q", out.String())
+	}
+	out.Reset()
+	dir := t.TempDir()
+	doc := writeFile(t, dir, "z.xml", `<z/>`)
+	sh.Execute("load z " + doc)
+	out.Reset()
+	sh.Execute("q z //[bad")
+	if !strings.Contains(out.String(), "error:") {
+		t.Fatalf("bad query output: %q", out.String())
+	}
+	out.Reset()
+	sh.Execute("checkpoint z") // no durability dir configured
+	if !strings.Contains(out.String(), "error:") {
+		t.Fatalf("checkpoint output: %q", out.String())
+	}
+}
+
+func TestQuitAndHelp(t *testing.T) {
+	sh, out, _ := newShell(t)
+	if !sh.Execute("quit") || !sh.Execute("exit") {
+		t.Fatal("quit/exit did not signal")
+	}
+	if sh.Execute("") {
+		t.Fatal("empty line quit")
+	}
+	sh.Execute("help")
+	if !strings.Contains(out.String(), "commands:") {
+		t.Fatalf("help output: %q", out.String())
+	}
+}

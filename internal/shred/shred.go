@@ -1,0 +1,278 @@
+// Package shred turns XML text into the neutral pre-ordered node table
+// that every store of the reproduction builds from (the "document
+// shredder" of the paper). The shredder walks the document once with a
+// streaming parser, assigning pre ranks in arrival order and computing
+// size (live descendant count) and level on the fly — exactly the
+// counting pass that defines the pre/size/level encoding of Figure 2.
+package shred
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"mxq/internal/xenc"
+)
+
+// Attr is a raw (uninterned) attribute.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is one shredded node in document order.
+type Node struct {
+	Kind  xenc.Kind
+	Name  string // element name or PI target
+	Value string // text/comment/PI content
+	Size  int32  // descendant count
+	Level int16  // depth; the root of the tree (or fragment root) is 0
+	Attrs []Attr
+}
+
+// Tree is a forest of shredded nodes in document order. A full document
+// has exactly one level-0 node (the root element); XUpdate content
+// fragments may have several.
+type Tree struct {
+	Nodes []Node
+}
+
+// Roots returns the indices of the level-0 nodes.
+func (t *Tree) Roots() []int {
+	var out []int
+	for i := range t.Nodes {
+		if t.Nodes[i].Level == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Options configure the shredder.
+type Options struct {
+	// PreserveWhitespace keeps text nodes that consist only of whitespace.
+	// By default they are dropped (boundary-whitespace stripping), which is
+	// what the MonetDB/XQuery shredder does for data-centric documents.
+	PreserveWhitespace bool
+}
+
+// Parse shreds a complete XML document. The document must have a single
+// root element.
+func Parse(r io.Reader, opts Options) (*Tree, error) {
+	t, err := parse(r, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	roots := t.Roots()
+	if len(roots) != 1 || t.Nodes[roots[0]].Kind != xenc.KindElem {
+		return nil, fmt.Errorf("shred: document must have exactly one root element, got %d roots", len(roots))
+	}
+	return t, nil
+}
+
+// ParseFragment shreds a well-formed XML fragment: a sequence of elements,
+// text, comments and processing instructions. Used for XUpdate content.
+func ParseFragment(s string, opts Options) (*Tree, error) {
+	return parse(strings.NewReader(s), opts, false)
+}
+
+// parse shreds tokens; document mode additionally drops document-level
+// comments and PIs (fragments keep theirs — they become real children).
+func parse(r io.Reader, opts Options, document bool) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	t := &Tree{}
+	var stack []int // indices of open elements
+	var depth int16
+	flushText := func(s string) {
+		if s == "" {
+			return
+		}
+		if !opts.PreserveWhitespace && strings.TrimSpace(s) == "" {
+			return
+		}
+		// Coalesce with a directly preceding text sibling (encoding/xml
+		// may split character data around entity references).
+		if n := len(t.Nodes); n > 0 {
+			last := &t.Nodes[n-1]
+			if last.Kind == xenc.KindText && last.Level == depth && last.Size == 0 {
+				last.Value += s
+				return
+			}
+		}
+		t.Nodes = append(t.Nodes, Node{Kind: xenc.KindText, Value: s, Level: depth})
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("shred: %w", err)
+		}
+		switch tk := tok.(type) {
+		case xml.StartElement:
+			var attrs []Attr
+			if len(tk.Attr) > 0 {
+				attrs = make([]Attr, 0, len(tk.Attr))
+				for _, a := range tk.Attr {
+					attrs = append(attrs, Attr{Name: attrName(a.Name), Value: a.Value})
+				}
+			}
+			t.Nodes = append(t.Nodes, Node{
+				Kind:  xenc.KindElem,
+				Name:  elemName(tk.Name),
+				Level: depth,
+				Attrs: attrs,
+			})
+			stack = append(stack, len(t.Nodes)-1)
+			depth++
+		case xml.EndElement:
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			depth--
+			t.Nodes[top].Size = int32(len(t.Nodes) - 1 - top)
+		case xml.CharData:
+			flushText(string(tk))
+		case xml.Comment:
+			// Document-level comments are dropped so that the first tuple
+			// of any full document is always its root element (which is
+			// what Root() == pre 0 in the read-only schema relies on).
+			if document && depth == 0 && len(stack) == 0 {
+				continue
+			}
+			t.Nodes = append(t.Nodes, Node{Kind: xenc.KindComment, Value: string(tk), Level: depth})
+		case xml.ProcInst:
+			// Likewise for document-level PIs, which also covers the XML
+			// declaration that encoding/xml reports as a <?xml?> ProcInst.
+			if document && depth == 0 && len(stack) == 0 {
+				continue
+			}
+			t.Nodes = append(t.Nodes, Node{
+				Kind:  xenc.KindPI,
+				Name:  tk.Target,
+				Value: string(tk.Inst),
+				Level: depth,
+			})
+		case xml.Directive:
+			// DOCTYPE and friends carry no tree content; skip.
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("shred: %d unclosed elements", len(stack))
+	}
+	return t, nil
+}
+
+// elemName flattens a resolved xml.Name. The reproduction works with
+// local names (XMark and the paper's examples are namespace-free); a
+// non-empty namespace is kept as a "{uri}local" expanded name so distinct
+// namespaces cannot collide.
+func elemName(n xml.Name) string {
+	if n.Space == "" {
+		return n.Local
+	}
+	return "{" + n.Space + "}" + n.Local
+}
+
+func attrName(n xml.Name) string {
+	// xmlns declarations arrive as Space=="xmlns"; keep them readable.
+	if n.Space == "" || n.Space == "xmlns" {
+		return n.Local
+	}
+	return "{" + n.Space + "}" + n.Local
+}
+
+// Subtree extracts the subtree rooted at index i as a standalone Tree
+// (levels rebased to 0). It is used by update operations that relocate or
+// copy document fragments.
+func (t *Tree) Subtree(i int) *Tree {
+	root := t.Nodes[i]
+	end := i + int(root.Size) + 1
+	out := &Tree{Nodes: make([]Node, end-i)}
+	base := root.Level
+	for j := i; j < end; j++ {
+		n := t.Nodes[j]
+		n.Level -= base
+		n.Attrs = append([]Attr(nil), n.Attrs...)
+		out.Nodes[j-i] = n
+	}
+	return out
+}
+
+// Builder assembles a Tree programmatically; the XMark generator and the
+// XUpdate element constructors use it to avoid a parse round-trip.
+type Builder struct {
+	t     Tree
+	stack []int
+	depth int16
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Start opens an element.
+func (b *Builder) Start(name string, attrs ...Attr) *Builder {
+	b.t.Nodes = append(b.t.Nodes, Node{Kind: xenc.KindElem, Name: name, Level: b.depth, Attrs: attrs})
+	b.stack = append(b.stack, len(b.t.Nodes)-1)
+	b.depth++
+	return b
+}
+
+// Open reports whether an element is currently open.
+func (b *Builder) Open() bool { return len(b.stack) > 0 }
+
+// Attr adds an attribute to the innermost open element. It panics if no
+// element is open.
+func (b *Builder) Attr(name, value string) *Builder {
+	if len(b.stack) == 0 {
+		panic("shred: Builder.Attr without an open element")
+	}
+	top := b.stack[len(b.stack)-1]
+	b.t.Nodes[top].Attrs = append(b.t.Nodes[top].Attrs, Attr{Name: name, Value: value})
+	return b
+}
+
+// End closes the most recently opened element.
+func (b *Builder) End() *Builder {
+	top := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	b.depth--
+	b.t.Nodes[top].Size = int32(len(b.t.Nodes) - 1 - top)
+	return b
+}
+
+// Text appends a text node.
+func (b *Builder) Text(s string) *Builder {
+	b.t.Nodes = append(b.t.Nodes, Node{Kind: xenc.KindText, Value: s, Level: b.depth})
+	return b
+}
+
+// Comment appends a comment node.
+func (b *Builder) Comment(s string) *Builder {
+	b.t.Nodes = append(b.t.Nodes, Node{Kind: xenc.KindComment, Value: s, Level: b.depth})
+	return b
+}
+
+// PI appends a processing instruction.
+func (b *Builder) PI(target, inst string) *Builder {
+	b.t.Nodes = append(b.t.Nodes, Node{Kind: xenc.KindPI, Name: target, Value: inst, Level: b.depth})
+	return b
+}
+
+// Elem writes a leaf element with optional text content in one call.
+func (b *Builder) Elem(name, text string, attrs ...Attr) *Builder {
+	b.Start(name, attrs...)
+	if text != "" {
+		b.Text(text)
+	}
+	return b.End()
+}
+
+// Tree returns the built forest. It panics if elements remain open.
+func (b *Builder) Tree() *Tree {
+	if len(b.stack) != 0 {
+		panic(fmt.Sprintf("shred: Builder.Tree with %d open elements", len(b.stack)))
+	}
+	return &b.t
+}

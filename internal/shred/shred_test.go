@@ -1,0 +1,200 @@
+package shred
+
+import (
+	"strings"
+	"testing"
+
+	"mxq/internal/xenc"
+)
+
+// paperDoc is the example document of Figure 2.
+const paperDoc = `<a><b><c><d></d><e></e></c></b><f><g></g><h><i></i><j></j></h></f></a>`
+
+func TestParsePaperExample(t *testing.T) {
+	tr, err := Parse(strings.NewReader(paperDoc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	sizes := []int32{9, 3, 2, 0, 0, 4, 0, 2, 0, 0}
+	levels := []int16{0, 1, 2, 3, 3, 1, 2, 2, 3, 3}
+	if len(tr.Nodes) != len(names) {
+		t.Fatalf("node count = %d, want %d", len(tr.Nodes), len(names))
+	}
+	for i, n := range tr.Nodes {
+		if n.Name != names[i] || n.Size != sizes[i] || n.Level != levels[i] {
+			t.Errorf("node %d = {%s size=%d level=%d}, want {%s size=%d level=%d}",
+				i, n.Name, n.Size, n.Level, names[i], sizes[i], levels[i])
+		}
+	}
+}
+
+func TestParseTextAndAttrs(t *testing.T) {
+	tr, err := Parse(strings.NewReader(`<r id="1" x="y"><p>hi</p><!--c--><?pi data?></r>`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Nodes) != 5 {
+		t.Fatalf("node count = %d, want 5", len(tr.Nodes))
+	}
+	r := tr.Nodes[0]
+	if len(r.Attrs) != 2 || r.Attrs[0] != (Attr{"id", "1"}) || r.Attrs[1] != (Attr{"x", "y"}) {
+		t.Fatalf("attrs = %v", r.Attrs)
+	}
+	if tr.Nodes[2].Kind != xenc.KindText || tr.Nodes[2].Value != "hi" {
+		t.Fatalf("text node = %+v", tr.Nodes[2])
+	}
+	if tr.Nodes[3].Kind != xenc.KindComment || tr.Nodes[3].Value != "c" {
+		t.Fatalf("comment node = %+v", tr.Nodes[3])
+	}
+	if tr.Nodes[4].Kind != xenc.KindPI || tr.Nodes[4].Name != "pi" || tr.Nodes[4].Value != "data" {
+		t.Fatalf("pi node = %+v", tr.Nodes[4])
+	}
+	if r.Size != 4 {
+		t.Fatalf("root size = %d, want 4", r.Size)
+	}
+}
+
+func TestWhitespaceStripping(t *testing.T) {
+	doc := "<r>\n  <a>x</a>\n  <b/>\n</r>"
+	tr, err := Parse(strings.NewReader(doc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r, a, text(x), b — the indentation text must be gone.
+	if len(tr.Nodes) != 4 {
+		t.Fatalf("node count = %d, want 4: %+v", len(tr.Nodes), tr.Nodes)
+	}
+	tr, err = Parse(strings.NewReader(doc), Options{PreserveWhitespace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Nodes) != 7 {
+		t.Fatalf("preserved node count = %d, want 7", len(tr.Nodes))
+	}
+}
+
+func TestEntityCoalescing(t *testing.T) {
+	tr, err := Parse(strings.NewReader(`<r>a&amp;b</r>`), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Nodes) != 2 {
+		t.Fatalf("node count = %d, want 2 (text must coalesce)", len(tr.Nodes))
+	}
+	if tr.Nodes[1].Value != "a&b" {
+		t.Fatalf("text = %q, want \"a&b\"", tr.Nodes[1].Value)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, doc := range []string{
+		`<a><b></a></b>`,
+		`<a>`,
+		`plain text`,
+		`<a/><b/>`, // two roots
+	} {
+		if _, err := Parse(strings.NewReader(doc), Options{}); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", doc)
+		}
+	}
+}
+
+func TestParseFragmentForest(t *testing.T) {
+	tr, err := ParseFragment(`<k><l/><m/></k><n/>`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := tr.Roots()
+	if len(roots) != 2 || roots[0] != 0 || roots[1] != 3 {
+		t.Fatalf("roots = %v, want [0 3]", roots)
+	}
+	if tr.Nodes[0].Size != 2 {
+		t.Fatalf("k size = %d, want 2", tr.Nodes[0].Size)
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	tr, err := Parse(strings.NewReader(paperDoc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subtree rooted at f (index 5): f,g,h,i,j rebased to level 0.
+	sub := tr.Subtree(5)
+	if len(sub.Nodes) != 5 || sub.Nodes[0].Name != "f" || sub.Nodes[0].Level != 0 {
+		t.Fatalf("subtree = %+v", sub.Nodes)
+	}
+	if sub.Nodes[4].Name != "j" || sub.Nodes[4].Level != 2 {
+		t.Fatalf("j = %+v", sub.Nodes[4])
+	}
+	// Mutating the copy must not touch the original.
+	sub.Nodes[0].Name = "zz"
+	if tr.Nodes[5].Name != "f" {
+		t.Fatal("Subtree aliases the original")
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	tr := NewBuilder().
+		Start("r", Attr{"id", "1"}).
+		Elem("name", "iron kettle").
+		Start("sub").Text("t").Comment("c").End().
+		PI("tgt", "body").
+		End().
+		Tree()
+	if len(tr.Nodes) != 7 {
+		t.Fatalf("node count = %d, want 7", len(tr.Nodes))
+	}
+	if tr.Nodes[0].Size != 6 {
+		t.Fatalf("root size = %d, want 6", tr.Nodes[0].Size)
+	}
+	if tr.Nodes[3].Name != "sub" || tr.Nodes[3].Size != 2 || tr.Nodes[3].Level != 1 {
+		t.Fatalf("sub = %+v", tr.Nodes[3])
+	}
+}
+
+func TestBuilderPanicsOnOpenElement(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic with open element")
+		}
+	}()
+	NewBuilder().Start("a").Tree()
+}
+
+// Size/level invariants on any parse result: sizes partition the tree,
+// levels follow a stack discipline.
+func TestParseInvariants(t *testing.T) {
+	docs := []string{
+		paperDoc,
+		`<r><a><b><c><d>deep</d></c></b></a><e/><f><g/><h/></f></r>`,
+		`<x>t1<y>t2</y>t3<!--c--><z><w a="b"/></z></x>`,
+	}
+	for _, doc := range docs {
+		tr, err := Parse(strings.NewReader(doc), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTreeInvariants(t, tr)
+	}
+}
+
+func checkTreeInvariants(t *testing.T, tr *Tree) {
+	t.Helper()
+	for i, n := range tr.Nodes {
+		end := i + int(n.Size)
+		if end >= len(tr.Nodes)+1 {
+			t.Fatalf("node %d size %d overruns tree", i, n.Size)
+		}
+		// Every node in (i, i+size] must be deeper than n; the node after
+		// the region (if any) must not be.
+		for j := i + 1; j <= end; j++ {
+			if tr.Nodes[j].Level <= n.Level {
+				t.Fatalf("node %d (level %d) inside region of %d (level %d)", j, tr.Nodes[j].Level, i, n.Level)
+			}
+		}
+		if end+1 < len(tr.Nodes) && tr.Nodes[end+1].Level > n.Level {
+			t.Fatalf("region of node %d too small", i)
+		}
+	}
+}

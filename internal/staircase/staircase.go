@@ -1,0 +1,344 @@
+// Package staircase evaluates XPath axis steps over the pre/size/level
+// encoding, following the staircase join of Grust, van Keulen and Teubner
+// (VLDB 2003) as used by MonetDB/XQuery. The algorithms operate on the
+// xenc.DocView interface only, so — like the original staircase join
+// behind the memory-mapped pre/size/level view — they run unmodified on
+// the read-only and on the paged updatable schema.
+//
+// The two tree-awareness tricks of the paper are implemented:
+//
+//   - positional skipping: children are found by hopping
+//     pre += size(pre)+1 from sibling to sibling, and context nodes whose
+//     region was already scanned are pruned, so no tuple is inspected
+//     twice;
+//   - free-space skipping: unused tuples are hopped over in O(1) per run
+//     using the free-run lengths in their size column.
+//
+// Context sequences are ascending pre ranks without duplicates (document
+// order); results are returned the same way.
+package staircase
+
+import (
+	"sort"
+
+	"mxq/internal/xenc"
+)
+
+// Test is a node test: an optional kind filter and an optional name
+// filter (interned qname id).
+type Test struct {
+	kindSet bool
+	kind    xenc.Kind
+	name    int32 // xenc.NoName matches any name
+}
+
+// AnyNode matches every node (node()).
+func AnyNode() Test { return Test{name: xenc.NoName} }
+
+// KindTest matches nodes of one kind regardless of name (text(),
+// comment()).
+func KindTest(k xenc.Kind) Test { return Test{kindSet: true, kind: k, name: xenc.NoName} }
+
+// Element matches element nodes; name xenc.NoName means any element (*).
+func Element(name int32) Test {
+	return Test{kindSet: true, kind: xenc.KindElem, name: name}
+}
+
+// PITest matches processing instructions; target xenc.NoName matches all.
+func PITest(target int32) Test {
+	return Test{kindSet: true, kind: xenc.KindPI, name: target}
+}
+
+// Matches reports whether the used tuple at p satisfies the test.
+func (t Test) Matches(v xenc.DocView, p xenc.Pre) bool {
+	if t.kindSet {
+		if v.Kind(p) != t.kind {
+			return false
+		}
+		if t.name != xenc.NoName && v.Name(p) != t.name {
+			return false
+		}
+	}
+	return true
+}
+
+// Self filters the context sequence by the test.
+func Self(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
+	var out []xenc.Pre
+	for _, c := range ctx {
+		if t.Matches(v, c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Descendant returns the matching descendants of the context sequence in
+// document order. Context nodes inside an already-scanned region are
+// pruned (the staircase "pruning"), so the scan touches every result
+// region exactly once.
+func Descendant(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
+	var out []xenc.Pre
+	high := xenc.Pre(-1) // last pre already covered by a scanned region
+	for _, c := range ctx {
+		if c <= high {
+			continue // pruned: c lies inside a region scanned before
+		}
+		remaining := v.Size(c)
+		lvl := v.Level(c)
+		p := c
+		for remaining > 0 {
+			p = xenc.SkipFree(v, p+1)
+			if v.Level(p) <= lvl {
+				break // corrupt size would spin; defend
+			}
+			if t.Matches(v, p) {
+				out = append(out, p)
+			}
+			remaining--
+		}
+		if p > high {
+			high = p
+		}
+	}
+	return out
+}
+
+// DescendantOrSelf is Descendant plus the matching context nodes.
+func DescendantOrSelf(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
+	var out []xenc.Pre
+	high := xenc.Pre(-1)
+	for _, c := range ctx {
+		if c <= high {
+			continue
+		}
+		if t.Matches(v, c) {
+			out = append(out, c)
+		}
+		remaining := v.Size(c)
+		lvl := v.Level(c)
+		p := c
+		for remaining > 0 {
+			p = xenc.SkipFree(v, p+1)
+			if v.Level(p) <= lvl {
+				break
+			}
+			if t.Matches(v, p) {
+				out = append(out, p)
+			}
+			remaining--
+		}
+		if p > high {
+			high = p
+		}
+	}
+	return out
+}
+
+// Child returns the matching children of the context sequence, hopping
+// from sibling to sibling with pre += size+1 ("finding all children of a
+// node works by checking the first child and skipping to its siblings").
+// With free space interleaved a hop may land inside the previous child's
+// region; the level test detects that and the hop continues from there,
+// so each extra hole costs at most one extra hop.
+func Child(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
+	var out []xenc.Pre
+	sorted := true
+	last := xenc.Pre(-1)
+	n := v.Len()
+	for _, c := range ctx {
+		lvl := v.Level(c)
+		p := xenc.SkipFree(v, c+1)
+		for p < n && v.Level(p) > lvl {
+			if v.Level(p) == lvl+1 && t.Matches(v, p) {
+				if p < last {
+					sorted = false
+				}
+				last = p
+				out = append(out, p)
+			}
+			p = xenc.SkipFree(v, p+v.Size(p)+1)
+		}
+	}
+	if !sorted {
+		sortPres(out)
+	}
+	return out
+}
+
+// Parent returns the distinct parents of the context sequence.
+func Parent(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
+	var out []xenc.Pre
+	for _, c := range ctx {
+		p := parentOf(v, c)
+		if p != xenc.NoPre && t.Matches(v, p) {
+			out = append(out, p)
+		}
+	}
+	sortPres(out)
+	return dedupe(out)
+}
+
+// Ancestor returns the distinct ancestors of the context sequence.
+func Ancestor(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
+	seen := make(map[xenc.Pre]bool)
+	var out []xenc.Pre
+	for _, c := range ctx {
+		for p := parentOf(v, c); p != xenc.NoPre; p = parentOf(v, p) {
+			if seen[p] {
+				break // the rest of the chain was walked before
+			}
+			seen[p] = true
+			if t.Matches(v, p) {
+				out = append(out, p)
+			}
+		}
+	}
+	sortPres(out)
+	return out
+}
+
+// AncestorOrSelf is Ancestor plus the matching context nodes.
+func AncestorOrSelf(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
+	out := Ancestor(v, ctx, t)
+	out = append(out, Self(v, ctx, t)...)
+	sortPres(out)
+	return dedupe(out)
+}
+
+// FollowingSibling returns the matching following siblings.
+func FollowingSibling(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
+	var out []xenc.Pre
+	n := v.Len()
+	for _, c := range ctx {
+		lvl := v.Level(c)
+		if lvl == 0 {
+			continue // the root has no siblings
+		}
+		p := xenc.SkipFree(v, c+v.Size(c)+1)
+		for p < n && v.Level(p) >= lvl {
+			if v.Level(p) == lvl && t.Matches(v, p) {
+				out = append(out, p)
+			}
+			p = xenc.SkipFree(v, p+v.Size(p)+1)
+		}
+	}
+	sortPres(out)
+	return dedupe(out)
+}
+
+// PrecedingSibling returns the matching preceding siblings.
+func PrecedingSibling(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
+	var out []xenc.Pre
+	for _, c := range ctx {
+		par := parentOf(v, c)
+		if par == xenc.NoPre {
+			continue
+		}
+		lvl := v.Level(c)
+		p := xenc.SkipFree(v, par+1)
+		for p < c {
+			if v.Level(p) == lvl && t.Matches(v, p) {
+				out = append(out, p)
+			}
+			p = xenc.SkipFree(v, p+v.Size(p)+1)
+		}
+	}
+	sortPres(out)
+	return dedupe(out)
+}
+
+// Following returns everything after the context regions. The staircase
+// observation: following(ctx) == following(c*) where c* is the context
+// node whose region ends first, so one scan suffices.
+func Following(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
+	if len(ctx) == 0 {
+		return nil
+	}
+	// Ancestors of a node always precede it, so everything after the
+	// earliest region end is in the following axis of the union.
+	minEnd := xenc.Pre(-1)
+	for _, c := range ctx {
+		end := regionEnd(v, c)
+		if minEnd < 0 || end < minEnd {
+			minEnd = end
+		}
+	}
+	var out []xenc.Pre
+	n := v.Len()
+	for p := xenc.SkipFree(v, minEnd+1); p < n; p = xenc.SkipFree(v, p+1) {
+		if t.Matches(v, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Preceding returns everything before the context nodes except their
+// ancestors. Dual staircase observation: preceding(ctx) ==
+// preceding(max ctx).
+func Preceding(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
+	if len(ctx) == 0 {
+		return nil
+	}
+	c := ctx[len(ctx)-1]
+	anc := make(map[xenc.Pre]bool)
+	for p := parentOf(v, c); p != xenc.NoPre; p = parentOf(v, p) {
+		anc[p] = true
+	}
+	var out []xenc.Pre
+	for p := xenc.SkipFree(v, 0); p < c; p = xenc.SkipFree(v, p+1) {
+		if !anc[p] && t.Matches(v, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parentOf finds the parent by the backward level scan: the nearest
+// preceding used tuple with a smaller level is the parent in pre-order.
+func parentOf(v xenc.DocView, c xenc.Pre) xenc.Pre {
+	lvl := v.Level(c)
+	if lvl == 0 {
+		return xenc.NoPre
+	}
+	for p := c - 1; p >= 0; p-- {
+		l := v.Level(p)
+		if l != xenc.LevelUnused && l < lvl {
+			return p
+		}
+	}
+	return xenc.NoPre
+}
+
+// regionEnd returns the pre rank of the last live tuple in c's region (c
+// itself for leaves).
+func regionEnd(v xenc.DocView, c xenc.Pre) xenc.Pre {
+	remaining := v.Size(c)
+	last := c
+	p := c
+	for remaining > 0 {
+		p = xenc.SkipFree(v, p+1)
+		last = p
+		remaining--
+	}
+	return last
+}
+
+func sortPres(s []xenc.Pre) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func dedupe(s []xenc.Pre) []xenc.Pre {
+	if len(s) < 2 {
+		return s
+	}
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}

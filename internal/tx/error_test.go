@@ -1,0 +1,168 @@
+package tx
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"mxq/internal/core"
+	"mxq/internal/shred"
+	"mxq/internal/wal"
+	"mxq/internal/xenc"
+)
+
+func TestOpsAfterDoneFail(t *testing.T) {
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, nil)
+	txn := m.Begin()
+	txn.Abort()
+	if _, err := txn.AppendChild(0, frag(t, `<x/>`)); !errors.Is(err, ErrDone) {
+		t.Fatalf("append after abort = %v", err)
+	}
+	if err := txn.Delete(1); !errors.Is(err, ErrDone) {
+		t.Fatalf("delete after abort = %v", err)
+	}
+	if err := txn.SetValue(1, "x"); !errors.Is(err, ErrDone) {
+		t.Fatalf("setvalue after abort = %v", err)
+	}
+	if _, err := txn.InsertBefore(1, frag(t, `<x/>`)); !errors.Is(err, ErrDone) {
+		t.Fatalf("insert after abort = %v", err)
+	}
+	txn.Abort() // double abort is a no-op
+}
+
+func TestStoreErrorsPropagateWithoutPoisoning(t *testing.T) {
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, nil)
+	txn := m.Begin()
+	// Illegal op: delete the root.
+	if err := txn.Delete(txn.Root()); err == nil {
+		t.Fatal("root delete accepted")
+	}
+	// The tx is still usable (store-level errors are not conflicts).
+	shelf := mustSelect(t, txn, `//shelf[@id="s1"]`)
+	if _, err := txn.AppendChild(shelf, frag(t, `<book>X</book>`)); err != nil {
+		t.Fatalf("tx unusable after store error: %v", err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverErrors(t *testing.T) {
+	// Truncated header.
+	if _, err := Recover(strings.NewReader("abc"), nil); err == nil {
+		t.Fatal("short header accepted")
+	}
+	// Valid header, corrupt snapshot.
+	var buf bytes.Buffer
+	writeHeader(&buf, 3)
+	buf.WriteString("not a gob snapshot")
+	if _, err := Recover(bytes.NewReader(buf.Bytes()), nil); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestRecoverWithoutLog(t *testing.T) {
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, nil)
+	var ck bytes.Buffer
+	if err := m.Checkpoint(&ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Recover(bytes.NewReader(ck.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LiveNodes() != s.LiveNodes() {
+		t.Fatalf("nodes = %d, want %d", got.LiveNodes(), s.LiveNodes())
+	}
+}
+
+func TestApplyOpsErrors(t *testing.T) {
+	s := buildStore(t, doc, 16)
+	// Unknown kind.
+	if err := ApplyOps(s, []wal.Op{{Kind: 99, Target: 0}}); err == nil {
+		t.Fatal("unknown op kind accepted")
+	}
+	// Missing target.
+	if err := ApplyOps(s, []wal.Op{{Kind: wal.OpDelete, Target: 9999}}); err == nil {
+		t.Fatal("missing target accepted")
+	}
+	// Insert-before without an anchor.
+	if err := ApplyOps(s, []wal.Op{{Kind: wal.OpInsertBefore, Target: xenc.NoNode}}); err == nil {
+		t.Fatal("anchorless insert accepted")
+	}
+}
+
+func TestApplyOpsIDMapping(t *testing.T) {
+	s := buildStore(t, doc, 16)
+	// An op list that renames a node created earlier in the same list,
+	// using a transaction-local id that must be remapped.
+	fr := frag(t, `<book>New</book>`)
+	shelfID := s.NodeOf(mustSelectStore(t, s, `//shelf[@id="s1"]`))
+	ops := []wal.Op{
+		{Kind: wal.OpAppendChild, Target: shelfID, Frag: fragNodes(fr), NewIDs: []xenc.NodeID{7777, 7778}},
+		{Kind: wal.OpRename, Target: 7777, Name: "tome"},
+	}
+	if err := ApplyOps(s, ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for p := xenc.SkipFree(s, 0); p < s.Len(); p = xenc.SkipFree(s, p+1) {
+		if s.Kind(p) == xenc.KindElem && s.Names().Name(s.Name(p)) == "tome" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("remapped rename did not reach the new node")
+	}
+}
+
+func mustSelectStore(t *testing.T, s *core.Store, q string) xenc.Pre {
+	t.Helper()
+	return mustSelect(t, s, q)
+}
+
+func fragNodes(tr *shred.Tree) []wal.FragNode {
+	return fragToWal(tr)
+}
+
+func TestLockReleaseOnAbort(t *testing.T) {
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, nil)
+	t1 := m.Begin()
+	shelf := mustSelect(t, t1, `//shelf[@id="s1"]`)
+	if _, err := t1.AppendChild(shelf, frag(t, `<x/>`)); err != nil {
+		t.Fatal(err)
+	}
+	t1.Abort()
+	// The pages must be free again.
+	t2 := m.Begin()
+	shelf2 := mustSelect(t, t2, `//shelf[@id="s1"]`)
+	if _, err := t2.AppendChild(shelf2, frag(t, `<y/>`)); err != nil {
+		t.Fatalf("locks leaked after abort: %v", err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionCounts(t *testing.T) {
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, nil)
+	if m.Version() != 0 {
+		t.Fatal("fresh manager has nonzero version")
+	}
+	txn := m.Begin()
+	shelf := mustSelect(t, txn, `//shelf[@id="s1"]`)
+	txn.AppendChild(shelf, frag(t, `<x/>`))
+	txn.Commit()
+	if m.Version() != 1 {
+		t.Fatalf("version = %d", m.Version())
+	}
+}

@@ -1,0 +1,496 @@
+package tx
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"mxq/internal/core"
+	"mxq/internal/serialize"
+	"mxq/internal/shred"
+	"mxq/internal/wal"
+	"mxq/internal/xenc"
+	"mxq/internal/xpath"
+)
+
+func buildStore(t *testing.T, doc string, ps int) *core.Store {
+	t.Helper()
+	tr, err := shred.Parse(strings.NewReader(doc), shred.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Build(tr, core.Options{PageSize: ps, FillFactor: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func frag(t *testing.T, s string) *shred.Tree {
+	t.Helper()
+	tr, err := shred.ParseFragment(s, shred.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func findElem(t *testing.T, v xenc.DocView, name string) xenc.Pre {
+	t.Helper()
+	ns, err := xpath.MustParse("//" + name).Select(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) == 0 {
+		t.Fatalf("element %q not found", name)
+	}
+	return ns[0].Pre
+}
+
+const doc = `<lib><shelf id="s1"><book>A</book><book>B</book></shelf><shelf id="s2"><book>C</book></shelf></lib>`
+
+func TestCommitMakesChangesVisible(t *testing.T) {
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, nil)
+	tx := m.Begin()
+	shelf := findElem(t, tx, "shelf")
+	if _, err := tx.AppendChild(shelf, frag(t, `<book>D</book>`)); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted: invisible to readers.
+	m.View(func(v xenc.DocView) error {
+		if n, _ := xpath.MustParse(`//book`).Select(v); len(n) != 3 {
+			t.Fatalf("uncommitted change visible: %d books", len(n))
+		}
+		return nil
+	})
+	// Visible inside the transaction (read your writes).
+	if n, _ := xpath.MustParse(`//book`).Select(tx); len(n) != 4 {
+		t.Fatalf("tx does not see its own write: %d books", len(n))
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m.View(func(v xenc.DocView) error {
+		if n, _ := xpath.MustParse(`//book`).Select(v); len(n) != 4 {
+			t.Fatalf("committed change lost: %d books", len(n))
+		}
+		return nil
+	})
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if c, a := m.Stats(); c != 1 || a != 0 {
+		t.Fatalf("stats = %d/%d", c, a)
+	}
+}
+
+func TestAbortDiscardsChanges(t *testing.T) {
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, nil)
+	tx := m.Begin()
+	shelf := findElem(t, tx, "shelf")
+	if _, err := tx.AppendChild(shelf, frag(t, `<book>D</book>`)); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	m.View(func(v xenc.DocView) error {
+		if n, _ := xpath.MustParse(`//book`).Select(v); len(n) != 3 {
+			t.Fatalf("aborted change visible: %d books", len(n))
+		}
+		return nil
+	})
+	if err := tx.Commit(); !errors.Is(err, ErrDone) {
+		t.Fatalf("commit after abort = %v, want ErrDone", err)
+	}
+}
+
+func TestEmptyCommitIsNoOp(t *testing.T) {
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, nil)
+	tx := m.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Version(); v != 0 {
+		t.Fatalf("version = %d after empty commit", v)
+	}
+}
+
+func TestPageConflictAborts(t *testing.T) {
+	s := buildStore(t, doc, 16) // one page: everything conflicts
+	m := NewManager(s, nil)
+	t1 := m.Begin()
+	t2 := m.Begin()
+	shelf1 := findElem(t, t1, "shelf")
+	if _, err := t1.AppendChild(shelf1, frag(t, `<book>X</book>`)); err != nil {
+		t.Fatal(err)
+	}
+	shelf2 := findElem(t, t2, "shelf")
+	if _, err := t2.AppendChild(shelf2, frag(t, `<book>Y</book>`)); !errors.Is(err, ErrConflict) {
+		t.Fatalf("expected conflict, got %v", err)
+	}
+	// t2 is poisoned; only abort works.
+	if err := t2.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("poisoned commit = %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if c, a := m.Stats(); c != 1 || a != 1 {
+		t.Fatalf("stats = %d/%d", c, a)
+	}
+}
+
+// TestDisjointPagesCommitConcurrently is the commutativity claim: two
+// writers under different logical pages (but sharing the root as
+// ancestor) both commit; the root's size absorbs both delta increments.
+func TestDisjointPagesCommitConcurrently(t *testing.T) {
+	// Small pages so the two shelves land on different pages.
+	big := `<lib><shelf id="s1">` + strings.Repeat(`<book>A</book>`, 10) +
+		`</shelf><shelf id="s2">` + strings.Repeat(`<book>C</book>`, 10) + `</shelf></lib>`
+	s := buildStore(t, big, 16)
+	m := NewManager(s, nil)
+	rootSize := s.Size(s.Root())
+
+	t1 := m.Begin()
+	t2 := m.Begin()
+	s1 := mustSelect(t, t1, `//shelf[@id="s1"]`)
+	s2 := mustSelect(t, t2, `//shelf[@id="s2"]`)
+	if t1.clone.PhysPage(s1) == t2.clone.PhysPage(s2) {
+		t.Skip("layout put both shelves on one page; enlarge the document")
+	}
+	if _, err := t1.AppendChild(s1, frag(t, `<book>X</book>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.AppendChild(s2, frag(t, `<book>Y</book>`)); err != nil {
+		t.Fatalf("disjoint writers conflicted: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Size(s.Root()); got != rootSize+4 {
+		t.Fatalf("root size = %d, want %d (two delta increments of 2)", got, rootSize+4)
+	}
+	if n, _ := xpath.MustParse(`//book`).Select(s); len(n) != 22 {
+		t.Fatalf("books = %d, want 22", len(n))
+	}
+}
+
+func mustSelect(t *testing.T, v xenc.DocView, q string) xenc.Pre {
+	t.Helper()
+	ns, err := xpath.MustParse(q).Select(v)
+	if err != nil || len(ns) == 0 {
+		t.Fatalf("select %s: %v (%d results)", q, err, len(ns))
+	}
+	return ns[0].Pre
+}
+
+// TestRootLockingAblation: with LockAncestors on, the same disjoint
+// writers conflict on the root's page — the bottleneck the paper's delta
+// scheme removes.
+func TestRootLockingAblation(t *testing.T) {
+	big := `<lib><shelf id="s1">` + strings.Repeat(`<book>A</book>`, 10) +
+		`</shelf><shelf id="s2">` + strings.Repeat(`<book>C</book>`, 10) + `</shelf></lib>`
+	s := buildStore(t, big, 16)
+	m := NewManager(s, nil)
+	m.SetLockAncestors(true)
+	t1 := m.Begin()
+	t2 := m.Begin()
+	s1 := mustSelect(t, t1, `//shelf[@id="s1"]`)
+	s2 := mustSelect(t, t2, `//shelf[@id="s2"]`)
+	if _, err := t1.AppendChild(s1, frag(t, `<book>X</book>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.AppendChild(s2, frag(t, `<book>Y</book>`)); !errors.Is(err, ErrConflict) {
+		t.Fatalf("root-locking mode did not conflict: %v", err)
+	}
+	t1.Commit()
+	t2.Abort()
+}
+
+func TestConcurrentWritersStress(t *testing.T) {
+	shelves := 8
+	var sb strings.Builder
+	sb.WriteString(`<lib>`)
+	for i := 0; i < shelves; i++ {
+		fmt.Fprintf(&sb, `<shelf id="s%d">%s</shelf>`, i, strings.Repeat(`<book>B</book>`, 12))
+	}
+	sb.WriteString(`</lib>`)
+	s := buildStore(t, sb.String(), 16)
+	m := NewManager(s, nil)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	committed := 0
+	for w := 0; w < shelves; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for try := 0; try < 40; try++ {
+				tx := m.Begin()
+				ns, err := xpath.MustParse(fmt.Sprintf(`//shelf[@id="s%d"]`, w)).Select(tx)
+				if err != nil || len(ns) == 0 {
+					tx.Abort()
+					continue
+				}
+				if _, err := tx.AppendChild(ns[0].Pre, frag(t, `<book>N</book>`)); err != nil {
+					tx.Abort()
+					continue
+				}
+				if err := tx.Commit(); err == nil {
+					mu.Lock()
+					committed++
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	books := 0
+	m.View(func(v xenc.DocView) error {
+		n, _ := xpath.MustParse(`//book`).Select(v)
+		books = len(n)
+		return nil
+	})
+	if books != shelves*12+committed {
+		t.Fatalf("books = %d, want %d + %d committed", books, shelves*12, committed)
+	}
+	if committed == 0 {
+		t.Fatal("no transaction ever committed")
+	}
+}
+
+func TestValidatorBlocksCommit(t *testing.T) {
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, nil)
+	m.SetValidator(func(v xenc.DocView) error {
+		ns, _ := xpath.MustParse(`//banned`).Select(v)
+		if len(ns) > 0 {
+			return fmt.Errorf("banned element present")
+		}
+		return nil
+	})
+	tx := m.Begin()
+	shelf := findElem(t, tx, "shelf")
+	if _, err := tx.AppendChild(shelf, frag(t, `<banned/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("validator did not block commit")
+	}
+	m.View(func(v xenc.DocView) error {
+		if n, _ := xpath.MustParse(`//banned`).Select(v); len(n) != 0 {
+			t.Fatal("invalid content leaked into the base store")
+		}
+		return nil
+	})
+}
+
+func TestWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "doc.wal")
+	log, err := wal.Open(logPath, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, nil)
+
+	// Checkpoint the initial state, then run committed transactions with
+	// the WAL attached.
+	var checkpoint bytes.Buffer
+	if err := m.Checkpoint(&checkpoint); err != nil {
+		t.Fatal(err)
+	}
+	m = NewManager(s, log)
+	for i := 0; i < 5; i++ {
+		tx := m.Begin()
+		shelf := mustSelect(t, tx, `//shelf[@id="s2"]`)
+		if _, err := tx.AppendChild(shelf, frag(t, fmt.Sprintf(`<book>R%d</book>`, i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := serialize.String(s, s.Root(), serialize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+
+	// "Crash": rebuild from checkpoint + WAL only.
+	log2, err := wal.Open(logPath, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	recovered, err := Recover(bytes.NewReader(checkpoint.Bytes()), log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recovered.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := serialize.String(recovered, recovered.Root(), serialize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("recovered document differs:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+func TestRecoveryWithTornTail(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "doc.wal")
+	log, err := wal.Open(logPath, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, nil)
+	var checkpoint bytes.Buffer
+	if err := m.Checkpoint(&checkpoint); err != nil {
+		t.Fatal(err)
+	}
+	m = NewManager(s, log)
+	for i := 0; i < 3; i++ {
+		tx := m.Begin()
+		shelf := mustSelect(t, tx, `//shelf[@id="s1"]`)
+		if _, err := tx.AppendChild(shelf, frag(t, `<book>T</book>`)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log.Close()
+
+	// Corrupt the tail: append garbage simulating a crash mid-append.
+	f, err := os.OpenFile(logPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{42, 1, 0, 0, 99})
+	f.Close()
+
+	log2, err := wal.Open(logPath, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if log2.LastLSN() != 3 {
+		t.Fatalf("LastLSN = %d, want 3 (torn tail dropped)", log2.LastLSN())
+	}
+	recovered, err := Recover(bytes.NewReader(checkpoint.Bytes()), log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := xpath.MustParse(`//book[text()="T"]`).Select(recovered); len(n) != 3 {
+		t.Fatalf("recovered inserts = %d, want 3", len(n))
+	}
+}
+
+func TestCheckpointTruncatesRecoveryWork(t *testing.T) {
+	dir := t.TempDir()
+	log, err := wal.Open(filepath.Join(dir, "doc.wal"), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, log)
+	for i := 0; i < 4; i++ {
+		tx := m.Begin()
+		shelf := mustSelect(t, tx, `//shelf[@id="s1"]`)
+		tx.AppendChild(shelf, frag(t, `<book>K</book>`))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var checkpoint bytes.Buffer
+	if err := m.Checkpoint(&checkpoint); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery from this checkpoint replays nothing (LSNs all covered).
+	recovered, err := Recover(bytes.NewReader(checkpoint.Bytes()), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := xpath.MustParse(`//book[text()="K"]`).Select(recovered); len(n) != 4 {
+		t.Fatalf("checkpointed books = %d, want 4", len(n))
+	}
+}
+
+func TestXUpdateThroughTransaction(t *testing.T) {
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, nil)
+	tx := m.Begin()
+	// The Tx implements xupdate.Target; drive it with value + structure ops.
+	shelf := mustSelect(t, tx, `//shelf[@id="s1"]`)
+	if err := tx.SetAttr(shelf, "label", "fiction"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rename(shelf, "case"); err != nil {
+		t.Fatal(err)
+	}
+	book := mustSelect(t, tx, `//case/book[1]`)
+	if err := tx.Delete(book); err != nil {
+		t.Fatal(err)
+	}
+	txt := mustSelect(t, tx, `//case/book[1]/text()`)
+	if err := tx.SetValue(txt, "B2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := xpath.MustParse(`//case[@label="fiction"]/book[text()="B2"]`).Select(s); len(n) != 1 {
+		t.Fatalf("combined tx ops not applied: %v", n)
+	}
+}
+
+func TestInsertBeforeAndChildAtThroughTx(t *testing.T) {
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, nil)
+	tx := m.Begin()
+	book := mustSelect(t, tx, `//book[text()="B"]`)
+	if _, err := tx.InsertBefore(book, frag(t, `<book>A2</book>`)); err != nil {
+		t.Fatal(err)
+	}
+	bookC := mustSelect(t, tx, `//book[text()="C"]`)
+	if _, err := tx.InsertAfter(bookC, frag(t, `<book>D</book>`)); err != nil {
+		t.Fatal(err)
+	}
+	shelf := mustSelect(t, tx, `//shelf[@id="s1"]`)
+	if _, err := tx.InsertChildAt(shelf, 0, frag(t, `<book>A0</book>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := serialize.String(s, s.Root(), serialize.Options{})
+	want := `<lib><shelf id="s1"><book>A0</book><book>A</book><book>A2</book><book>B</book></shelf><shelf id="s2"><book>C</book><book>D</book></shelf></lib>`
+	if got != want {
+		t.Fatalf("document = %s\nwant %s", got, want)
+	}
+}

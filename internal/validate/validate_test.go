@@ -1,0 +1,114 @@
+package validate
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mxq/internal/core"
+	"mxq/internal/rostore"
+	"mxq/internal/shred"
+	"mxq/internal/xenc"
+)
+
+func view(t *testing.T, doc string) xenc.DocView {
+	t.Helper()
+	tr, err := shred.Parse(strings.NewReader(doc), shred.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := rostore.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func libSchema() *Schema {
+	return NewSchema().
+		Elem("lib", Rule{Children: []string{"shelf"}, NoText: true}).
+		Elem("shelf", Rule{Children: []string{"book"}, RequiredAttrs: []string{"id"}}).
+		Elem("book", Rule{NoElements: true})
+}
+
+func TestValidDocument(t *testing.T) {
+	v := view(t, `<lib><shelf id="s1"><book>A</book></shelf></lib>`)
+	if err := libSchema().Check(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingRequiredAttr(t *testing.T) {
+	v := view(t, `<lib><shelf><book>A</book></shelf></lib>`)
+	err := libSchema().Check(v)
+	var ve *Error
+	if !errors.As(err, &ve) || ve.Elem != "shelf" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDisallowedChild(t *testing.T) {
+	v := view(t, `<lib><shelf id="s"><dvd/></shelf></lib>`)
+	if err := libSchema().Check(v); err == nil {
+		t.Fatal("disallowed child accepted")
+	}
+}
+
+func TestTextOnlyElement(t *testing.T) {
+	v := view(t, `<lib><shelf id="s"><book><sub/></book></shelf></lib>`)
+	if err := libSchema().Check(v); err == nil {
+		t.Fatal("element child inside text-only element accepted")
+	}
+}
+
+func TestNoTextRule(t *testing.T) {
+	v := view(t, `<lib>stray<shelf id="s"/></lib>`)
+	if err := libSchema().Check(v); err == nil {
+		t.Fatal("text inside NoText element accepted")
+	}
+}
+
+func TestClosedSchema(t *testing.T) {
+	s := libSchema()
+	s.RequireRules = true
+	v := view(t, `<lib><shelf id="s"><book>A</book></shelf></lib>`)
+	if err := s.Check(v); err != nil {
+		t.Fatal(err)
+	}
+	v2 := view(t, `<other/>`)
+	if err := s.Check(v2); err == nil {
+		t.Fatal("unknown element accepted by closed schema")
+	}
+}
+
+func TestUnconstrainedElements(t *testing.T) {
+	s := NewSchema().Elem("a", Rule{})
+	v := view(t, `<root><a><anything/></a><b/></root>`)
+	if err := s.Check(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateOverPagedStoreWithHoles(t *testing.T) {
+	tr, err := shred.Parse(strings.NewReader(`<lib><shelf id="a"><book>1</book><book>2</book></shelf></lib>`), shred.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := core.Build(tr, core.Options{PageSize: 8, FillFactor: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var book xenc.Pre = -1
+	for p := xenc.SkipFree(st, 0); p < st.Len(); p = xenc.SkipFree(st, p+1) {
+		if st.Kind(p) == xenc.KindElem && st.Names().Name(st.Name(p)) == "book" {
+			book = p
+			break
+		}
+	}
+	if err := st.Delete(book); err != nil {
+		t.Fatal(err)
+	}
+	if err := libSchema().Check(st); err != nil {
+		t.Fatalf("paged store with holes failed validation: %v", err)
+	}
+}

@@ -1,0 +1,240 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTemp(t *testing.T) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, err := Open(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, path
+}
+
+func TestAppendAssignsLSNs(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	for i := 1; i <= 3; i++ {
+		lsn, err := l.Append([]Op{{Kind: OpDelete, Target: int32(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("lsn = %d, want %d", lsn, i)
+		}
+	}
+	if l.LastLSN() != 3 {
+		t.Fatalf("LastLSN = %d", l.LastLSN())
+	}
+}
+
+func TestReplayAfter(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	for i := 1; i <= 5; i++ {
+		if _, err := l.Append([]Op{{Kind: OpRename, Target: int32(i), Name: "n"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []uint64
+	if err := l.Replay(2, func(r *Record) error {
+		seen = append(seen, r.LSN)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[0] != 3 || seen[2] != 5 {
+		t.Fatalf("replayed %v, want [3 4 5]", seen)
+	}
+	// Appending still works after a replay.
+	if lsn, err := l.Append(nil); err != nil || lsn != 6 {
+		t.Fatalf("append after replay: %d, %v", lsn, err)
+	}
+}
+
+func TestReopenFindsLastLSN(t *testing.T) {
+	l, path := openTemp(t)
+	l.Append([]Op{{Kind: OpDelete, Target: 1}})
+	l.Append([]Op{{Kind: OpDelete, Target: 2}})
+	l.Close()
+	l2, err := Open(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != 2 {
+		t.Fatalf("LastLSN after reopen = %d", l2.LastLSN())
+	}
+	if lsn, _ := l2.Append(nil); lsn != 3 {
+		t.Fatalf("next lsn = %d", lsn)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	l, path := openTemp(t)
+	l.Append([]Op{{Kind: OpSetValue, Target: 9, Value: "x"}})
+	l.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{8, 0, 0, 0, 1, 2, 3}) // header promising 8 bytes, only 3 follow
+	f.Close()
+	l2, err := Open(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != 1 {
+		t.Fatalf("LastLSN = %d, want 1", l2.LastLSN())
+	}
+	count := 0
+	l2.Replay(0, func(*Record) error { count++; return nil })
+	if count != 1 {
+		t.Fatalf("replayed %d records, want 1", count)
+	}
+}
+
+func TestCorruptPayloadDropped(t *testing.T) {
+	l, path := openTemp(t)
+	l.Append([]Op{{Kind: OpDelete, Target: 1}})
+	off, _ := l.f.Seek(0, 2)
+	l.Append([]Op{{Kind: OpDelete, Target: 2}})
+	l.Close()
+	// Flip a byte in the second record's payload.
+	data, _ := os.ReadFile(path)
+	data[off+10] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	l2, err := Open(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != 1 {
+		t.Fatalf("LastLSN = %d, want 1 (corrupt record dropped)", l2.LastLSN())
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	l.Append([]Op{{Kind: OpDelete, Target: 1}})
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	l.Replay(0, func(*Record) error { count++; return nil })
+	if count != 0 {
+		t.Fatalf("records after truncate = %d", count)
+	}
+	// LSNs keep increasing (no reuse after truncation).
+	if lsn, _ := l.Append(nil); lsn != 2 {
+		t.Fatalf("lsn after truncate = %d, want 2", lsn)
+	}
+}
+
+func TestOpsRoundTrip(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	ops := []Op{
+		{Kind: OpAppendChild, Target: 3, Frag: []FragNode{
+			{Kind: 0, Level: 0, Size: 1, Name: "item", Attrs: []string{"id", "i1"}},
+			{Kind: 1, Level: 1, Value: "hello"},
+		}, NewIDs: []int32{10, 11}},
+		{Kind: OpSetAttr, Target: 10, Name: "k", Value: "v"},
+	}
+	l.Append(ops)
+	var got *Record
+	l.Replay(0, func(r *Record) error { got = r; return nil })
+	if got == nil || len(got.Ops) != 2 {
+		t.Fatalf("record = %+v", got)
+	}
+	if got.Ops[0].Frag[0].Name != "item" || got.Ops[0].Frag[1].Value != "hello" {
+		t.Fatalf("fragment mangled: %+v", got.Ops[0].Frag)
+	}
+	if got.Ops[0].NewIDs[1] != 11 || got.Ops[1].Name != "k" {
+		t.Fatalf("ops mangled: %+v", got.Ops)
+	}
+}
+
+func TestOpenOnBadPath(t *testing.T) {
+	if _, err := Open(filepath.Join("/nonexistent-dir-xyz", "x.wal"), Options{}); err == nil {
+		t.Fatal("open on bad path succeeded")
+	}
+}
+
+func TestReplayCallbackError(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	l.Append([]Op{{Kind: OpDelete, Target: 1}})
+	l.Append([]Op{{Kind: OpDelete, Target: 2}})
+	calls := 0
+	err := l.Replay(0, func(*Record) error {
+		calls++
+		if calls == 1 {
+			return os.ErrInvalid
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("callback error swallowed")
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after error", calls)
+	}
+	// The log must still be appendable after a failed replay.
+	if _, err := l.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathAccessor(t *testing.T) {
+	l, path := openTemp(t)
+	defer l.Close()
+	if l.Path() != path {
+		t.Fatalf("Path() = %q, want %q", l.Path(), path)
+	}
+}
+
+func TestSyncedAppend(t *testing.T) {
+	// Exercise the fsync path (Options without NoSync).
+	path := filepath.Join(t.TempDir(), "synced.wal")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]Op{{Kind: OpRename, Target: 1, Name: "n"}}); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastLSN() != 1 {
+		t.Fatalf("LastLSN = %d", l.LastLSN())
+	}
+}
+
+// TestAppendPositionAfterFailedReplay pins the fix for a corruption bug:
+// a replay aborted by its callback must not leave the write position
+// mid-file, or the next Append overwrites existing records.
+func TestAppendPositionAfterFailedReplay(t *testing.T) {
+	l, path := openTemp(t)
+	l.Append([]Op{{Kind: OpDelete, Target: 1}})
+	l.Append([]Op{{Kind: OpDelete, Target: 2}})
+	l.Replay(0, func(*Record) error { return os.ErrInvalid })
+	l.Append([]Op{{Kind: OpDelete, Target: 3}})
+	l.Close()
+	l2, err := Open(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var lsns []uint64
+	l2.Replay(0, func(r *Record) error { lsns = append(lsns, r.LSN); return nil })
+	if len(lsns) != 3 || lsns[0] != 1 || lsns[2] != 3 {
+		t.Fatalf("log corrupted by post-replay append: %v", lsns)
+	}
+}

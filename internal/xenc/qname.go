@@ -1,0 +1,58 @@
+package xenc
+
+// QNamePool interns qualified names (the paper's qn table, Figure 5).
+// Elements and attributes reference names by dense integer id, which is
+// what makes name tests a single integer comparison during axis steps.
+//
+// The zero value is not ready for use; call NewQNamePool.
+type QNamePool struct {
+	names []string
+	ids   map[string]int32
+}
+
+// NewQNamePool returns an empty pool.
+func NewQNamePool() *QNamePool {
+	return &QNamePool{ids: make(map[string]int32)}
+}
+
+// Intern returns the id for name, adding it to the pool if new.
+func (q *QNamePool) Intern(name string) int32 {
+	if id, ok := q.ids[name]; ok {
+		return id
+	}
+	id := int32(len(q.names))
+	q.names = append(q.names, name)
+	q.ids[name] = id
+	return id
+}
+
+// Lookup returns the id for name without interning it.
+func (q *QNamePool) Lookup(name string) (int32, bool) {
+	id, ok := q.ids[name]
+	return id, ok
+}
+
+// Name returns the string for an interned id. It panics on ids that were
+// never handed out, which always indicates memory corruption upstream.
+func (q *QNamePool) Name(id int32) string {
+	if id == NoName {
+		return ""
+	}
+	return q.names[id]
+}
+
+// Len returns the number of interned names.
+func (q *QNamePool) Len() int { return len(q.names) }
+
+// Clone returns an independent copy of the pool. Transactions clone the
+// pool so aborted updates cannot leak names into the base document.
+func (q *QNamePool) Clone() *QNamePool {
+	c := &QNamePool{
+		names: append([]string(nil), q.names...),
+		ids:   make(map[string]int32, len(q.ids)),
+	}
+	for k, v := range q.ids {
+		c.ids[k] = v
+	}
+	return c
+}

@@ -1,0 +1,394 @@
+// Package xmark provides the evaluation workload of the paper: a
+// deterministic generator for XMark-shaped auction documents (the
+// benchmark of Schmidt et al. used in Section 4.1) and the twenty XMark
+// queries, hand-compiled against the XPath engine and relational-style
+// joins the way Pathfinder compiles them to MIL plans.
+//
+// The generator reproduces the XMark DTD's shape — six regional item
+// lists, categories, a category graph, people with profiles and watch
+// lists, open auctions with bidder histories, closed auctions with
+// nested annotation markup — with element counts that scale linearly in
+// the scale factor exactly like xmlgen (SF 1 ≈ 100 MB). Prose is drawn
+// from a fixed word list (including the word "gold" that Q14 searches
+// for), generated from a seeded PRNG so every run of a given scale
+// factor yields byte-identical documents.
+package xmark
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Counts holds the entity cardinalities for a scale factor (SF 1 values
+// are the published xmlgen numbers).
+type Counts struct {
+	Categories     int
+	Items          [6]int // africa, asia, australia, europe, namerica, samerica
+	Persons        int
+	OpenAuctions   int
+	ClosedAuctions int
+}
+
+// Regions are the six item containers, in document order.
+var Regions = [6]string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// sf1 holds the xmlgen cardinalities at scale factor 1.
+var sf1 = Counts{
+	Categories:     1000,
+	Items:          [6]int{550, 2000, 2200, 6000, 10000, 1000},
+	Persons:        25500,
+	OpenAuctions:   12000,
+	ClosedAuctions: 9750,
+}
+
+// CountsFor scales the SF-1 cardinalities. Every entity class keeps at
+// least one instance so tiny documents still exercise every query.
+func CountsFor(sf float64) Counts {
+	scale := func(n int) int {
+		v := int(float64(n)*sf + 0.5)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	c := Counts{
+		Categories:     scale(sf1.Categories),
+		Persons:        scale(sf1.Persons),
+		OpenAuctions:   scale(sf1.OpenAuctions),
+		ClosedAuctions: scale(sf1.ClosedAuctions),
+	}
+	for i, n := range sf1.Items {
+		c.Items[i] = scale(n)
+	}
+	return c
+}
+
+// Generator emits deterministic XMark documents.
+type Generator struct {
+	sf   float64
+	seed uint64
+}
+
+// NewGenerator returns a generator for the given scale factor. The same
+// (sf, seed) pair always produces the same document.
+func NewGenerator(sf float64, seed uint64) *Generator {
+	return &Generator{sf: sf, seed: seed}
+}
+
+// rng is a splitmix64 stream; good enough and dependency-free.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) choice(words []string) string { return words[r.intn(len(words))] }
+
+// WriteTo generates the document into w and returns the byte count.
+func (g *Generator) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := &countWriter{w: bw}
+	e := &emitter{w: cw, rng: rng{state: g.seed*0x9e3779b9 + 0xabcdef}, counts: CountsFor(g.sf)}
+	e.document()
+	if e.err != nil {
+		return cw.n, e.err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type emitter struct {
+	w      io.Writer
+	rng    rng
+	counts Counts
+	err    error
+}
+
+func (e *emitter) emit(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	if len(args) == 0 {
+		_, e.err = io.WriteString(e.w, format)
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// text emits n random words.
+func (e *emitter) text(n int) {
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			e.emit(" ")
+		}
+		e.emit(e.rng.choice(wordList))
+	}
+}
+
+// markedText emits words with occasional inline emph/keyword markup, the
+// mixed content XMark descriptions carry.
+func (e *emitter) markedText(n int) {
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			e.emit(" ")
+		}
+		switch e.rng.intn(12) {
+		case 0:
+			e.emit("<emph>%s</emph>", e.rng.choice(wordList))
+		case 1:
+			e.emit("<keyword>%s</keyword>", e.rng.choice(wordList))
+		default:
+			e.emit(e.rng.choice(wordList))
+		}
+	}
+}
+
+func (e *emitter) document() {
+	e.emit("<?xml version=\"1.0\" standalone=\"yes\"?>\n")
+	e.emit("<site>\n")
+	e.regions()
+	e.categories()
+	e.catgraph()
+	e.people()
+	e.openAuctions()
+	e.closedAuctions()
+	e.emit("</site>\n")
+}
+
+func (e *emitter) regions() {
+	e.emit("<regions>\n")
+	itemID := 0
+	for ri, region := range Regions {
+		e.emit("<%s>\n", region)
+		for i := 0; i < e.counts.Items[ri]; i++ {
+			e.item(itemID, region)
+			itemID++
+		}
+		e.emit("</%s>\n", region)
+	}
+	e.emit("</regions>\n")
+}
+
+func (e *emitter) item(id int, region string) {
+	featured := ""
+	if e.rng.intn(10) == 0 {
+		featured = ` featured="yes"`
+	}
+	e.emit(`<item id="item%d"%s>`, id, featured)
+	e.emit("<location>%s</location>", e.rng.choice(countries))
+	e.emit("<quantity>%d</quantity>", 1+e.rng.intn(5))
+	e.emit("<name>")
+	e.text(2 + e.rng.intn(2))
+	e.emit("</name>")
+	e.emit("<payment>%s</payment>", e.rng.choice(payments))
+	e.emit("<description><text>")
+	e.markedText(45 + e.rng.intn(150))
+	e.emit("</text></description>")
+	e.emit("<shipping>%s</shipping>", e.rng.choice(shippings))
+	nCat := 1 + e.rng.intn(3)
+	for c := 0; c < nCat; c++ {
+		e.emit(`<incategory category="category%d"/>`, e.rng.intn(e.counts.Categories))
+	}
+	if e.rng.intn(4) != 0 {
+		e.emit("<mailbox>")
+		for m := 0; m < e.rng.intn(5); m++ {
+			e.emit("<mail><from>%s %s</from><to>%s %s</to><date>%s</date><text>",
+				e.rng.choice(firstNames), e.rng.choice(lastNames),
+				e.rng.choice(firstNames), e.rng.choice(lastNames), e.date())
+			e.text(60 + e.rng.intn(160))
+			e.emit("</text></mail>")
+		}
+		e.emit("</mailbox>")
+	}
+	e.emit("</item>\n")
+	_ = region
+}
+
+func (e *emitter) date() string {
+	return fmt.Sprintf("%02d/%02d/%d", 1+e.rng.intn(12), 1+e.rng.intn(28), 1998+e.rng.intn(4))
+}
+
+func (e *emitter) categories() {
+	e.emit("<categories>\n")
+	for i := 0; i < e.counts.Categories; i++ {
+		e.emit(`<category id="category%d"><name>`, i)
+		e.text(1 + e.rng.intn(2))
+		e.emit("</name><description><text>")
+		e.markedText(25 + e.rng.intn(60))
+		e.emit("</text></description></category>\n")
+	}
+	e.emit("</categories>\n")
+}
+
+func (e *emitter) catgraph() {
+	e.emit("<catgraph>\n")
+	edges := e.counts.Categories
+	for i := 0; i < edges; i++ {
+		e.emit(`<edge from="category%d" to="category%d"/>`,
+			e.rng.intn(e.counts.Categories), e.rng.intn(e.counts.Categories))
+		e.emit("\n")
+	}
+	e.emit("</catgraph>\n")
+}
+
+func (e *emitter) people() {
+	e.emit("<people>\n")
+	for i := 0; i < e.counts.Persons; i++ {
+		e.person(i)
+	}
+	e.emit("</people>\n")
+}
+
+func (e *emitter) person(id int) {
+	first, last := e.rng.choice(firstNames), e.rng.choice(lastNames)
+	e.emit(`<person id="person%d">`, id)
+	e.emit("<name>%s %s</name>", first, last)
+	e.emit("<emailaddress>mailto:%s.%s@example.com</emailaddress>", first, last)
+	if e.rng.intn(2) == 0 {
+		e.emit("<phone>+%d (%d) %d</phone>", 1+e.rng.intn(40), 100+e.rng.intn(900), 10000000+e.rng.intn(80000000))
+	}
+	if e.rng.intn(2) == 0 {
+		e.emit("<address><street>%d %s St</street><city>%s</city><country>%s</country><zipcode>%d</zipcode></address>",
+			1+e.rng.intn(100), e.rng.choice(lastNames), e.rng.choice(cities), e.rng.choice(countries), 10000+e.rng.intn(80000))
+	}
+	if e.rng.intn(2) == 0 {
+		e.emit("<homepage>http://www.example.com/~%s%d</homepage>", last, id)
+	}
+	if e.rng.intn(4) != 0 {
+		e.emit("<creditcard>%d %d %d %d</creditcard>", 1000+e.rng.intn(9000), 1000+e.rng.intn(9000), 1000+e.rng.intn(9000), 1000+e.rng.intn(9000))
+	}
+	if e.rng.intn(4) != 0 {
+		// Income distribution like xmlgen: mostly tens of thousands.
+		income := float64(9000+e.rng.intn(90000)) + float64(e.rng.intn(100))/100
+		e.emit(`<profile income="%.2f">`, income)
+		nInterest := e.rng.intn(4)
+		for j := 0; j < nInterest; j++ {
+			e.emit(`<interest category="category%d"/>`, e.rng.intn(e.counts.Categories))
+		}
+		if e.rng.intn(2) == 0 {
+			e.emit("<education>%s</education>", e.rng.choice(educations))
+		}
+		if e.rng.intn(2) == 0 {
+			e.emit("<gender>%s</gender>", e.rng.choice([]string{"male", "female"}))
+		}
+		e.emit("<business>%s</business>", e.rng.choice([]string{"Yes", "No"}))
+		if e.rng.intn(2) == 0 {
+			e.emit("<age>%d</age>", 18+e.rng.intn(60))
+		}
+		e.emit("</profile>")
+	}
+	if e.rng.intn(3) == 0 {
+		e.emit("<watches>")
+		n := 1 + e.rng.intn(4)
+		for j := 0; j < n; j++ {
+			e.emit(`<watch open_auction="open_auction%d"/>`, e.rng.intn(e.counts.OpenAuctions))
+		}
+		e.emit("</watches>")
+	}
+	e.emit("</person>\n")
+}
+
+func (e *emitter) openAuctions() {
+	totalItems := 0
+	for _, n := range e.counts.Items {
+		totalItems += n
+	}
+	e.emit("<open_auctions>\n")
+	for i := 0; i < e.counts.OpenAuctions; i++ {
+		initial := float64(5+e.rng.intn(200)) + float64(e.rng.intn(100))/100
+		e.emit(`<open_auction id="open_auction%d">`, i)
+		e.emit("<initial>%.2f</initial>", initial)
+		if e.rng.intn(2) == 0 {
+			e.emit("<reserve>%.2f</reserve>", initial*1.2)
+		}
+		nBidders := e.rng.intn(5)
+		cur := initial
+		for b := 0; b < nBidders; b++ {
+			inc := float64(1+e.rng.intn(20)) * 1.5
+			cur += inc
+			e.emit("<bidder><date>%s</date><time>%02d:%02d:%02d</time>", e.date(), e.rng.intn(24), e.rng.intn(60), e.rng.intn(60))
+			e.emit(`<personref person="person%d"/>`, e.rng.intn(e.counts.Persons))
+			e.emit("<increase>%.2f</increase></bidder>", inc)
+		}
+		e.emit("<current>%.2f</current>", cur)
+		if e.rng.intn(2) == 0 {
+			e.emit("<privacy>Yes</privacy>")
+		}
+		e.emit(`<itemref item="item%d"/>`, e.rng.intn(totalItems))
+		e.emit(`<seller person="person%d"/>`, e.rng.intn(e.counts.Persons))
+		e.annotation()
+		e.emit("<quantity>%d</quantity>", 1+e.rng.intn(5))
+		e.emit("<type>%s</type>", e.rng.choice([]string{"Regular", "Featured"}))
+		e.emit("<interval><start>%s</start><end>%s</end></interval>", e.date(), e.date())
+		e.emit("</open_auction>\n")
+	}
+	e.emit("</open_auctions>\n")
+}
+
+// annotation emits the nested parlist markup that Q15/Q16 traverse:
+// annotation/description/parlist/listitem/parlist/listitem/text/emph/
+// keyword. Roughly one in three annotations carries the double-nested
+// form.
+func (e *emitter) annotation() {
+	e.emit(`<annotation><author person="person%d"/>`, e.rng.intn(e.counts.Persons))
+	e.emit("<description>")
+	switch e.rng.intn(3) {
+	case 0:
+		e.emit("<text>")
+		e.markedText(25 + e.rng.intn(70))
+		e.emit("</text>")
+	case 1:
+		e.emit("<parlist><listitem><text>")
+		e.markedText(10 + e.rng.intn(30))
+		e.emit("</text></listitem></parlist>")
+	default:
+		e.emit("<parlist><listitem><parlist><listitem><text><emph><keyword>")
+		e.text(1 + e.rng.intn(3))
+		e.emit("</keyword></emph>")
+		e.text(8 + e.rng.intn(25))
+		e.emit("</text></listitem></parlist></listitem></parlist>")
+	}
+	e.emit("</description>")
+	e.emit("<happiness>%d</happiness></annotation>", 1+e.rng.intn(10))
+}
+
+func (e *emitter) closedAuctions() {
+	totalItems := 0
+	for _, n := range e.counts.Items {
+		totalItems += n
+	}
+	e.emit("<closed_auctions>\n")
+	for i := 0; i < e.counts.ClosedAuctions; i++ {
+		e.emit("<closed_auction>")
+		e.emit(`<seller person="person%d"/>`, e.rng.intn(e.counts.Persons))
+		e.emit(`<buyer person="person%d"/>`, e.rng.intn(e.counts.Persons))
+		e.emit(`<itemref item="item%d"/>`, e.rng.intn(totalItems))
+		e.emit("<price>%.2f</price>", float64(5+e.rng.intn(300))+float64(e.rng.intn(100))/100)
+		e.emit("<date>%s</date>", e.date())
+		e.emit("<quantity>%d</quantity>", 1+e.rng.intn(5))
+		e.emit("<type>%s</type>", e.rng.choice([]string{"Regular", "Featured"}))
+		e.annotation()
+		e.emit("</closed_auction>\n")
+	}
+	e.emit("</closed_auctions>\n")
+}

@@ -1,0 +1,258 @@
+package xmark
+
+// Hand-verifiable query semantics: a miniature auction site small enough
+// to compute every query's answer by hand pins the exact row content of
+// the trickier plans (positional logic in Q2–Q4, the theta-join in
+// Q11/Q12, brackets in Q20, text search in Q14).
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mxq/internal/rostore"
+	"mxq/internal/shred"
+	"mxq/internal/xenc"
+)
+
+const miniSite = `<site>
+<regions>
+  <africa><item id="item0"><location>Kenya</location><quantity>1</quantity><name>carved mask</name><payment>Cash</payment><description><text>old carved gold mask</text></description><shipping>x</shipping></item></africa>
+  <asia><item id="item1"><location>Japan</location><quantity>1</quantity><name>silk scroll</name><payment>Cash</payment><description><text>silk painting</text></description><shipping>x</shipping></item></asia>
+  <australia><item id="item2"><location>Australia</location><quantity>1</quantity><name>opal ring</name><payment>Cash</payment><description><text>shiny opal</text></description><shipping>x</shipping></item></australia>
+  <europe><item id="item3"><location>France</location><quantity>2</quantity><name>bronze bell</name><payment>Cash</payment><description><text>heavy bronze bell</text></description><shipping>x</shipping></item></europe>
+  <namerica><item id="item4"><location>Canada</location><quantity>1</quantity><name>maple desk</name><payment>Cash</payment><description><text>gold inlay desk</text></description><shipping>x</shipping></item></namerica>
+  <samerica><item id="item5"><location>Peru</location><quantity>1</quantity><name>clay pot</name><payment>Cash</payment><description><text>plain clay pot</text></description><shipping>x</shipping></item></samerica>
+</regions>
+<categories><category id="category0"><name>antiques</name><description><text>old things</text></description></category></categories>
+<catgraph><edge from="category0" to="category0"/></catgraph>
+<people>
+  <person id="person0"><name>Ann Alpha</name><emailaddress>a@x</emailaddress><homepage>http://a</homepage><profile income="120000.00"><business>No</business></profile></person>
+  <person id="person1"><name>Bob Beta</name><emailaddress>b@x</emailaddress><profile income="40000.00"><business>No</business></profile></person>
+  <person id="person2"><name>Cy Gamma</name><emailaddress>c@x</emailaddress><profile income="9000.00"><business>No</business></profile></person>
+  <person id="person3"><name>Di Delta</name><emailaddress>d@x</emailaddress></person>
+</people>
+<open_auctions>
+  <open_auction id="open_auction0">
+    <initial>10.00</initial>
+    <bidder><date>d</date><time>t</time><personref person="person1"/><increase>4.00</increase></bidder>
+    <bidder><date>d</date><time>t</time><personref person="person2"/><increase>8.00</increase></bidder>
+    <current>22.00</current><itemref item="item0"/><seller person="person0"/>
+    <annotation><author person="person0"/><description><text>fine</text></description><happiness>5</happiness></annotation>
+    <quantity>1</quantity><type>Regular</type><interval><start>s</start><end>e</end></interval>
+  </open_auction>
+  <open_auction id="open_auction1">
+    <initial>100.00</initial><reserve>120.00</reserve>
+    <bidder><date>d</date><time>t</time><personref person="person2"/><increase>10.00</increase></bidder>
+    <current>110.00</current><itemref item="item1"/><seller person="person1"/>
+    <annotation><author person="person1"/><description><parlist><listitem><parlist><listitem><text><emph><keyword>rare</keyword></emph> find</text></listitem></parlist></listitem></parlist></description><happiness>7</happiness></annotation>
+    <quantity>1</quantity><type>Featured</type><interval><start>s</start><end>e</end></interval>
+  </open_auction>
+</open_auctions>
+<closed_auctions>
+  <closed_auction><seller person="person0"/><buyer person="person1"/><itemref item="item3"/><price>55.00</price><date>d</date><quantity>1</quantity><type>Regular</type>
+    <annotation><author person="person0"/><description><parlist><listitem><parlist><listitem><text><emph><keyword>bargain</keyword></emph> sale</text></listitem></parlist></listitem></parlist></description><happiness>9</happiness></annotation></closed_auction>
+  <closed_auction><seller person="person1"/><buyer person="person1"/><itemref item="item4"/><price>12.00</price><date>d</date><quantity>1</quantity><type>Regular</type>
+    <annotation><author person="person2"/><description><text>ok</text></description><happiness>3</happiness></annotation></closed_auction>
+  <closed_auction><seller person="person2"/><buyer person="person0"/><itemref item="item5"/><price>40.00</price><date>d</date><quantity>1</quantity><type>Regular</type>
+    <annotation><author person="person1"/><description><text>nice</text></description><happiness>6</happiness></annotation></closed_auction>
+</closed_auctions>
+</site>`
+
+func miniView(t *testing.T) xenc.DocView {
+	t.Helper()
+	tr, err := shred.Parse(strings.NewReader(miniSite), shred.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rostore.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func rows(t *testing.T, v xenc.DocView, n int) []string {
+	t.Helper()
+	r, err := Queries[n-1].Run(v)
+	if err != nil {
+		t.Fatalf("Q%d: %v", n, err)
+	}
+	return r
+}
+
+func TestMiniQ1(t *testing.T) {
+	got := rows(t, miniView(t), 1)
+	if len(got) != 1 || got[0] != "Ann Alpha" {
+		t.Fatalf("Q1 = %v", got)
+	}
+}
+
+func TestMiniQ2FirstIncreases(t *testing.T) {
+	got := rows(t, miniView(t), 2)
+	want := []string{"<increase>4.00</increase>", "<increase>10.00</increase>"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Q2 = %v, want %v", got, want)
+	}
+}
+
+func TestMiniQ3DoubledIncrease(t *testing.T) {
+	// auction0: first 4.00, last 8.00 → 4*2 <= 8 qualifies.
+	// auction1: single bidder → excluded (needs at least two).
+	got := rows(t, miniView(t), 3)
+	if len(got) != 1 || !strings.Contains(got[0], `id="open_auction0"`) {
+		t.Fatalf("Q3 = %v", got)
+	}
+}
+
+func TestMiniQ4BidOrder(t *testing.T) {
+	// auction0 has person1 before person2 → initial 10.00 is reported.
+	got := rows(t, miniView(t), 4)
+	want := []string{"<history>10.00</history>"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Q4 = %v, want %v", got, want)
+	}
+}
+
+func TestMiniQ5PriceAggregate(t *testing.T) {
+	// Prices 55, 12, 40 → two at >= 40.
+	got := rows(t, miniView(t), 5)
+	if len(got) != 1 || got[0] != "2" {
+		t.Fatalf("Q5 = %v", got)
+	}
+}
+
+func TestMiniQ6PerRegion(t *testing.T) {
+	got := rows(t, miniView(t), 6)
+	want := []string{"africa 1", "asia 1", "australia 1", "europe 1", "namerica 1", "samerica 1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Q6 = %v", got)
+	}
+}
+
+func TestMiniQ7Prose(t *testing.T) {
+	// descriptions: 6 items + 1 category + 2 open + 3 closed = 12;
+	// annotations: 2 open + 3 closed = 5; emailaddresses: 4. Total 21.
+	got := rows(t, miniView(t), 7)
+	if len(got) != 1 || got[0] != "21" {
+		t.Fatalf("Q7 = %v", got)
+	}
+}
+
+func TestMiniQ8BuyerJoin(t *testing.T) {
+	// person1 bought 2, person0 bought 1, others 0.
+	got := rows(t, miniView(t), 8)
+	want := []string{
+		`<item person="Ann Alpha">1</item>`,
+		`<item person="Bob Beta">2</item>`,
+		`<item person="Cy Gamma">0</item>`,
+		`<item person="Di Delta">0</item>`,
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Q8 = %v", got)
+	}
+}
+
+func TestMiniQ9EuropeanJoin(t *testing.T) {
+	// Only item3 (bronze bell) is European; person1 bought it.
+	got := rows(t, miniView(t), 9)
+	if got[1] != `<person name="Bob Beta">bronze bell</person>` {
+		t.Fatalf("Q9 = %v", got)
+	}
+	for i, r := range got {
+		if i != 1 && strings.Contains(r, "bronze") {
+			t.Fatalf("Q9 row %d unexpectedly lists the bell: %v", i, got)
+		}
+	}
+}
+
+func TestMiniQ11Q12IncomeJoin(t *testing.T) {
+	v := miniView(t)
+	// initial bids: 10.00, 100.00.
+	// person0: 120000 × 0.0002 = 24 → counts auctions with initial < 24 → 1.
+	// person1: 40000 × 0.0002 = 8 → 0. person2: 9000 → 1.8 → 0.
+	// person3: no profile → skipped.
+	got := rows(t, v, 11)
+	want := []string{
+		`<items name="Ann Alpha">1</items>`,
+		`<items name="Bob Beta">0</items>`,
+		`<items name="Cy Gamma">0</items>`,
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Q11 = %v, want %v", got, want)
+	}
+	// Q12 keeps only incomes > 50000: just person0.
+	got = rows(t, v, 12)
+	if len(got) != 1 || got[0] != `<items name="Ann Alpha">1</items>` {
+		t.Fatalf("Q12 = %v", got)
+	}
+}
+
+func TestMiniQ13Australia(t *testing.T) {
+	got := rows(t, miniView(t), 13)
+	if len(got) != 1 || !strings.Contains(got[0], "opal ring") || !strings.Contains(got[0], "<description><text>shiny opal</text></description>") {
+		t.Fatalf("Q13 = %v", got)
+	}
+}
+
+func TestMiniQ14Gold(t *testing.T) {
+	// "gold" appears in item0 (mask) and item4 (desk) descriptions.
+	got := rows(t, miniView(t), 14)
+	want := []string{"carved mask", "maple desk"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Q14 = %v, want %v", got, want)
+	}
+}
+
+func TestMiniQ15Q16NestedMarkup(t *testing.T) {
+	v := miniView(t)
+	// Only the first closed auction carries the full nested path.
+	got := rows(t, v, 15)
+	if len(got) != 1 || got[0] != "<text>bargain</text>" {
+		t.Fatalf("Q15 = %v", got)
+	}
+	got = rows(t, v, 16)
+	if len(got) != 1 || got[0] != `<person id="person0"/>` {
+		t.Fatalf("Q16 = %v", got)
+	}
+}
+
+func TestMiniQ17NoHomepage(t *testing.T) {
+	// Only person0 has a homepage; the other three are reported.
+	got := rows(t, miniView(t), 17)
+	if len(got) != 3 || !strings.Contains(got[0], "Bob Beta") {
+		t.Fatalf("Q17 = %v", got)
+	}
+}
+
+func TestMiniQ18Conversion(t *testing.T) {
+	// One reserve (120.00) × 2.20371 = 264.45.
+	got := rows(t, miniView(t), 18)
+	if len(got) != 1 || got[0] != "264.45" {
+		t.Fatalf("Q18 = %v", got)
+	}
+}
+
+func TestMiniQ19SortByName(t *testing.T) {
+	got := rows(t, miniView(t), 19)
+	if len(got) != 6 {
+		t.Fatalf("Q19 = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("Q19 unsorted: %v", got)
+		}
+	}
+}
+
+func TestMiniQ20Brackets(t *testing.T) {
+	// Incomes: 120000 (high), 40000 (mid), 9000 (low), none (na).
+	got := rows(t, miniView(t), 20)
+	want := []string{
+		"<preferred>1</preferred>", "<standard>1</standard>",
+		"<challenge>1</challenge>", "<na>1</na>",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("Q20 = %v, want %v", got, want)
+	}
+}

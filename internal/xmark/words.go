@@ -1,0 +1,61 @@
+package xmark
+
+// wordList is the fixed vocabulary descriptions are drawn from. xmlgen
+// samples Shakespeare; any fixed word list preserves what the evaluation
+// depends on (selectivity of text predicates). "gold" is present because
+// Q14 searches for it.
+var wordList = []string{
+	"gold", "silver", "bronze", "ancient", "modern", "rare", "common",
+	"large", "small", "heavy", "light", "ornate", "plain", "carved",
+	"painted", "glazed", "woven", "forged", "cast", "polished", "rough",
+	"smooth", "broken", "restored", "original", "replica", "signed",
+	"dated", "stamped", "engraved", "mounted", "framed", "boxed",
+	"wooden", "iron", "copper", "brass", "marble", "ivory", "crystal",
+	"porcelain", "ceramic", "leather", "velvet", "silk", "linen",
+	"chair", "table", "lamp", "clock", "vase", "bowl", "plate", "cup",
+	"ring", "brooch", "pendant", "bracelet", "coin", "medal", "stamp",
+	"map", "book", "print", "painting", "sculpture", "tapestry",
+	"mirror", "chest", "cabinet", "desk", "sword", "shield", "helmet",
+	"excellent", "good", "fair", "poor", "mint", "pristine", "worn",
+	"condition", "provenance", "estate", "collection", "auction",
+	"lot", "bid", "reserve", "appraised", "certified", "authentic",
+	"century", "period", "dynasty", "colonial", "victorian", "deco",
+	"nouveau", "baroque", "gothic", "classical", "oriental", "nordic",
+}
+
+var countries = []string{
+	"United States", "Germany", "France", "Netherlands", "Japan",
+	"Australia", "Brazil", "Canada", "Spain", "Italy", "Kenya",
+	"South Africa", "India", "China", "Argentina", "Mexico",
+}
+
+var cities = []string{
+	"Amsterdam", "Berlin", "Paris", "Tokyo", "Sydney", "Nairobi",
+	"Toronto", "Madrid", "Rome", "Mumbai", "Shanghai", "Lima",
+}
+
+var payments = []string{
+	"Creditcard", "Money order", "Personal Check", "Cash",
+	"Creditcard, Money order", "Money order, Personal Check",
+}
+
+var shippings = []string{
+	"Will ship only within country", "Will ship internationally",
+	"Buyer pays fixed shipping charges", "See description for charges",
+}
+
+var educations = []string{
+	"High School", "College", "Graduate School", "Other",
+}
+
+var firstNames = []string{
+	"Kasidit", "Oleg", "Aditya", "Maria", "Chen", "Fatima", "Lars",
+	"Ingrid", "Pavel", "Yuki", "Amara", "Diego", "Nadia", "Tom",
+	"Sara", "Ivan", "Lucia", "Hans", "Priya", "Omar",
+}
+
+var lastNames = []string{
+	"Treweek", "Blanc", "Brown", "Garcia", "Wei", "Hassan", "Nilsson",
+	"Johansson", "Novak", "Tanaka", "Okafor", "Morales", "Petrov",
+	"Smith", "Jones", "Keller", "Rossi", "Schmidt", "Sharma", "Ali",
+}

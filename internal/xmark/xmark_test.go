@@ -1,0 +1,317 @@
+package xmark
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mxq/internal/core"
+	"mxq/internal/rostore"
+	"mxq/internal/shred"
+	"mxq/internal/xenc"
+	"mxq/internal/xpath"
+)
+
+// genDoc generates the SF document once per test run.
+func genDoc(t testing.TB, sf float64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := NewGenerator(sf, 42).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := genDoc(t, 0.002)
+	b := genDoc(t, 0.002)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same (sf, seed) produced different documents")
+	}
+	var c bytes.Buffer
+	if _, err := NewGenerator(0.002, 43).WriteTo(&c); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c.Bytes()) {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+func TestGeneratedDocumentParses(t *testing.T) {
+	data := genDoc(t, 0.002)
+	tr, err := shred.Parse(bytes.NewReader(data), shred.Options{})
+	if err != nil {
+		t.Fatalf("generated document does not parse: %v", err)
+	}
+	if tr.Nodes[0].Name != "site" {
+		t.Fatalf("root = %q", tr.Nodes[0].Name)
+	}
+	c := CountsFor(0.002)
+	v, err := rostore.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q, want := range map[string]int{
+		`/site/people/person`:                  c.Persons,
+		`/site/open_auctions/open_auction`:     c.OpenAuctions,
+		`/site/closed_auctions/closed_auction`: c.ClosedAuctions,
+		`/site/categories/category`:            c.Categories,
+		`/site/regions/europe/item`:            c.Items[3],
+		`/site/regions/africa/item`:            c.Items[0],
+	} {
+		ns, err := xpath.MustParse(q).Select(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ns) != want {
+			t.Errorf("count(%s) = %d, want %d", q, len(ns), want)
+		}
+	}
+}
+
+func TestCountsScaleLinearly(t *testing.T) {
+	small, big := CountsFor(0.01), CountsFor(0.1)
+	if big.Persons < 9*small.Persons || big.Persons > 11*small.Persons {
+		t.Fatalf("persons do not scale: %d vs %d", small.Persons, big.Persons)
+	}
+	if small.Persons != 255 || small.OpenAuctions != 120 {
+		t.Fatalf("SF 0.01 counts = %+v", small)
+	}
+	one := CountsFor(1)
+	if one.Persons != 25500 || one.ClosedAuctions != 9750 {
+		t.Fatalf("SF 1 counts = %+v", one)
+	}
+	tiny := CountsFor(0.00001)
+	if tiny.Persons < 1 || tiny.Items[0] < 1 {
+		t.Fatal("tiny scale dropped an entity class to zero")
+	}
+}
+
+func TestDocumentSizeRoughlyCalibrated(t *testing.T) {
+	// SF 0.01 should be on the order of 1 MB (the paper's 1.1 MB point).
+	data := genDoc(t, 0.01)
+	mb := float64(len(data)) / (1 << 20)
+	if mb < 0.4 || mb > 3.0 {
+		t.Fatalf("SF 0.01 document = %.2f MB, want ~1 MB", mb)
+	}
+}
+
+// buildBoth builds the document on both schemas.
+func buildBoth(t testing.TB, sf float64) (ro *rostore.Store, up *core.Store) {
+	t.Helper()
+	data := genDoc(t, sf)
+	tr, err := shred.Parse(bytes.NewReader(data), shred.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err = rostore.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err = core.Build(tr, core.Options{PageSize: 1024, FillFactor: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ro, up
+}
+
+// TestAllQueriesRunAndAgree is the validity core of the Figure 9
+// experiment: every query must produce byte-identical results on the
+// read-only and on the updatable schema.
+func TestAllQueriesRunAndAgree(t *testing.T) {
+	ro, up := buildBoth(t, 0.004)
+	for _, q := range Queries {
+		roRows, err := q.Run(ro)
+		if err != nil {
+			t.Fatalf("Q%d on ro: %v", q.Num, err)
+		}
+		upRows, err := q.Run(up)
+		if err != nil {
+			t.Fatalf("Q%d on up: %v", q.Num, err)
+		}
+		if len(roRows) != len(upRows) {
+			t.Fatalf("Q%d: ro %d rows, up %d rows", q.Num, len(roRows), len(upRows))
+		}
+		for i := range roRows {
+			if roRows[i] != upRows[i] {
+				t.Fatalf("Q%d row %d differs:\nro: %s\nup: %s", q.Num, i, roRows[i], upRows[i])
+			}
+		}
+	}
+}
+
+// TestQueryPlausibility pins the selectivity shape of each query on a
+// known document so a broken plan cannot silently return garbage.
+func TestQueryPlausibility(t *testing.T) {
+	ro, _ := buildBoth(t, 0.004)
+	c := CountsFor(0.004)
+	counts, err := RunAll(ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q1 finds exactly person0's name.
+	if counts[0] != 1 {
+		t.Errorf("Q1 rows = %d, want 1", counts[0])
+	}
+	// Q2 returns one row per auction with >= 1 bidder: positive, bounded.
+	if counts[1] < 1 || counts[1] > c.OpenAuctions {
+		t.Errorf("Q2 rows = %d, want within (0, %d]", counts[1], c.OpenAuctions)
+	}
+	// Q5-Q7 are aggregates: single row each (Q6 one per region).
+	if counts[4] != 1 {
+		t.Errorf("Q5 rows = %d", counts[4])
+	}
+	if counts[5] != 6 {
+		t.Errorf("Q6 rows = %d, want 6 regions", counts[5])
+	}
+	if counts[6] != 1 {
+		t.Errorf("Q7 rows = %d", counts[6])
+	}
+	// Q8/Q9 list every person.
+	if counts[7] != c.Persons || counts[8] != c.Persons {
+		t.Errorf("Q8/Q9 rows = %d/%d, want %d", counts[7], counts[8], c.Persons)
+	}
+	// Q13 lists every Australian item.
+	if counts[12] != c.Items[2] {
+		t.Errorf("Q13 rows = %d, want %d", counts[12], c.Items[2])
+	}
+	// Q14 finds some but not all items ("gold" is 1 of ~100 words).
+	if counts[13] == 0 {
+		t.Error("Q14 found no gold items")
+	}
+	totalItems := 0
+	for _, n := range c.Items {
+		totalItems += n
+	}
+	if counts[13] >= totalItems {
+		t.Errorf("Q14 rows = %d of %d items: contains() broken", counts[13], totalItems)
+	}
+	// Q15/Q16 traverse the nested markup: ~1/3 of closed auctions.
+	if counts[14] == 0 || counts[15] == 0 {
+		t.Errorf("Q15/Q16 rows = %d/%d, want > 0", counts[14], counts[15])
+	}
+	if counts[14] != counts[15] {
+		t.Errorf("Q15 (%d) and Q16 (%d) should match on this generator", counts[14], counts[15])
+	}
+	// Q17: about half the persons have no homepage.
+	if counts[16] == 0 || counts[16] >= c.Persons {
+		t.Errorf("Q17 rows = %d of %d", counts[16], c.Persons)
+	}
+	// Q19 lists all items, Q20 has exactly 4 brackets.
+	if counts[18] != totalItems {
+		t.Errorf("Q19 rows = %d, want %d", counts[18], totalItems)
+	}
+	if counts[19] != 4 {
+		t.Errorf("Q20 rows = %d, want 4", counts[19])
+	}
+}
+
+func TestQ1FindsPerson0(t *testing.T) {
+	ro, _ := buildBoth(t, 0.002)
+	rows, err := q1(ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0] == "" {
+		t.Fatalf("Q1 = %v", rows)
+	}
+}
+
+func TestQ19Sorted(t *testing.T) {
+	ro, _ := buildBoth(t, 0.002)
+	rows, err := q19(ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i] < rows[i-1] {
+			t.Fatalf("Q19 not sorted at %d: %q < %q", i, rows[i], rows[i-1])
+		}
+	}
+}
+
+func TestQ20BracketsSumToPersons(t *testing.T) {
+	ro, _ := buildBoth(t, 0.002)
+	rows, err := q20(ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range rows {
+		var n int
+		if _, err := fmt.Sscanf(r[strings.Index(r, ">")+1:], "%d<", &n); err != nil {
+			t.Fatalf("unparseable row %q", r)
+		}
+		total += n
+	}
+	if total != CountsFor(0.002).Persons {
+		t.Fatalf("bracket sum = %d, want %d", total, CountsFor(0.002).Persons)
+	}
+}
+
+// TestQueriesSurviveUpdates: after structural updates on the paged store
+// the queries still run and reflect the changes (the scenario Figure 9's
+// 20% free pages mimic).
+func TestQueriesSurviveUpdates(t *testing.T) {
+	_, up := buildBoth(t, 0.002)
+	before, err := q5(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert a new expensive closed auction.
+	cas, err := xpath.MustParse(`/site/closed_auctions`).Select(up)
+	if err != nil || len(cas) != 1 {
+		t.Fatalf("closed_auctions: %v %d", err, len(cas))
+	}
+	frag, err := shred.ParseFragment(
+		`<closed_auction><seller person="person0"/><buyer person="person0"/>`+
+			`<itemref item="item0"/><price>999.99</price><date>01/01/2000</date>`+
+			`<quantity>1</quantity><type>Regular</type></closed_auction>`, shred.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := up.AppendChild(cas[0].Pre, frag); err != nil {
+		t.Fatal(err)
+	}
+	if err := up.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := q5(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nb, na int
+	fmt.Sscanf(before[0], "%d", &nb)
+	fmt.Sscanf(after[0], "%d", &na)
+	if na != nb+1 {
+		t.Fatalf("Q5 after insert = %d, want %d", na, nb+1)
+	}
+	// Delete a person: Q8 rows shrink by one.
+	persons, err := xpath.MustParse(`/site/people/person`).Select(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPersons := len(persons)
+	if err := up.Delete(persons[nPersons-1].Pre); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := q8(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != nPersons-1 {
+		t.Fatalf("Q8 rows after delete = %d, want %d", len(rows), nPersons-1)
+	}
+}
+
+func BenchmarkGenerateSF001(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := NewGenerator(0.01, 42).WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = xenc.Pre(0)

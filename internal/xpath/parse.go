@@ -1,0 +1,464 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Expr is a compiled XPath expression, safe for concurrent evaluation.
+type Expr struct {
+	root expr
+	src  string
+}
+
+// String returns a normalized rendering of the expression.
+func (e *Expr) String() string { return e.root.String() }
+
+// Source returns the original expression text.
+func (e *Expr) Source() string { return e.src }
+
+// Parse compiles an XPath 1.0 expression (the subset described in the
+// package documentation).
+func Parse(src string) (*Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, fmt.Errorf("xpath: %w (in %q)", err, src)
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("xpath: trailing input at %v (in %q)", p.peek(), src)
+	}
+	return &Expr{root: root, src: src}, nil
+}
+
+// MustParse is Parse for statically known expressions.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	toks []token
+	at   int
+}
+
+func (p *parser) peek() token { return p.toks[p.at] }
+func (p *parser) next() token { t := p.toks[p.at]; p.at++; return t }
+func (p *parser) accept(k tokKind) bool {
+	if p.toks[p.at].kind == k {
+		p.at++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	if p.toks[p.at].kind != k {
+		return token{}, fmt.Errorf("expected %s, found %v", what, p.toks[p.at])
+	}
+	return p.next(), nil
+}
+
+// parseExpr := OrExpr
+func (p *parser) parseExpr() (expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokOr) {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &binaryExpr{op: "or", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	l, err := p.parseEquality()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokAnd) {
+		r, err := p.parseEquality()
+		if err != nil {
+			return nil, err
+		}
+		l = &binaryExpr{op: "and", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseEquality() (expr, error) {
+	l, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().kind {
+		case tokEq:
+			op = "="
+		case tokNeq:
+			op = "!="
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseRelational()
+		if err != nil {
+			return nil, err
+		}
+		l = &binaryExpr{op: op, l: l, r: r}
+	}
+}
+
+func (p *parser) parseRelational() (expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().kind {
+		case tokLt:
+			op = "<"
+		case tokLe:
+			op = "<="
+		case tokGt:
+			op = ">"
+		case tokGe:
+			op = ">="
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		l = &binaryExpr{op: op, l: l, r: r}
+	}
+}
+
+func (p *parser) parseAdditive() (expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().kind {
+		case tokPlus:
+			op = "+"
+		case tokMinus:
+			op = "-"
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &binaryExpr{op: op, l: l, r: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().kind {
+		case tokStar:
+			op = "*"
+		case tokDiv:
+			op = "div"
+		case tokMod:
+			op = "mod"
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &binaryExpr{op: op, l: l, r: r}
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if p.accept(tokMinus) {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &negExpr{e: e}, nil
+	}
+	return p.parseUnion()
+}
+
+func (p *parser) parseUnion() (expr, error) {
+	l, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokPipe) {
+		r, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		l = &unionExpr{l: l, r: r}
+	}
+	return l, nil
+}
+
+// parsePath := LocationPath | FilterExpr (('/'|'//') RelativeLocationPath)?
+func (p *parser) parsePath() (expr, error) {
+	switch p.peek().kind {
+	case tokSlash:
+		p.next()
+		pe := &pathExpr{absolute: true}
+		if p.startsStep() {
+			if err := p.parseRelativePath(pe); err != nil {
+				return nil, err
+			}
+		}
+		return pe, nil
+	case tokDblSlash:
+		p.next()
+		pe := &pathExpr{absolute: true}
+		pe.steps = append(pe.steps, step{axis: AxisDescendantOrSelf, tk: testNode})
+		if err := p.parseRelativePath(pe); err != nil {
+			return nil, err
+		}
+		return pe, nil
+	}
+	if p.startsPrimary() {
+		base, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		var preds []expr
+		for p.peek().kind == tokLBracket {
+			pr, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, pr)
+		}
+		if len(preds) > 0 {
+			base = &filterExpr{base: base, preds: preds}
+		}
+		if p.peek().kind == tokSlash || p.peek().kind == tokDblSlash {
+			pe := &pathExpr{start: base}
+			if p.accept(tokDblSlash) {
+				pe.steps = append(pe.steps, step{axis: AxisDescendantOrSelf, tk: testNode})
+			} else {
+				p.next()
+			}
+			if err := p.parseRelativePath(pe); err != nil {
+				return nil, err
+			}
+			return pe, nil
+		}
+		return base, nil
+	}
+	pe := &pathExpr{}
+	if err := p.parseRelativePath(pe); err != nil {
+		return nil, err
+	}
+	return pe, nil
+}
+
+// startsPrimary reports whether the next token begins a primary
+// expression rather than a location path. A name followed by '(' is a
+// function call unless it is a node-type test.
+func (p *parser) startsPrimary() bool {
+	switch p.peek().kind {
+	case tokNumber, tokLiteral, tokLParen, tokDollar:
+		return true
+	case tokName:
+		if p.toks[p.at+1].kind == tokLParen && !isNodeType(p.peek().text) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) startsStep() bool {
+	switch p.peek().kind {
+	case tokName, tokAt, tokDot, tokDotDot, tokAxis:
+		return true
+	}
+	return false
+}
+
+func isNodeType(name string) bool {
+	switch name {
+	case "node", "text", "comment", "processing-instruction":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseRelativePath(pe *pathExpr) error {
+	for {
+		st, err := p.parseStep()
+		if err != nil {
+			return err
+		}
+		pe.steps = append(pe.steps, st)
+		if p.accept(tokSlash) {
+			continue
+		}
+		if p.accept(tokDblSlash) {
+			pe.steps = append(pe.steps, step{axis: AxisDescendantOrSelf, tk: testNode})
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseStep() (step, error) {
+	var st step
+	switch p.peek().kind {
+	case tokDot:
+		p.next()
+		return step{axis: AxisSelf, tk: testNode}, nil
+	case tokDotDot:
+		p.next()
+		return step{axis: AxisParent, tk: testNode}, nil
+	case tokAt:
+		p.next()
+		st.axis = AxisAttribute
+	case tokAxis:
+		t := p.next()
+		ax, ok := axisNames[t.text]
+		if !ok {
+			return st, fmt.Errorf("unknown axis %q", t.text)
+		}
+		st.axis = ax
+	default:
+		st.axis = AxisChild
+	}
+	if err := p.parseNodeTest(&st); err != nil {
+		return st, err
+	}
+	for p.peek().kind == tokLBracket {
+		pr, err := p.parsePredicate()
+		if err != nil {
+			return st, err
+		}
+		st.preds = append(st.preds, pr)
+	}
+	return st, nil
+}
+
+func (p *parser) parseNodeTest(st *step) error {
+	t, err := p.expect(tokName, "node test")
+	if err != nil {
+		return err
+	}
+	if p.peek().kind == tokLParen && isNodeType(t.text) {
+		p.next()
+		switch t.text {
+		case "node":
+			st.tk = testNode
+		case "text":
+			st.tk = testText
+		case "comment":
+			st.tk = testComment
+		case "processing-instruction":
+			st.tk = testPI
+			if p.peek().kind == tokLiteral {
+				st.name = p.next().text
+			}
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return err
+		}
+		return nil
+	}
+	st.tk = testName
+	if t.text != "*" {
+		st.name = t.text
+	}
+	return nil
+}
+
+func (p *parser) parsePredicate() (expr, error) {
+	if _, err := p.expect(tokLBracket, "'['"); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRBracket, "']'"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	switch t := p.next(); t.kind {
+	case tokNumber:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", t.text)
+		}
+		return numberLit(f), nil
+	case tokLiteral:
+		return stringLit(t.text), nil
+	case tokDollar:
+		return varRef(t.text), nil
+	case tokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokName:
+		// Function call (startsPrimary guaranteed the '(').
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		fc := &funcCall{name: t.text}
+		if p.peek().kind != tokRParen {
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				fc.args = append(fc.args, arg)
+				if !p.accept(tokComma) {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	default:
+		return nil, fmt.Errorf("unexpected %v", t)
+	}
+}

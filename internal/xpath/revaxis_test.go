@@ -1,0 +1,30 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+
+	"mxq/internal/rostore"
+	"mxq/internal/shred"
+)
+
+func TestReverseAxisPositions(t *testing.T) {
+	tr, _ := shred.Parse(strings.NewReader(`<a><b><c><d/></c></b><e/><f/></a>`), shred.Options{})
+	v, _ := rostore.Build(tr)
+	// ancestor::*[1] of d must be c (nearest), not a.
+	ns, err := MustParse(`//d/ancestor::*[1]`).Select(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 1 || v.Names().Name(v.Name(ns[0].Pre)) != "c" {
+		t.Fatalf("ancestor::*[1] = %v", ns)
+	}
+	// preceding-sibling::*[1] of f must be e (nearest preceding).
+	ns, err = MustParse(`//f/preceding-sibling::*[1]`).Select(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 1 || v.Names().Name(v.Name(ns[0].Pre)) != "e" {
+		t.Fatalf("preceding-sibling::*[1] = %v", ns)
+	}
+}

@@ -1,0 +1,112 @@
+package xpath
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mxq/internal/rostore"
+	"mxq/internal/shred"
+)
+
+// TestParserNeverPanics throws token soup at the parser; it must return
+// errors, not panic (the shell feeds it raw user input).
+func TestParserNeverPanics(t *testing.T) {
+	pieces := []string{
+		"/", "//", "[", "]", "(", ")", "@", "..", ".", "*", "|", "$x",
+		"and", "or", "div", "mod", "person", "text()", "node()", "::",
+		"=", "!=", "<", "<=", "1", "3.14", `"str"`, "'s'", ",", "+", "-",
+		"count", "ancestor", "child", "!", "$",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		n := 1 + rng.Intn(8)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			b.WriteString(pieces[rng.Intn(len(pieces))])
+			if rng.Intn(3) == 0 {
+				b.WriteByte(' ')
+			}
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			Parse(src)
+		}()
+	}
+}
+
+// TestParseStringRoundTrip: parsing the String() rendering of a valid
+// expression yields an expression with the same rendering (a normal-form
+// fixed point).
+func TestParseStringRoundTrip(t *testing.T) {
+	queries := []string{
+		`/site/people/person[@id="p0"]/name/text()`,
+		`//open_auction[bidder[1]/increase * 2 <= bidder[last()]/increase]`,
+		`count(//item) + sum(//price) div 2`,
+		`//a | //b[. = "x"]`,
+		`//person[not(homepage) and profile/@income > 50000]`,
+		`ancestor-or-self::*[2]/following-sibling::node()`,
+		`(//a)[3]/.././/text()`,
+		`-3 + -x`,
+	}
+	for _, q := range queries {
+		e1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		norm := e1.String()
+		e2, err := Parse(norm)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", norm, q, err)
+		}
+		if e2.String() != norm {
+			t.Fatalf("normal form not fixed:\n1: %s\n2: %s", norm, e2.String())
+		}
+	}
+}
+
+// TestEvaluatorNeverPanicsOnValidQueries evaluates every round-trip
+// query against a real document; errors are fine, panics are not.
+func TestEvaluatorNeverPanicsOnValidQueries(t *testing.T) {
+	tr, err := shred.Parse(strings.NewReader(
+		`<site><people><person id="p0"><name>A</name><homepage>h</homepage>`+
+			`<profile income="60000"/></person></people>`+
+			`<open_auction><bidder><increase>2</increase></bidder></open_auction>`+
+			`<item><price>5</price></item><a/><b>x</b></site>`), shred.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rostore.Build(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`/site/people/person[@id="p0"]/name/text()`,
+		`//open_auction[bidder[1]/increase * 2 <= bidder[last()]/increase]`,
+		`count(//item) + sum(//price) div 2`,
+		`//a | //b[. = "x"]`,
+		`//person[not(homepage) and profile/@income > 50000]`,
+		`ancestor-or-self::*[2]/following-sibling::node()`,
+		`(//a)[3]/.././/text()`,
+		`//person/@*`,
+	}
+	for _, q := range queries {
+		e, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Eval(%q) panicked: %v", q, r)
+				}
+			}()
+			e.Eval(v)
+		}()
+	}
+}

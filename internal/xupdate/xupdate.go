@@ -1,0 +1,527 @@
+// Package xupdate implements the update language of the paper
+// (Section 2.1): the XUpdate structural commands remove, insert-before,
+// insert-after and append (with its optional child position), plus the
+// value commands update and rename and the element/attribute/text/
+// comment/processing-instruction content constructors.
+//
+// A parsed modification list is executed against any store that offers
+// the structural update operations (the paged core store directly, or a
+// transaction overlay). Selections are evaluated with the XPath engine;
+// selected nodes are pinned by their immutable NodeIDs before any
+// mutation, so earlier commands in a list cannot invalidate the targets
+// of later ones — this is the translation of XUpdate statements into bulk
+// updates on the pos/size/level, pageOffset and node/pos tables that
+// Section 3.1 describes.
+package xupdate
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"mxq/internal/shred"
+	"mxq/internal/xenc"
+	"mxq/internal/xpath"
+)
+
+// NS is the XUpdate namespace. The parser accepts both the prefixed
+// namespace-resolved form and bare "xupdate:*" names.
+const NS = "http://www.xmldb.org/xupdate"
+
+// OpKind enumerates XUpdate commands.
+type OpKind int
+
+// The supported commands.
+const (
+	OpRemove OpKind = iota
+	OpInsertBefore
+	OpInsertAfter
+	OpAppend
+	OpUpdate
+	OpRename
+	OpVariable
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRemove:
+		return "remove"
+	case OpInsertBefore:
+		return "insert-before"
+	case OpInsertAfter:
+		return "insert-after"
+	case OpAppend:
+		return "append"
+	case OpUpdate:
+		return "update"
+	case OpRename:
+		return "rename"
+	case OpVariable:
+		return "variable"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one parsed XUpdate command.
+type Op struct {
+	Kind    OpKind
+	Select  *xpath.Expr
+	Child   int         // append: 0-based child index, -1 = last
+	Frag    *shred.Tree // content for the insert commands
+	Attrs   []shred.Attr
+	Text    string // update: new content; rename: new name
+	VarName string // variable: the binding name
+}
+
+// Mods is a parsed xupdate:modifications document.
+type Mods struct {
+	Ops []Op
+}
+
+// Parse reads an XUpdate modification list.
+func Parse(r io.Reader) (*Mods, error) {
+	dec := xml.NewDecoder(r)
+	mods := &Mods{}
+	seenRoot := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xupdate: %w", err)
+		}
+		switch tk := tok.(type) {
+		case xml.StartElement:
+			if !isXU(tk.Name) {
+				return nil, fmt.Errorf("xupdate: unexpected element %q", tk.Name.Local)
+			}
+			if tk.Name.Local == "modifications" {
+				if seenRoot {
+					return nil, fmt.Errorf("xupdate: nested modifications")
+				}
+				seenRoot = true
+				continue
+			}
+			if !seenRoot {
+				return nil, fmt.Errorf("xupdate: %s outside modifications", tk.Name.Local)
+			}
+			op, err := parseOp(dec, tk)
+			if err != nil {
+				return nil, err
+			}
+			mods.Ops = append(mods.Ops, *op)
+		}
+	}
+	if !seenRoot {
+		return nil, fmt.Errorf("xupdate: missing xupdate:modifications root")
+	}
+	return mods, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Mods, error) { return Parse(strings.NewReader(s)) }
+
+func isXU(n xml.Name) bool {
+	return n.Space == NS || n.Space == "xupdate" || n.Space == ""
+}
+
+func parseOp(dec *xml.Decoder, start xml.StartElement) (*Op, error) {
+	op := &Op{Child: -1}
+	switch start.Name.Local {
+	case "remove":
+		op.Kind = OpRemove
+	case "insert-before":
+		op.Kind = OpInsertBefore
+	case "insert-after":
+		op.Kind = OpInsertAfter
+	case "append":
+		op.Kind = OpAppend
+	case "update":
+		op.Kind = OpUpdate
+	case "rename":
+		op.Kind = OpRename
+	case "variable":
+		op.Kind = OpVariable
+	default:
+		return nil, fmt.Errorf("xupdate: unknown command %q", start.Name.Local)
+	}
+	var selectSrc string
+	for _, a := range start.Attr {
+		switch a.Name.Local {
+		case "select":
+			selectSrc = a.Value
+		case "name":
+			if op.Kind == OpVariable {
+				op.VarName = a.Value
+			}
+		case "child":
+			var c int
+			if _, err := fmt.Sscanf(a.Value, "%d", &c); err != nil || c < 1 {
+				return nil, fmt.Errorf("xupdate: bad child position %q", a.Value)
+			}
+			op.Child = c - 1 // XUpdate child counts from 1
+		}
+	}
+	if selectSrc == "" {
+		return nil, fmt.Errorf("xupdate: %s without select", start.Name.Local)
+	}
+	sel, err := xpath.Parse(selectSrc)
+	if err != nil {
+		return nil, err
+	}
+	op.Select = sel
+
+	b := shred.NewBuilder()
+	var text strings.Builder
+	if err := parseContent(dec, start.Name, b, &text, op); err != nil {
+		return nil, err
+	}
+	frag := b.Tree()
+	if len(frag.Nodes) > 0 {
+		op.Frag = frag
+	}
+	op.Text = strings.TrimSpace(text.String())
+
+	switch op.Kind {
+	case OpInsertBefore, OpInsertAfter, OpAppend:
+		if op.Frag == nil && len(op.Attrs) == 0 {
+			return nil, fmt.Errorf("xupdate: %s without content", op.Kind)
+		}
+	case OpRename:
+		if op.Text == "" {
+			return nil, fmt.Errorf("xupdate: rename without a new name")
+		}
+	case OpVariable:
+		if op.VarName == "" {
+			return nil, fmt.Errorf("xupdate: variable without a name")
+		}
+	}
+	return op, nil
+}
+
+// parseContent fills the builder with the command's content constructors
+// and literal XML until the command's end element.
+func parseContent(dec *xml.Decoder, until xml.Name, b *shred.Builder, text *strings.Builder, op *Op) error {
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("xupdate: %w", err)
+		}
+		switch tk := tok.(type) {
+		case xml.StartElement:
+			if isXU(tk.Name) && tk.Name.Space != "" {
+				if err := parseConstructor(dec, tk, b, op, depth); err != nil {
+					return err
+				}
+				continue
+			}
+			// Literal element content.
+			var attrs []shred.Attr
+			for _, a := range tk.Attr {
+				attrs = append(attrs, shred.Attr{Name: a.Name.Local, Value: a.Value})
+			}
+			b.Start(tk.Name.Local, attrs...)
+			depth++
+		case xml.EndElement:
+			if depth == 0 {
+				if tk.Name.Local != until.Local {
+					return fmt.Errorf("xupdate: unbalanced %q", tk.Name.Local)
+				}
+				return nil
+			}
+			b.End()
+			depth--
+		case xml.CharData:
+			s := string(tk)
+			if strings.TrimSpace(s) == "" {
+				continue
+			}
+			if depth == 0 {
+				text.WriteString(s)
+			} else {
+				b.Text(s)
+			}
+		case xml.Comment:
+			if depth > 0 {
+				b.Comment(string(tk))
+			}
+		}
+	}
+}
+
+// parseConstructor handles xupdate:element / attribute / text / comment /
+// processing-instruction.
+func parseConstructor(dec *xml.Decoder, start xml.StartElement, b *shred.Builder, op *Op, depth int) error {
+	name := ""
+	for _, a := range start.Attr {
+		if a.Name.Local == "name" {
+			name = a.Value
+		}
+	}
+	inner := func() (string, error) {
+		var sb strings.Builder
+		for {
+			tok, err := dec.Token()
+			if err != nil {
+				return "", fmt.Errorf("xupdate: %w", err)
+			}
+			switch tk := tok.(type) {
+			case xml.CharData:
+				sb.WriteString(string(tk))
+			case xml.EndElement:
+				return sb.String(), nil
+			case xml.StartElement:
+				return "", fmt.Errorf("xupdate: %s cannot contain elements", start.Name.Local)
+			}
+		}
+	}
+	switch start.Name.Local {
+	case "element":
+		if name == "" {
+			return fmt.Errorf("xupdate: element constructor without name")
+		}
+		b.Start(name)
+		var ignored strings.Builder
+		if err := parseContent(dec, start.Name, b, &ignored, op); err != nil {
+			return err
+		}
+		b.End()
+	case "attribute":
+		if name == "" {
+			return fmt.Errorf("xupdate: attribute constructor without name")
+		}
+		val, err := inner()
+		if err != nil {
+			return err
+		}
+		if depth == 0 && !b.Open() {
+			// Top-level attribute constructor: applies to the target.
+			op.Attrs = append(op.Attrs, shred.Attr{Name: name, Value: val})
+		} else {
+			b.Attr(name, val)
+		}
+	case "text":
+		val, err := inner()
+		if err != nil {
+			return err
+		}
+		b.Text(val)
+	case "comment":
+		val, err := inner()
+		if err != nil {
+			return err
+		}
+		b.Comment(val)
+	case "processing-instruction":
+		if name == "" {
+			return fmt.Errorf("xupdate: processing-instruction constructor without name")
+		}
+		val, err := inner()
+		if err != nil {
+			return err
+		}
+		b.PI(name, strings.TrimSpace(val))
+	default:
+		return fmt.Errorf("xupdate: unknown constructor %q", start.Name.Local)
+	}
+	return nil
+}
+
+// Target is the store interface the executor mutates: the DocView read
+// surface plus the structural and value update operations of the paged
+// store (Section 3). *core.Store and transaction overlays implement it.
+type Target interface {
+	xenc.DocView
+	InsertBefore(target xenc.Pre, frag *shred.Tree) ([]xenc.NodeID, error)
+	InsertAfter(target xenc.Pre, frag *shred.Tree) ([]xenc.NodeID, error)
+	AppendChild(parent xenc.Pre, frag *shred.Tree) ([]xenc.NodeID, error)
+	InsertChildAt(parent xenc.Pre, idx int, frag *shred.Tree) ([]xenc.NodeID, error)
+	Delete(target xenc.Pre) error
+	SetValue(p xenc.Pre, val string) error
+	Rename(p xenc.Pre, name string) error
+	SetAttr(p xenc.Pre, name, val string) error
+	RemoveAttr(p xenc.Pre, name string) error
+}
+
+// Result summarizes an execution.
+type Result struct {
+	Ops      int // commands executed
+	Affected int // nodes the commands were applied to
+}
+
+// Execute runs all commands in order against the store.
+// xupdate:variable bindings are evaluated when the command runs and are
+// visible to the select expressions of all later commands ($name). Node
+// set bindings are converted to their string value at definition time,
+// since later structural commands may relocate the selected nodes.
+func Execute(st Target, mods *Mods) (Result, error) {
+	var res Result
+	vars := map[string]xpath.Value{}
+	for i := range mods.Ops {
+		op := &mods.Ops[i]
+		if op.Kind == OpVariable {
+			val, err := op.Select.EvalVars(st, vars)
+			if err != nil {
+				return res, fmt.Errorf("xupdate: command %d (variable %s): %w", i+1, op.VarName, err)
+			}
+			vars[op.VarName] = xpath.String(xpath.StringOf(st, val))
+			res.Ops++
+			continue
+		}
+		n, err := executeOp(st, op, vars)
+		if err != nil {
+			return res, fmt.Errorf("xupdate: command %d (%s): %w", i+1, op.Kind, err)
+		}
+		res.Ops++
+		res.Affected += n
+	}
+	return res, nil
+}
+
+func executeOp(st Target, op *Op, vars map[string]xpath.Value) (int, error) {
+	ns, err := op.Select.SelectVars(st, vars)
+	if err != nil {
+		return 0, err
+	}
+	if len(ns) == 0 {
+		return 0, nil // XUpdate: empty selection is a no-op
+	}
+	// Pin targets by immutable node id (attribute targets keep their
+	// owner's id plus the attribute name).
+	type pinned struct {
+		id       xenc.NodeID
+		attrName string
+	}
+	targets := make([]pinned, 0, len(ns))
+	for _, n := range ns {
+		if n.Pre == xpath.DocNodePre {
+			return 0, fmt.Errorf("cannot apply %s to the document node", op.Kind)
+		}
+		p := pinned{id: st.NodeOf(n.Pre)}
+		if n.Attr != xpath.NoAttr {
+			attrs := st.Attrs(n.Pre)
+			if int(n.Attr) >= len(attrs) {
+				return 0, fmt.Errorf("stale attribute selection")
+			}
+			p.attrName = st.Names().Name(attrs[n.Attr].Name)
+		}
+		targets = append(targets, p)
+	}
+	count := 0
+	for _, tgt := range targets {
+		p := st.PreOf(tgt.id)
+		if p == xenc.NoPre {
+			continue // removed by an earlier target of this same command
+		}
+		if err := applyOne(st, op, p, tgt.attrName); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}
+
+func applyOne(st Target, op *Op, p xenc.Pre, attrName string) error {
+	isAttr := attrName != ""
+	switch op.Kind {
+	case OpRemove:
+		if isAttr {
+			return st.RemoveAttr(p, attrName)
+		}
+		return st.Delete(p)
+	case OpUpdate:
+		if isAttr {
+			return st.SetAttr(p, attrName, op.Text)
+		}
+		return updateContent(st, p, op.Text)
+	case OpRename:
+		if isAttr {
+			val, _ := attrValue(st, p, attrName)
+			if err := st.RemoveAttr(p, attrName); err != nil {
+				return err
+			}
+			return st.SetAttr(p, op.Text, val)
+		}
+		return st.Rename(p, op.Text)
+	case OpInsertBefore:
+		if isAttr {
+			return fmt.Errorf("insert-before cannot target an attribute")
+		}
+		_, err := st.InsertBefore(p, op.Frag)
+		return err
+	case OpInsertAfter:
+		if isAttr {
+			return fmt.Errorf("insert-after cannot target an attribute")
+		}
+		_, err := st.InsertAfter(p, op.Frag)
+		return err
+	case OpAppend:
+		if isAttr {
+			return fmt.Errorf("append cannot target an attribute")
+		}
+		for _, a := range op.Attrs {
+			if err := st.SetAttr(p, a.Name, a.Value); err != nil {
+				return err
+			}
+		}
+		if op.Frag == nil {
+			return nil
+		}
+		if op.Child < 0 {
+			_, err := st.AppendChild(p, op.Frag)
+			return err
+		}
+		_, err := st.InsertChildAt(p, op.Child, op.Frag)
+		return err
+	}
+	return fmt.Errorf("unknown command %v", op.Kind)
+}
+
+func attrValue(st Target, p xenc.Pre, name string) (string, bool) {
+	id, ok := st.Names().Lookup(name)
+	if !ok {
+		return "", false
+	}
+	return st.AttrValue(p, id)
+}
+
+// updateContent implements xupdate:update on an element or value node:
+// value nodes get their content replaced; elements get their children
+// replaced by a single text node.
+func updateContent(st Target, p xenc.Pre, text string) error {
+	if st.Kind(p) != xenc.KindElem {
+		return st.SetValue(p, text)
+	}
+	// Delete all children (pin them first: deleting shifts nothing in the
+	// paged store, but ids are the stable handle).
+	var kids []xenc.NodeID
+	lvl := st.Level(p)
+	q := xenc.SkipFree(st, p+1)
+	for q < st.Len() && st.Level(q) > lvl {
+		if st.Level(q) == lvl+1 {
+			kids = append(kids, st.NodeOf(q))
+		}
+		q = xenc.SkipFree(st, q+st.Size(q)+1)
+	}
+	for _, id := range kids {
+		cp := st.PreOf(id)
+		if cp == xenc.NoPre {
+			continue
+		}
+		if err := st.Delete(cp); err != nil {
+			return err
+		}
+	}
+	if text == "" {
+		return nil
+	}
+	frag := &shred.Tree{Nodes: []shred.Node{{Kind: xenc.KindText, Value: text}}}
+	_, err := st.AppendChild(st.PreOf(st.NodeOf(p)), frag)
+	if err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+// Package mxq is an embeddable XML database reproducing the storage and
+// update architecture of MonetDB/XQuery as described in "Updating the
+// Pre/Post Plane in MonetDB/XQuery" (Boncz, Manegold, Rittinger; CWI
+// INS-E0506, 2005).
+//
+// Documents are shredded into the pre/size/level relational encoding and
+// stored in the paper's *updatable* scheme: logical pages with unused
+// tuples, a pageOffset indirection that lets page splices shift all
+// following pre numbers for free, immutable node ids behind a node/pos
+// table, and ACID transactions whose ancestor-size maintenance uses
+// commutative delta increments so the document root never becomes a
+// locking bottleneck.
+//
+// Quick start:
+//
+//	db := mxq.Open(mxq.Options{})
+//	doc, _ := db.LoadXMLString("lib", `<lib><book>A</book></lib>`)
+//	res, _ := doc.Query(`/lib/book/text()`)
+//	_, _ = doc.Update(`<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+//	    <xupdate:append select="/lib"><book>B</book></xupdate:append>
+//	</xupdate:modifications>`)
+package mxq
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"mxq/internal/core"
+	"mxq/internal/shred"
+	"mxq/internal/tx"
+	"mxq/internal/validate"
+	"mxq/internal/wal"
+)
+
+// Options configure a Database.
+type Options struct {
+	// PageSize is the logical page size in tuples (power of two;
+	// default core.DefaultPageSize).
+	PageSize int
+	// FillFactor is the fraction of each page the shredder fills
+	// (default core.DefaultFillFactor; the paper's Figure 9 scenario
+	// corresponds to 0.8).
+	FillFactor float64
+	// Dir, when non-empty, enables durability: each document gets a
+	// write-ahead log <name>.wal and checkpoints <name>.ckpt in Dir, and
+	// Open recovers any checkpointed documents found there.
+	Dir string
+	// NoSync skips fsync on WAL appends (faster, test-friendly).
+	NoSync bool
+	// PreserveWhitespace keeps whitespace-only text nodes when shredding.
+	PreserveWhitespace bool
+}
+
+// Database is a collection of named XML documents.
+type Database struct {
+	mu   sync.RWMutex
+	docs map[string]*Document
+	opts Options
+}
+
+// Open creates a database. With Options.Dir set, previously checkpointed
+// documents are recovered (checkpoint + WAL replay).
+func Open(opts Options) (*Database, error) {
+	db := &Database{docs: make(map[string]*Document), opts: opts}
+	if opts.Dir == "" {
+		return db, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("mxq: %w", err)
+	}
+	ckpts, err := filepath.Glob(filepath.Join(opts.Dir, "*.ckpt"))
+	if err != nil {
+		return nil, fmt.Errorf("mxq: %w", err)
+	}
+	for _, ck := range ckpts {
+		name := strings.TrimSuffix(filepath.Base(ck), ".ckpt")
+		if err := db.recoverDoc(name); err != nil {
+			return nil, fmt.Errorf("mxq: recovering %q: %w", name, err)
+		}
+	}
+	return db, nil
+}
+
+func (db *Database) recoverDoc(name string) error {
+	f, err := os.Open(filepath.Join(db.opts.Dir, name+".ckpt"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := wal.Open(filepath.Join(db.opts.Dir, name+".wal"), wal.Options{NoSync: db.opts.NoSync})
+	if err != nil {
+		return err
+	}
+	store, err := tx.Recover(f, log)
+	if err != nil {
+		log.Close()
+		return err
+	}
+	db.docs[name] = &Document{
+		name:  name,
+		db:    db,
+		store: store,
+		log:   log,
+		mgr:   tx.NewManager(store, log),
+	}
+	return nil
+}
+
+// LoadXML shreds and stores a document under the given name.
+func (db *Database) LoadXML(name string, r io.Reader) (*Document, error) {
+	tree, err := shred.Parse(r, shred.Options{PreserveWhitespace: db.opts.PreserveWhitespace})
+	if err != nil {
+		return nil, err
+	}
+	store, err := core.Build(tree, core.Options{
+		PageSize:   db.opts.PageSize,
+		FillFactor: db.opts.FillFactor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	doc := &Document{name: name, db: db, store: store}
+	if db.opts.Dir != "" {
+		log, err := wal.Open(filepath.Join(db.opts.Dir, name+".wal"), wal.Options{NoSync: db.opts.NoSync})
+		if err != nil {
+			return nil, err
+		}
+		doc.log = log
+	}
+	doc.mgr = tx.NewManager(store, doc.log)
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.docs[name]; dup {
+		if doc.log != nil {
+			doc.log.Close()
+		}
+		return nil, fmt.Errorf("mxq: document %q already exists", name)
+	}
+	db.docs[name] = doc
+	return doc, nil
+}
+
+// LoadXMLString is LoadXML over a string.
+func (db *Database) LoadXMLString(name, xml string) (*Document, error) {
+	return db.LoadXML(name, strings.NewReader(xml))
+}
+
+// Document returns a stored document by name.
+func (db *Database) Document(name string) (*Document, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	d, ok := db.docs[name]
+	return d, ok
+}
+
+// Documents lists the stored document names, sorted.
+func (db *Database) Documents() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.docs))
+	for n := range db.docs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Drop removes a document (and its durability files, if any).
+func (db *Database) Drop(name string) error {
+	db.mu.Lock()
+	doc, ok := db.docs[name]
+	delete(db.docs, name)
+	db.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("mxq: no document %q", name)
+	}
+	if doc.log != nil {
+		doc.log.Close()
+		os.Remove(filepath.Join(db.opts.Dir, name+".wal"))
+		os.Remove(filepath.Join(db.opts.Dir, name+".ckpt"))
+	}
+	return nil
+}
+
+// Close closes all documents' logs.
+func (db *Database) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var first error
+	for _, d := range db.docs {
+		if d.log != nil {
+			if err := d.log.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	db.docs = map[string]*Document{}
+	return first
+}
+
+// SetSchema installs a validation schema for a document; every commit is
+// validated against it (the consistency stage of the commit protocol).
+func (d *Document) SetSchema(s *validate.Schema) {
+	if s == nil {
+		d.mgr.SetValidator(nil)
+		return
+	}
+	d.mgr.SetValidator(s.Check)
+}

@@ -1,0 +1,78 @@
+package mxq
+
+// BenchmarkStaircaseSkipping quantifies claim C2 (Section 2.2): the
+// staircase child step finds children by positional sibling hops
+// (pre += size+1), skipping whole subtrees, where a tree-unaware plan
+// scans every tuple in the region and filters by level. The deeper the
+// subtrees under the context node, the bigger the win.
+
+import (
+	"fmt"
+	"testing"
+
+	"mxq/internal/rostore"
+	"mxq/internal/shred"
+	"mxq/internal/staircase"
+	"mxq/internal/xenc"
+)
+
+// bushyTree builds a root with fan children, each carrying a chain of
+// depth descendants — the shape where sibling hops skip the most.
+func bushyTree(fan, depth int) *shred.Tree {
+	b := shred.NewBuilder().Start("root")
+	for i := 0; i < fan; i++ {
+		b.Start("child")
+		for d := 0; d < depth; d++ {
+			b.Start("deep")
+		}
+		b.Text("x")
+		for d := 0; d < depth; d++ {
+			b.End()
+		}
+		b.End()
+	}
+	return b.End().Tree()
+}
+
+// scanChildren is the tree-unaware baseline: visit every tuple in the
+// region and keep the ones at level+1.
+func scanChildren(v xenc.DocView, c xenc.Pre, name int32) []xenc.Pre {
+	var out []xenc.Pre
+	lvl := v.Level(c)
+	for p := xenc.SkipFree(v, c+1); p < v.Len() && v.Level(p) > lvl; p = xenc.SkipFree(v, p+1) {
+		if v.Level(p) == lvl+1 && v.Kind(p) == xenc.KindElem && v.Name(p) == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func BenchmarkStaircaseSkipping(b *testing.B) {
+	for _, depth := range []int{4, 16, 64} {
+		depth := depth
+		s, err := rostore.Build(bushyTree(500, depth))
+		if err != nil {
+			b.Fatal(err)
+		}
+		name, _ := s.Names().Lookup("child")
+		ctx := []xenc.Pre{s.Root()}
+		want := len(staircase.Child(s, ctx, staircase.Element(name)))
+		if want != 500 {
+			b.Fatalf("child count = %d", want)
+		}
+		b.Run(fmt.Sprintf("staircase/depth%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := staircase.Child(s, ctx, staircase.Element(name)); len(got) != want {
+					b.Fatal("wrong result")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("scan/depth%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := scanChildren(s, s.Root(), name); len(got) != want {
+					b.Fatal("wrong result")
+				}
+			}
+		})
+	}
+}
