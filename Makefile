@@ -1,0 +1,31 @@
+# Tier-1 verification for the MonetDB/XQuery reproduction.
+#
+# `make check` is the habit: build everything, vet everything (the xmark
+# generator once shipped a vet failure that broke `go test`), then run
+# the full test suite — including the differential harness in
+# internal/difftest and the -race concurrency tests in internal/tx that
+# guard the page-granular copy-on-write snapshot machinery.
+
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The paper's evaluation benchmarks (Figure 9, insert scaling, the
+# page-COW transaction cost, ...). Narrow with BENCH=<regexp>.
+BENCH ?= .
+bench:
+	$(GO) test -run xxx -bench '$(BENCH)' -benchmem .

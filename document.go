@@ -298,6 +298,17 @@ func (d *Document) View(fn func(v xenc.DocView) error) error {
 	return d.mgr.View(fn)
 }
 
+// Snapshot returns an immutable point-in-time view of the document.
+// Unlike View, the returned view is read without any lock: it stays
+// consistent while later transactions commit, because commits copy the
+// pages they modify instead of updating shared ones in place (the
+// page-granular copy-on-write scheme of the paper's Section 3.2).
+// Taking a snapshot costs O(pages); it is safe for concurrent use by any
+// number of goroutines and can be held for as long as needed.
+func (d *Document) Snapshot() xenc.DocView {
+	return d.mgr.Snapshot()
+}
+
 // CheckInvariants validates the storage invariants (testing hook).
 func (d *Document) CheckInvariants() error {
 	var err error

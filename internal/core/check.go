@@ -11,6 +11,8 @@ import (
 // encoding rules in Section 3:
 //
 //   - logToPhys and physToLog are inverse bijections over the pages;
+//   - the chunked columns hold exactly one page-sized chunk per physical
+//     page (and the copy-on-write ownership tables track every chunk);
 //   - free-run lengths count exactly the directly following unused
 //     tuples within their logical page;
 //   - node/pos and the node column are mutually consistent, and every
@@ -26,8 +28,24 @@ func (s *Store) CheckInvariants() error {
 	if len(s.physToLog) != nPages {
 		return fmt.Errorf("pageOffset tables have different lengths: %d vs %d", nPages, len(s.physToLog))
 	}
-	if int32(nPages)<<s.pageBits != int32(len(s.size)) {
-		return fmt.Errorf("columns hold %d tuples, want %d pages × %d", len(s.size), nPages, s.pageSize)
+	if len(s.pages) != nPages {
+		return fmt.Errorf("store holds %d page chunks, want %d", len(s.pages), nPages)
+	}
+	if len(s.pageOwned) != len(s.pages) {
+		return fmt.Errorf("page ownership table holds %d entries, want %d", len(s.pageOwned), len(s.pages))
+	}
+	if len(s.nodeOwned) != len(s.nodes) {
+		return fmt.Errorf("node-chunk ownership table holds %d entries, want %d", len(s.nodeOwned), len(s.nodes))
+	}
+	for i, pg := range s.pages {
+		if int32(len(pg.size)) != s.pageSize || int32(len(pg.level)) != s.pageSize ||
+			int32(len(pg.kind)) != s.pageSize || int32(len(pg.name)) != s.pageSize ||
+			int32(len(pg.text)) != s.pageSize || int32(len(pg.node)) != s.pageSize {
+			return fmt.Errorf("page chunk %d has ragged columns", i)
+		}
+	}
+	if maxIDs := int32(len(s.nodes)) << s.pageBits; s.nodeLen > maxIDs {
+		return fmt.Errorf("nodeLen %d exceeds chunk capacity %d", s.nodeLen, maxIDs)
 	}
 	for lg, ph := range s.logToPhys {
 		if ph < 0 || int(ph) >= nPages {
@@ -44,39 +62,39 @@ func (s *Store) CheckInvariants() error {
 	seen := make(map[xenc.NodeID]xenc.Pre)
 	for p := xenc.Pre(0); p < s.Len(); p++ {
 		pos := s.physOf(p)
-		if s.level[pos] == xenc.LevelUnused {
-			if s.node[pos] != xenc.NoNode {
-				return fmt.Errorf("unused tuple at pre %d has node id %d", p, s.node[pos])
+		if s.levelAt(pos) == xenc.LevelUnused {
+			if s.nodeAt(pos) != xenc.NoNode {
+				return fmt.Errorf("unused tuple at pre %d has node id %d", p, s.nodeAt(pos))
 			}
 			// Count the following unused tuples within the page.
 			run := int32(0)
-			for q := pos + 1; q&s.pageMask != 0 && s.level[q] == xenc.LevelUnused; q++ {
+			for q := pos + 1; q&s.pageMask != 0 && s.levelAt(q) == xenc.LevelUnused; q++ {
 				run++
 			}
-			if s.size[pos] != run {
-				return fmt.Errorf("free run at pre %d (pos %d): size %d, want %d", p, pos, s.size[pos], run)
+			if s.sizeAt(pos) != run {
+				return fmt.Errorf("free run at pre %d (pos %d): size %d, want %d", p, pos, s.sizeAt(pos), run)
 			}
 			continue
 		}
 		live++
-		id := s.node[pos]
-		if id < 0 || int(id) >= len(s.nodePos) {
+		id := s.nodeAt(pos)
+		if id < 0 || id >= s.nodeLen {
 			return fmt.Errorf("live tuple at pre %d has invalid node id %d", p, id)
 		}
 		if prev, dup := seen[id]; dup {
 			return fmt.Errorf("node id %d appears at pre %d and %d", id, prev, p)
 		}
 		seen[id] = p
-		if s.nodePos[id] != pos {
-			return fmt.Errorf("node/pos[%d] = %d, want %d", id, s.nodePos[id], pos)
+		if s.posOf(id) != pos {
+			return fmt.Errorf("node/pos[%d] = %d, want %d", id, s.posOf(id), pos)
 		}
-		lvl := s.level[pos]
+		lvl := s.levelAt(pos)
 		if lvl > prevLevel+1 {
 			return fmt.Errorf("level jump at pre %d: %d after %d", p, lvl, prevLevel)
 		}
 		prevLevel = lvl
-		if !xenc.Kind(s.kind[pos]).Valid() {
-			return fmt.Errorf("invalid kind %d at pre %d", s.kind[pos], p)
+		if !xenc.Kind(s.kindAt(pos)).Valid() {
+			return fmt.Errorf("invalid kind %d at pre %d", s.kindAt(pos), p)
 		}
 	}
 	if live != s.liveNodes {
@@ -114,8 +132,8 @@ func (s *Store) CheckInvariants() error {
 		if len(stack) > 0 {
 			wantParent = stack[len(stack)-1].id
 		}
-		if s.parentOf[id] != wantParent {
-			return fmt.Errorf("parentOf[%d] (pre %d) = %d, want %d", id, p, s.parentOf[id], wantParent)
+		if s.parentOf(id) != wantParent {
+			return fmt.Errorf("parentOf[%d] (pre %d) = %d, want %d", id, p, s.parentOf(id), wantParent)
 		}
 		stack = append(stack, frame{id: id, pre: p, level: lvl})
 	}
@@ -127,15 +145,12 @@ func (s *Store) CheckInvariants() error {
 
 	// Free node ids must not be referenced; attribute owners must live.
 	for _, id := range s.freeNodes {
-		if s.nodePos[id] != -1 {
-			return fmt.Errorf("free node id %d still mapped to pos %d", id, s.nodePos[id])
+		if s.posOf(id) != -1 {
+			return fmt.Errorf("free node id %d still mapped to pos %d", id, s.posOf(id))
 		}
 	}
-	if len(s.attrs) != len(s.nodePos) {
-		return fmt.Errorf("attribute index holds %d entries, node/pos %d", len(s.attrs), len(s.nodePos))
-	}
-	for id, refs := range s.attrs {
-		if len(refs) > 0 && s.nodePos[id] < 0 {
+	for id := xenc.NodeID(0); id < s.nodeLen; id++ {
+		if len(s.attrRefs(id)) > 0 && s.posOf(id) < 0 {
 			return fmt.Errorf("attributes owned by dead node id %d", id)
 		}
 	}

@@ -12,7 +12,9 @@ import (
 // tuples and splice overflow is reclaimed. Node ids (and with them the
 // attribute table, parent links and any external references) are
 // preserved — only pos values change, which is exactly what the node/pos
-// indirection exists to absorb.
+// indirection exists to absorb. The fresh pages are privately owned, so
+// compacting a store never disturbs snapshots still reading the old
+// pages.
 //
 // The paper treats reorganization as an offline concern ("new logical
 // pages are appended only"); Compact is the natural maintenance
@@ -33,14 +35,15 @@ func (s *Store) Compact(fill float64) error {
 	if nPages == 0 {
 		nPages = 1
 	}
-	n := nPages << s.pageBits
 
-	size := make([]int32, n)
-	level := make([]int16, n)
-	kind := make([]uint8, n)
-	name := make([]int32, n)
-	text := make([]string, n)
-	node := make([]int32, n)
+	pages := make([]*page, nPages)
+	for i := range pages {
+		pages[i] = newPage(int(s.pageSize))
+	}
+	n := nPages << s.pageBits
+	at := func(pos int32) (*page, int32) {
+		return pages[pos>>s.pageBits], pos & s.pageMask
+	}
 
 	// Walk the live view in document order, packing perPage tuples into
 	// each fresh page.
@@ -53,34 +56,42 @@ func (s *Store) Compact(fill float64) error {
 			// and there is nothing to seal.)
 			pageEnd := ((w-1)>>s.pageBits + 1) << s.pageBits
 			for q := w; q < pageEnd; q++ {
-				level[q] = xenc.LevelUnused
-				size[q] = pageEnd - q - 1
-				node[q] = xenc.NoNode
+				wp, o := at(q)
+				wp.level[o] = xenc.LevelUnused
+				wp.size[o] = pageEnd - q - 1
+				wp.node[o] = xenc.NoNode
 			}
 			w = pageEnd
 			written = 0
 		}
 		pos := s.physOf(p)
-		size[w] = s.size[pos]
-		level[w] = s.level[pos]
-		kind[w] = s.kind[pos]
-		name[w] = s.name[pos]
-		text[w] = s.text[pos]
-		id := s.node[pos]
-		node[w] = id
-		s.nodePos[id] = w
+		op, oo := s.pages[pos>>s.pageBits], pos&s.pageMask
+		wp, o := at(w)
+		wp.size[o] = op.size[oo]
+		wp.level[o] = op.level[oo]
+		wp.kind[o] = op.kind[oo]
+		wp.name[o] = op.name[oo]
+		wp.text[o] = op.text[oo]
+		id := op.node[oo]
+		wp.node[o] = id
+		s.setPos(id, w)
 		w++
 		written++
 	}
 	// Seal the final page.
 	for q := w; q < n; q++ {
-		level[q] = xenc.LevelUnused
+		wp, o := at(q)
+		wp.level[o] = xenc.LevelUnused
 		pageEnd := (q >> s.pageBits << s.pageBits) + s.pageSize
-		size[q] = pageEnd - q - 1
-		node[q] = xenc.NoNode
+		wp.size[o] = pageEnd - q - 1
+		wp.node[o] = xenc.NoNode
 	}
 
-	s.size, s.level, s.kind, s.name, s.text, s.node = size, level, kind, name, text, node
+	s.pages = pages
+	s.pageOwned = make([]bool, nPages)
+	for i := range s.pageOwned {
+		s.pageOwned[i] = true
+	}
 	s.logToPhys = make([]int32, nPages)
 	s.physToLog = make([]int32, nPages)
 	for i := int32(0); i < nPages; i++ {

@@ -104,7 +104,7 @@ func TestPaperFigure4Insert(t *testing.T) {
 		t.Fatal("g not found")
 	}
 	gID := s.NodeOf(g)
-	aID, fID := s.NodeOf(s.Root()), s.parentOf[gID]
+	aID, fID := s.NodeOf(s.Root()), s.parentOf(gID)
 
 	if _, err := s.AppendChild(g, mustFragment(t, `<k><l/><m/></k>`)); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+
+	"mxq/internal/shred"
+)
+
+// corruptRoundTrip saves a small store, lets mutate damage the wire
+// struct, re-encodes it and feeds it to Load. Load must reject every
+// such checkpoint with an error — never panic, never hang.
+func corruptRoundTrip(t *testing.T, mutate func(*snapshot)) error {
+	t.Helper()
+	tr, err := shred.Parse(strings.NewReader(`<a><b at="1">x</b><c>y</c></a>`), shred.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(tr, Options{PageSize: 8, FillFactor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := gob.NewDecoder(&buf).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&snap)
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(&out)
+	return err
+}
+
+// TestLoadRejectsCorruptCheckpoints feeds Load systematically damaged
+// checkpoints: every case must come back as an error (the recovery path
+// a WAL replay builds on must fail closed, not crash the process).
+func TestLoadRejectsCorruptCheckpoints(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*snapshot)
+	}{
+		{"page bits zero", func(m *snapshot) { m.PageBits = 0 }},
+		{"page bits huge", func(m *snapshot) { m.PageBits = 40 }},
+		{"ragged level column", func(m *snapshot) { m.Level = m.Level[:len(m.Level)-1] }},
+		{"partial page", func(m *snapshot) {
+			m.Size = m.Size[:len(m.Size)-1]
+			m.Level = m.Level[:len(m.Level)-1]
+			m.Kind = m.Kind[:len(m.Kind)-1]
+			m.Name = m.Name[:len(m.Name)-1]
+			m.Text = m.Text[:len(m.Text)-1]
+			m.Node = m.Node[:len(m.Node)-1]
+		}},
+		{"truncated logToPhys", func(m *snapshot) { m.LogToPhys = m.LogToPhys[:0] }},
+		{"out-of-range logToPhys", func(m *snapshot) { m.LogToPhys[0] = 99 }},
+		{"broken bijection", func(m *snapshot) { m.PhysToLog[0] = m.PhysToLog[0] + 1 }},
+		{"short parent column", func(m *snapshot) { m.ParentOf = m.ParentOf[:1] }},
+		{"free id out of range", func(m *snapshot) { m.FreeNodes = append(m.FreeNodes, 9999) }},
+		{"negative free id", func(m *snapshot) { m.FreeNodes = append(m.FreeNodes, -2) }},
+		{"attr owner out of range", func(m *snapshot) {
+			m.AttrKeys = append(m.AttrKeys, 9999)
+			m.AttrVals = append(m.AttrVals, []int32{0, 0})
+		}},
+		{"attr keys/vals mismatch", func(m *snapshot) { m.AttrKeys = append(m.AttrKeys, 0) }},
+		{"wrong live count", func(m *snapshot) { m.LiveNodes++ }},
+		{"node id duplicated", func(m *snapshot) { m.Node[1] = m.Node[0] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := corruptRoundTrip(t, tc.mutate)
+			if err == nil {
+				t.Fatal("corrupt checkpoint accepted")
+			}
+			t.Logf("rejected: %v", err)
+		})
+	}
+}

@@ -31,12 +31,12 @@ func TestNodeMapBijectionProperty(t *testing.T) {
 		}
 		// Backward: every mapped node id lands on a live tuple with the
 		// same id.
-		for id := range s.nodePos {
-			p := s.PreOf(xenc.NodeID(id))
+		for id := xenc.NodeID(0); id < s.nodeLen; id++ {
+			p := s.PreOf(id)
 			if p == xenc.NoPre {
 				continue
 			}
-			if s.Level(p) == xenc.LevelUnused || s.NodeOf(p) != xenc.NodeID(id) {
+			if s.Level(p) == xenc.LevelUnused || s.NodeOf(p) != id {
 				return false
 			}
 		}
@@ -69,9 +69,11 @@ func TestRootSizeTracksLiveNodesProperty(t *testing.T) {
 	}
 }
 
-// Property: Clone produces an independent store — mutations on the clone
-// never reach the base (the isolation property transactions rely on).
-func TestCloneIndependenceProperty(t *testing.T) {
+// Property: Snapshot produces an independent image — mutations on the
+// snapshot never reach the base and vice versa, even though the two
+// share pages copy-on-write (the isolation property transactions rely
+// on).
+func TestSnapshotIndependenceProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		s, err := Build(randomDoc(rng, 25), Options{PageSize: 16, FillFactor: 0.8})
@@ -79,11 +81,53 @@ func TestCloneIndependenceProperty(t *testing.T) {
 			return false
 		}
 		before := fingerprint(s)
-		c := s.Clone()
+		c := s.Snapshot()
 		for step := 0; step < 30; step++ {
 			applyRandomOp(rng, c)
 		}
-		return fingerprint(s) == before && s.CheckInvariants() == nil && c.CheckInvariants() == nil
+		if fingerprint(s) != before || s.CheckInvariants() != nil || c.CheckInvariants() != nil {
+			return false
+		}
+		// The base keeps writing after the snapshot froze its pages;
+		// the snapshot must not observe any of it.
+		after := fingerprint(c)
+		for step := 0; step < 30; step++ {
+			applyRandomOp(rng, s)
+		}
+		return fingerprint(c) == after && s.CheckInvariants() == nil && c.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a snapshot's first write copies only the pages it touches —
+// the copy-on-write cost is O(pages written), never O(document).
+func TestSnapshotCopiesOnlyDirtyPagesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := Build(randomDoc(rng, 200), Options{PageSize: 16, FillFactor: 0.8})
+		if err != nil {
+			return false
+		}
+		c := s.Snapshot()
+		if c.DirtyPages() != 0 {
+			return false
+		}
+		// One value update dirties exactly one page.
+		var texts []xenc.Pre
+		for p := xenc.SkipFree(c, 0); p < c.Len(); p = xenc.SkipFree(c, p+1) {
+			if c.Kind(p) == xenc.KindText {
+				texts = append(texts, p)
+			}
+		}
+		if len(texts) == 0 {
+			return true
+		}
+		if err := c.SetValue(texts[rng.Intn(len(texts))], "x"); err != nil {
+			return false
+		}
+		return c.DirtyPages() == 1 && s.DirtyPages() == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)

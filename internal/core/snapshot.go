@@ -8,48 +8,46 @@ import (
 	"mxq/internal/xenc"
 )
 
-// Clone returns a deep copy of the store. Transactions clone the base
-// store on their first write: this plays the role of the copy-on-write
-// memory-mapped view of Section 3.2 ("create a temporary view backed by a
-// copy-on-write memory-map on the base table... the base table is never
-// altered"), giving the writer a private image to update while readers
-// keep using the base.
-func (s *Store) Clone() *Store {
-	c := &Store{
+// Snapshot returns a page-granular copy-on-write snapshot of the store:
+// the paper's "temporary view backed by a copy-on-write memory-map on the
+// base table" (Section 3.2). The snapshot shares every page chunk and
+// node chunk with the base, so taking it costs O(pages), not
+// O(document). Both sides lose ownership of the shared chunks; whichever
+// side writes a page first (the snapshot through a transaction's updates,
+// the base through a later commit) copies just that page via the
+// dirtyPage hook — "the base table is never altered" through the
+// snapshot, and only touched pages are ever materialized.
+//
+// The caller must have exclusive write access to s while taking the
+// snapshot (the transaction manager holds its global lock). The returned
+// store may be read concurrently; writes to it must come from a single
+// goroutine.
+func (s *Store) Snapshot() *Store {
+	// Freeze the base: every chunk it currently owns becomes shared.
+	clear(s.pageOwned)
+	clear(s.nodeOwned)
+	s.ownFreeNodes = false
+	return &Store{
 		pageBits:  s.pageBits,
 		pageMask:  s.pageMask,
 		pageSize:  s.pageSize,
-		size:      append([]int32(nil), s.size...),
-		level:     append([]int16(nil), s.level...),
-		kind:      append([]uint8(nil), s.kind...),
-		name:      append([]int32(nil), s.name...),
-		text:      append([]string(nil), s.text...),
-		node:      append([]int32(nil), s.node...),
+		pages:     append([]*page(nil), s.pages...),
+		pageOwned: make([]bool, len(s.pages)),
 		logToPhys: append([]int32(nil), s.logToPhys...),
 		physToLog: append([]int32(nil), s.physToLog...),
-		nodePos:   append([]int32(nil), s.nodePos...),
-		freeNodes: append([]int32(nil), s.freeNodes...),
-		parentOf:  append([]int32(nil), s.parentOf...),
-		attrs:     make([][]attrRef, len(s.attrs)),
-		prop: &propDict{
-			vals: append([]string(nil), s.prop.vals...),
-			ids:  make(map[string]int32, len(s.prop.ids)),
-		},
-		qn:        s.qn.Clone(),
+		nodes:     append([]*nodeChunk(nil), s.nodes...),
+		nodeOwned: make([]bool, len(s.nodes)),
+		nodeLen:   s.nodeLen,
+		freeNodes: s.freeNodes, // shared until the first pop/push
+		prop:      s.prop,      // shared: append-only, synchronized
+		qn:        s.qn,        // shared: append-only, synchronized
 		liveNodes: s.liveNodes,
 	}
-	for id, refs := range s.attrs {
-		if len(refs) > 0 {
-			c.attrs[id] = append([]attrRef(nil), refs...)
-		}
-	}
-	for k, v := range s.prop.ids {
-		c.prop.ids[k] = v
-	}
-	return c
 }
 
-// snapshot is the gob wire form of a store.
+// snapshot is the gob wire form of a store. The wire format flattens the
+// page chunks back into one slice per column, so checkpoints written
+// before the chunked layout still load.
 type snapshot struct {
 	PageBits  uint
 	Size      []int32
@@ -73,30 +71,42 @@ type snapshot struct {
 // Save writes a snapshot of the store (the checkpoint the WAL recovers
 // from).
 func (s *Store) Save(w io.Writer) error {
+	n := int(s.Len())
 	snap := snapshot{
 		PageBits:  s.pageBits,
-		Size:      s.size,
-		Level:     s.level,
-		Kind:      s.kind,
-		Name:      s.name,
-		Text:      s.text,
-		Node:      s.node,
+		Size:      make([]int32, 0, n),
+		Level:     make([]int16, 0, n),
+		Kind:      make([]uint8, 0, n),
+		Name:      make([]int32, 0, n),
+		Text:      make([]string, 0, n),
+		Node:      make([]int32, 0, n),
 		LogToPhys: s.logToPhys,
 		PhysToLog: s.physToLog,
-		NodePos:   s.nodePos,
+		NodePos:   make([]int32, 0, s.nodeLen),
 		FreeNodes: s.freeNodes,
-		ParentOf:  s.parentOf,
-		PropVals:  s.prop.vals,
+		ParentOf:  make([]int32, 0, s.nodeLen),
+		PropVals:  s.prop.values(),
 		LiveNodes: s.liveNodes,
 	}
-	for i := 0; i < s.qn.Len(); i++ {
-		snap.Names = append(snap.Names, s.qn.Name(int32(i)))
+	for _, pg := range s.pages {
+		snap.Size = append(snap.Size, pg.size...)
+		snap.Level = append(snap.Level, pg.level...)
+		snap.Kind = append(snap.Kind, pg.kind...)
+		snap.Name = append(snap.Name, pg.name...)
+		snap.Text = append(snap.Text, pg.text...)
+		snap.Node = append(snap.Node, pg.node...)
 	}
-	for id, refs := range s.attrs {
+	for id := xenc.NodeID(0); id < s.nodeLen; id++ {
+		snap.NodePos = append(snap.NodePos, s.posOf(id))
+		snap.ParentOf = append(snap.ParentOf, s.parentOf(id))
+	}
+	snap.Names = s.qn.NamesList()
+	for id := xenc.NodeID(0); id < s.nodeLen; id++ {
+		refs := s.attrRefs(id)
 		if len(refs) == 0 {
 			continue
 		}
-		snap.AttrKeys = append(snap.AttrKeys, int32(id))
+		snap.AttrKeys = append(snap.AttrKeys, id)
 		flat := make([]int32, 0, 2*len(refs))
 		for _, r := range refs {
 			flat = append(flat, r.name, r.val)
@@ -112,33 +122,79 @@ func Load(r io.Reader) (*Store, error) {
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: loading snapshot: %w", err)
 	}
+	// Page size must be a power of two in [8, 2^30] (Options enforces the
+	// lower bound at build time); anything else is corruption, and an
+	// oversized PageBits would make the chunking arithmetic below loop
+	// forever on a zero page size.
+	if snap.PageBits < 3 || snap.PageBits > 30 {
+		return nil, fmt.Errorf("core: snapshot is corrupt: page bits %d out of range [3,30]", snap.PageBits)
+	}
+	pageSize := int32(1) << snap.PageBits
 	s := &Store{
-		pageBits:  snap.PageBits,
-		pageMask:  int32(1)<<snap.PageBits - 1,
-		pageSize:  int32(1) << snap.PageBits,
-		size:      snap.Size,
-		level:     snap.Level,
-		kind:      snap.Kind,
-		name:      snap.Name,
-		text:      snap.Text,
-		node:      snap.Node,
-		logToPhys: snap.LogToPhys,
-		physToLog: snap.PhysToLog,
-		nodePos:   snap.NodePos,
-		freeNodes: snap.FreeNodes,
-		parentOf:  snap.ParentOf,
-		attrs:     make([][]attrRef, len(snap.NodePos)),
-		prop:      newPropDict(),
-		qn:        xenc.NewQNamePool(),
-		liveNodes: snap.LiveNodes,
+		pageBits:     snap.PageBits,
+		pageMask:     pageSize - 1,
+		pageSize:     pageSize,
+		logToPhys:    snap.LogToPhys,
+		physToLog:    snap.PhysToLog,
+		freeNodes:    snap.FreeNodes,
+		ownFreeNodes: true,
+		prop:         newPropDict(),
+		qn:           xenc.NewQNamePool(),
+		liveNodes:    snap.LiveNodes,
+	}
+	if int32(len(snap.Size))&s.pageMask != 0 {
+		return nil, fmt.Errorf("core: snapshot is corrupt: %d tuples is not a whole number of %d-tuple pages", len(snap.Size), pageSize)
+	}
+	if len(snap.Level) != len(snap.Size) || len(snap.Kind) != len(snap.Size) ||
+		len(snap.Name) != len(snap.Size) || len(snap.Text) != len(snap.Size) ||
+		len(snap.Node) != len(snap.Size) {
+		return nil, fmt.Errorf("core: snapshot is corrupt: ragged columns (%d/%d/%d/%d/%d/%d tuples)",
+			len(snap.Size), len(snap.Level), len(snap.Kind), len(snap.Name), len(snap.Text), len(snap.Node))
+	}
+	if len(snap.ParentOf) != len(snap.NodePos) {
+		return nil, fmt.Errorf("core: snapshot is corrupt: node/pos holds %d ids, parent column %d", len(snap.NodePos), len(snap.ParentOf))
+	}
+	for base := 0; base < len(snap.Size); base += int(pageSize) {
+		end := base + int(pageSize)
+		// Copy each range into per-page arrays rather than subslicing the
+		// decoded columns: a chunk that later survives COW divergence must
+		// not pin the whole flat document-sized array behind it.
+		pg := newPage(int(pageSize))
+		copy(pg.size, snap.Size[base:end])
+		copy(pg.level, snap.Level[base:end])
+		copy(pg.kind, snap.Kind[base:end])
+		copy(pg.name, snap.Name[base:end])
+		copy(pg.text, snap.Text[base:end])
+		copy(pg.node, snap.Node[base:end])
+		s.pages = append(s.pages, pg)
+		s.pageOwned = append(s.pageOwned, true)
+	}
+	s.nodeLen = int32(len(snap.NodePos))
+	for base := int32(0); base < s.nodeLen; base += pageSize {
+		nc := newNodeChunk(int(pageSize))
+		copy(nc.pos, snap.NodePos[base:min32(base+pageSize, s.nodeLen)])
+		copy(nc.parent, snap.ParentOf[base:min32(base+pageSize, s.nodeLen)])
+		s.nodes = append(s.nodes, nc)
+		s.nodeOwned = append(s.nodeOwned, true)
+	}
+	for _, id := range snap.FreeNodes {
+		if id < 0 || id >= s.nodeLen {
+			return nil, fmt.Errorf("core: snapshot is corrupt: free node id %d out of range [0,%d)", id, s.nodeLen)
+		}
+	}
+	if len(snap.AttrVals) != len(snap.AttrKeys) {
+		return nil, fmt.Errorf("core: snapshot is corrupt: %d attribute owners, %d value lists", len(snap.AttrKeys), len(snap.AttrVals))
 	}
 	for i, id := range snap.AttrKeys {
+		if id < 0 || id >= s.nodeLen {
+			return nil, fmt.Errorf("core: snapshot is corrupt: attribute owner %d out of range [0,%d)", id, s.nodeLen)
+		}
 		flat := snap.AttrVals[i]
 		refs := make([]attrRef, 0, len(flat)/2)
 		for j := 0; j+1 < len(flat); j += 2 {
 			refs = append(refs, attrRef{name: flat[j], val: flat[j+1]})
 		}
-		s.attrs[id] = refs
+		s.setAttrs(id, refs)
 	}
 	for i, v := range snap.PropVals {
 		s.prop.vals = append(s.prop.vals, v)

@@ -1,5 +1,5 @@
 // Package core implements the paper's contribution: an *updatable*
-// pre/size/level XML store (Sections 3–3.1, Figures 4, 6 and 7).
+// pre/size/level XML store (Sections 3–3.2, Figures 4, 6 and 7).
 //
 // The physical table is pos/size/level: it is divided into logical pages,
 // each logical page may contain unused tuples, and new logical pages are
@@ -21,11 +21,35 @@
 // column holds the number of directly following consecutive unused tuples
 // *within the same logical page*, so scans skip free space in O(1) per
 // run and page splices can never corrupt a run.
+//
+// # Copy-on-write snapshots
+//
+// All columns are physically chunked per page: the pos/size/level table
+// is a slice of *page chunks, and the NodeID-keyed tables (node/pos,
+// parent, attributes) are a slice of *nodeChunk chunks of the same
+// granularity. Snapshot reproduces Section 3.2's "temporary view backed
+// by a copy-on-write memory-map on the base table": it shares every chunk
+// between the base store and the snapshot and marks both sides not-owned,
+// so taking a snapshot is O(pages), not O(document). Every write path
+// funnels through the dirtyPage / dirtyNodeChunk hooks, which privately
+// copy a chunk the first time it is written ("only those parts of the
+// table that are actually updated get copied" — the base table is never
+// altered through a snapshot). A transaction therefore materializes only
+// the logical pages it touches, and commit — which replays the
+// transaction's operations onto the base — likewise copies only the pages
+// it writes, leaving the chunks shared with live snapshots untouched.
+// Dropping a snapshot simply drops its private chunks.
+//
+// The qualified-name pool and the attribute-value dictionary are shared
+// between the base and all snapshots (both are append-only and internally
+// synchronized); an aborted transaction can leave unreferenced dictionary
+// entries behind, which is harmless.
 package core
 
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"mxq/internal/shred"
 	"mxq/internal/xenc"
@@ -72,50 +96,113 @@ type attrRef struct {
 	val  int32 // prop dictionary id
 }
 
-// Store is the paged updatable document store.
-type Store struct {
-	pageBits uint
-	pageMask int32
-	pageSize int32
-
-	// Physical pos/size/level table (plus kind/name/text/node columns),
-	// one flat slice per column, length = pages * pageSize.
+// page is one physical page's worth of the pos/size/level table (plus the
+// kind/name/text/node columns). A page chunk shared with a snapshot is
+// immutable; writers obtain a private copy through Store.dirtyPage.
+type page struct {
 	size  []int32
 	level []int16
 	kind  []uint8
 	name  []int32
 	text  []string
 	node  []int32 // pos -> NodeID (NoNode on unused tuples)
+}
+
+func newPage(n int) *page {
+	return &page{
+		size:  make([]int32, n),
+		level: make([]int16, n),
+		kind:  make([]uint8, n),
+		name:  make([]int32, n),
+		text:  make([]string, n),
+		node:  make([]int32, n),
+	}
+}
+
+func (p *page) clone() *page {
+	return &page{
+		size:  append([]int32(nil), p.size...),
+		level: append([]int16(nil), p.level...),
+		kind:  append([]uint8(nil), p.kind...),
+		name:  append([]int32(nil), p.name...),
+		text:  append([]string(nil), p.text...),
+		node:  append([]int32(nil), p.node...),
+	}
+}
+
+// nodeChunk holds one page-sized chunk of the NodeID-keyed tables:
+// node/pos, the parent column, and the attribute table (Figure 6). It is
+// copy-on-write with the same discipline as page.
+type nodeChunk struct {
+	pos    []int32     // NodeID -> Pos (-1 when the id is free)
+	parent []int32     // NodeID -> parent NodeID (NoNode for a root)
+	attrs  [][]attrRef // NodeID -> attribute refs
+}
+
+func newNodeChunk(n int) *nodeChunk {
+	return &nodeChunk{
+		pos:    make([]int32, n),
+		parent: make([]int32, n),
+		attrs:  make([][]attrRef, n),
+	}
+}
+
+func (c *nodeChunk) clone() *nodeChunk {
+	return &nodeChunk{
+		pos:    append([]int32(nil), c.pos...),
+		parent: append([]int32(nil), c.parent...),
+		attrs:  append([][]attrRef(nil), c.attrs...),
+	}
+}
+
+// Store is the paged updatable document store.
+//
+// A Store is safe for concurrent readers. Writes require external
+// serialization (the transaction layer provides it); a Store obtained
+// from Snapshot may be written by exactly one goroutine, which is what
+// isolates a write transaction from the base.
+type Store struct {
+	pageBits uint
+	pageMask int32
+	pageSize int32
+
+	// Physical pos/size/level table, chunked per physical page.
+	// pageOwned[i] reports whether pages[i] is private to this store;
+	// chunks shared with a snapshot are frozen and must be copied via
+	// dirtyPage before the first write.
+	pages     []*page
+	pageOwned []bool
 
 	// pageOffset tables: logical page order over physical pages.
 	logToPhys []int32
 	physToLog []int32
 
-	// node/pos table: NodeID -> Pos (-1 when the id is free).
-	nodePos   []int32
-	freeNodes []int32 // recycled NodeIDs
+	// NodeID-keyed tables, chunked at page granularity with the same
+	// copy-on-write discipline. nodeLen is the number of NodeIDs ever
+	// allocated (the tail of the last chunk is unallocated headroom).
+	nodes     []*nodeChunk
+	nodeOwned []bool
+	nodeLen   int32
 
-	// parentOf: NodeID -> parent NodeID (NoNode for the root). Updates
-	// use it to reach "the list of affected ancestors" in O(depth); the
-	// query path never touches it (axes run on the DocView alone, like
-	// staircase join does in both schemas).
-	parentOf []int32
+	// freeNodes holds recycled NodeIDs. It is shared with snapshots until
+	// the first pop/push, which copies it (ownFreeNodes).
+	freeNodes    []int32
+	ownFreeNodes bool
 
-	// Attribute table, keyed by immutable NodeID (Figure 6), with values
-	// dictionary-encoded in prop (Figure 5). The index is positional —
-	// attrs[node] is a direct array access, MonetDB's positional join
-	// over the void node column — so the only extra cost the updatable
-	// schema pays on attribute access is the node/pos hop itself.
-	attrs [][]attrRef
-	prop  *propDict
+	// The attribute-value dictionary (Figure 5) and the qualified-name
+	// pool are shared between the base and every snapshot: both are
+	// append-only and internally synchronized.
+	prop *propDict
+	qn   *xenc.QNamePool
 
-	qn        *xenc.QNamePool
 	liveNodes int
 }
 
-// propDict wraps the attribute-value dictionary so the zero Store is
-// obviously invalid (construction goes through Build).
+// propDict is the attribute-value dictionary. It is append-only and safe
+// for concurrent use: the base store and all its snapshots share one
+// dictionary (ids handed to an aborted snapshot simply go unreferenced).
 type propDict struct {
+	mu   sync.RWMutex
 	vals []string
 	ids  map[string]int32
 }
@@ -123,6 +210,8 @@ type propDict struct {
 func newPropDict() *propDict { return &propDict{ids: make(map[string]int32)} }
 
 func (d *propDict) put(s string) int32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.ids[s]; ok {
 		return id
 	}
@@ -132,7 +221,18 @@ func (d *propDict) put(s string) int32 {
 	return id
 }
 
-func (d *propDict) get(id int32) string { return d.vals[id] }
+func (d *propDict) get(id int32) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.vals[id]
+}
+
+// values returns a point-in-time copy of the dictionary contents.
+func (d *propDict) values() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]string(nil), d.vals...)
+}
 
 // Build shreds a tree into a fresh paged store. Each page receives at
 // most FillFactor*PageSize nodes; the page tail is left as an unused run.
@@ -151,6 +251,7 @@ func Build(t *shred.Tree, opts Options) (*Store, error) {
 		prop:     newPropDict(),
 		qn:       xenc.NewQNamePool(),
 	}
+	s.ownFreeNodes = true
 	perPage := int32(float64(opts.PageSize) * opts.FillFactor)
 	if perPage < 1 {
 		perPage = 1
@@ -174,9 +275,9 @@ func Build(t *shred.Tree, opts Options) (*Store, error) {
 		stack = stack[:lvl]
 		id := xenc.NodeID(i)
 		if lvl == 0 {
-			s.parentOf[id] = xenc.NoNode
+			s.setParent(id, xenc.NoNode)
 		} else {
-			s.parentOf[id] = stack[lvl-1]
+			s.setParent(id, stack[lvl-1])
 		}
 		stack = append(stack, id)
 	}
@@ -191,16 +292,84 @@ func min32(a, b int32) int32 {
 	return b
 }
 
-// appendPhysPage grows every physical column by one page and returns the
-// new physical page number.
+// --- copy-on-write plumbing ----------------------------------------------
+
+// dirtyPage is the copy-on-write hook of every physical write path: it
+// returns a privately owned copy of physical page pg, copying the chunk
+// first if it is still shared with the base or a snapshot.
+func (s *Store) dirtyPage(pg int32) *page {
+	if !s.pageOwned[pg] {
+		s.pages[pg] = s.pages[pg].clone()
+		s.pageOwned[pg] = true
+	}
+	return s.pages[pg]
+}
+
+// dirtyNodeChunk is dirtyPage for the NodeID-keyed tables.
+func (s *Store) dirtyNodeChunk(ch int32) *nodeChunk {
+	if !s.nodeOwned[ch] {
+		s.nodes[ch] = s.nodes[ch].clone()
+		s.nodeOwned[ch] = true
+	}
+	return s.nodes[ch]
+}
+
+// ensureOwnFreeNodes makes the free-node list private before a pop or
+// push. Popping from a shared list and pushing again would overwrite the
+// shared backing array a snapshot still reads.
+func (s *Store) ensureOwnFreeNodes() {
+	if !s.ownFreeNodes {
+		s.freeNodes = append([]int32(nil), s.freeNodes...)
+		s.ownFreeNodes = true
+	}
+}
+
+// --- raw column access ----------------------------------------------------
+
+func (s *Store) sizeAt(pos int32) int32  { return s.pages[pos>>s.pageBits].size[pos&s.pageMask] }
+func (s *Store) levelAt(pos int32) int16 { return s.pages[pos>>s.pageBits].level[pos&s.pageMask] }
+func (s *Store) kindAt(pos int32) uint8  { return s.pages[pos>>s.pageBits].kind[pos&s.pageMask] }
+func (s *Store) nameAt(pos int32) int32  { return s.pages[pos>>s.pageBits].name[pos&s.pageMask] }
+func (s *Store) textAt(pos int32) string { return s.pages[pos>>s.pageBits].text[pos&s.pageMask] }
+func (s *Store) nodeAt(pos int32) int32  { return s.pages[pos>>s.pageBits].node[pos&s.pageMask] }
+
+// posOf returns the physical position of a node id (-1 when free).
+func (s *Store) posOf(id xenc.NodeID) int32 {
+	return s.nodes[id>>s.pageBits].pos[id&s.pageMask]
+}
+
+func (s *Store) setPos(id xenc.NodeID, pos int32) {
+	s.dirtyNodeChunk(id >> s.pageBits).pos[id&s.pageMask] = pos
+}
+
+// parentOf returns the parent node id (NoNode for roots).
+func (s *Store) parentOf(id xenc.NodeID) xenc.NodeID {
+	return s.nodes[id>>s.pageBits].parent[id&s.pageMask]
+}
+
+func (s *Store) setParent(id, parent xenc.NodeID) {
+	s.dirtyNodeChunk(id >> s.pageBits).parent[id&s.pageMask] = parent
+}
+
+// attrRefs is the positional join into the attribute table. The returned
+// slice may be shared with snapshots and must not be mutated in place.
+func (s *Store) attrRefs(id xenc.NodeID) []attrRef {
+	if id < 0 || id >= s.nodeLen {
+		return nil
+	}
+	return s.nodes[id>>s.pageBits].attrs[id&s.pageMask]
+}
+
+func (s *Store) setAttrs(id xenc.NodeID, refs []attrRef) {
+	s.dirtyNodeChunk(id >> s.pageBits).attrs[id&s.pageMask] = refs
+}
+
+// appendPhysPage grows the physical table by one (privately owned) page
+// and returns the new physical page number.
 func (s *Store) appendPhysPage() int32 {
-	pg := int32(len(s.size)) >> s.pageBits
-	s.size = append(s.size, make([]int32, s.pageSize)...)
-	s.level = append(s.level, make([]int16, s.pageSize)...)
-	s.kind = append(s.kind, make([]uint8, s.pageSize)...)
-	s.name = append(s.name, make([]int32, s.pageSize)...)
-	s.text = append(s.text, make([]string, s.pageSize)...)
-	s.node = append(s.node, make([]int32, s.pageSize)...)
+	pg := int32(len(s.pages))
+	s.pages = append(s.pages, newPage(int(s.pageSize)))
+	s.pageOwned = append(s.pageOwned, true)
 	return pg
 }
 
@@ -208,36 +377,48 @@ func (s *Store) appendPhysPage() int32 {
 // scans for NULL pos values before appending to node/pos).
 func (s *Store) newNodeID() xenc.NodeID {
 	if n := len(s.freeNodes); n > 0 {
+		s.ensureOwnFreeNodes()
 		id := s.freeNodes[n-1]
 		s.freeNodes = s.freeNodes[:n-1]
 		return id
 	}
-	s.nodePos = append(s.nodePos, -1)
-	s.parentOf = append(s.parentOf, xenc.NoNode)
-	s.attrs = append(s.attrs, nil)
-	return xenc.NodeID(len(s.nodePos) - 1)
+	id := s.nodeLen
+	ch := id >> s.pageBits
+	if int(ch) == len(s.nodes) {
+		s.nodes = append(s.nodes, newNodeChunk(int(s.pageSize)))
+		s.nodeOwned = append(s.nodeOwned, true)
+	}
+	nc := s.dirtyNodeChunk(ch)
+	off := id & s.pageMask
+	nc.pos[off] = -1
+	nc.parent[off] = xenc.NoNode
+	nc.attrs[off] = nil
+	s.nodeLen++
+	return id
 }
 
 // writeNode materializes one shredded node at physical position pos.
 func (s *Store) writeNode(pos int32, n *shred.Node, id xenc.NodeID) {
-	s.size[pos] = n.Size
-	s.level[pos] = n.Level
-	s.kind[pos] = uint8(n.Kind)
-	s.text[pos] = n.Value
-	s.node[pos] = id
-	s.nodePos[id] = pos
+	wp := s.dirtyPage(pos >> s.pageBits)
+	o := pos & s.pageMask
+	wp.size[o] = n.Size
+	wp.level[o] = n.Level
+	wp.kind[o] = uint8(n.Kind)
+	wp.text[o] = n.Value
+	wp.node[o] = id
+	s.setPos(id, pos)
 	switch n.Kind {
 	case xenc.KindElem, xenc.KindPI:
-		s.name[pos] = s.qn.Intern(n.Name)
+		wp.name[o] = s.qn.Intern(n.Name)
 	default:
-		s.name[pos] = xenc.NoName
+		wp.name[o] = xenc.NoName
 	}
 	if len(n.Attrs) > 0 {
 		refs := make([]attrRef, len(n.Attrs))
 		for i, a := range n.Attrs {
 			refs[i] = attrRef{name: s.qn.Intern(a.Name), val: s.prop.put(a.Value)}
 		}
-		s.attrs[id] = refs
+		s.setAttrs(id, refs)
 	}
 }
 
@@ -245,24 +426,28 @@ func (s *Store) writeNode(pos int32, n *shred.Node, id xenc.NodeID) {
 // descending run lengths ("size set to unite consecutive space"). Both
 // bounds must lie within a single physical page.
 func (s *Store) markFreeRun(from, to int32) {
+	if from >= to {
+		return
+	}
+	wp := s.dirtyPage(from >> s.pageBits)
 	for pos := from; pos < to; pos++ {
-		s.level[pos] = xenc.LevelUnused
-		s.size[pos] = to - pos - 1
-		s.kind[pos] = 0
-		s.name[pos] = 0
-		s.text[pos] = ""
-		s.node[pos] = xenc.NoNode
+		o := pos & s.pageMask
+		wp.level[o] = xenc.LevelUnused
+		wp.size[o] = to - pos - 1
+		wp.kind[o] = 0
+		wp.name[o] = 0
+		wp.text[o] = ""
+		wp.node[o] = xenc.NoNode
 	}
 }
 
 // recomputeFreeRuns rebuilds the free-run lengths of one physical page.
 func (s *Store) recomputeFreeRuns(physPage int32) {
-	base := physPage << s.pageBits
+	wp := s.dirtyPage(physPage)
 	run := int32(0)
 	for off := s.pageSize - 1; off >= 0; off-- {
-		pos := base + off
-		if s.level[pos] == xenc.LevelUnused {
-			s.size[pos] = run
+		if wp.level[off] == xenc.LevelUnused {
+			wp.size[off] = run
 			run++
 		} else {
 			run = 0
@@ -284,35 +469,35 @@ func (s *Store) preOfPos(pos int32) xenc.Pre {
 }
 
 // Len returns the view length, including unused tuples.
-func (s *Store) Len() xenc.Pre { return int32(len(s.size)) }
+func (s *Store) Len() xenc.Pre { return int32(len(s.pages)) << s.pageBits }
 
 // LiveNodes returns the number of live nodes.
 func (s *Store) LiveNodes() int { return s.liveNodes }
 
 // Size returns the live descendant count (or free-run length) at p.
-func (s *Store) Size(p xenc.Pre) xenc.Size { return s.size[s.physOf(p)] }
+func (s *Store) Size(p xenc.Pre) xenc.Size { return s.sizeAt(s.physOf(p)) }
 
 // Level returns the depth at p, or xenc.LevelUnused.
-func (s *Store) Level(p xenc.Pre) xenc.Level { return s.level[s.physOf(p)] }
+func (s *Store) Level(p xenc.Pre) xenc.Level { return s.levelAt(s.physOf(p)) }
 
 // Kind returns the node kind at p.
-func (s *Store) Kind(p xenc.Pre) xenc.Kind { return xenc.Kind(s.kind[s.physOf(p)]) }
+func (s *Store) Kind(p xenc.Pre) xenc.Kind { return xenc.Kind(s.kindAt(s.physOf(p))) }
 
 // Name returns the interned name id at p.
-func (s *Store) Name(p xenc.Pre) int32 { return s.name[s.physOf(p)] }
+func (s *Store) Name(p xenc.Pre) int32 { return s.nameAt(s.physOf(p)) }
 
 // Value returns the text content at p.
-func (s *Store) Value(p xenc.Pre) string { return s.text[s.physOf(p)] }
+func (s *Store) Value(p xenc.Pre) string { return s.textAt(s.physOf(p)) }
 
 // NodeOf returns the immutable node id at p.
-func (s *Store) NodeOf(p xenc.Pre) xenc.NodeID { return s.node[s.physOf(p)] }
+func (s *Store) NodeOf(p xenc.Pre) xenc.NodeID { return s.nodeAt(s.physOf(p)) }
 
 // PreOf translates a node id to its current view rank.
 func (s *Store) PreOf(n xenc.NodeID) xenc.Pre {
-	if n < 0 || int(n) >= len(s.nodePos) {
+	if n < 0 || n >= s.nodeLen {
 		return xenc.NoPre
 	}
-	pos := s.nodePos[n]
+	pos := s.posOf(n)
 	if pos < 0 {
 		return xenc.NoPre
 	}
@@ -344,14 +529,6 @@ func (s *Store) AttrValue(p xenc.Pre, name int32) (string, bool) {
 	return "", false
 }
 
-// attrRefs is the positional join into the attribute table.
-func (s *Store) attrRefs(id xenc.NodeID) []attrRef {
-	if id < 0 || int(id) >= len(s.attrs) {
-		return nil
-	}
-	return s.attrs[id]
-}
-
 // Names exposes the document's interned names.
 func (s *Store) Names() *xenc.QNamePool { return s.qn }
 
@@ -360,6 +537,19 @@ func (s *Store) Root() xenc.Pre { return xenc.SkipFree(s, 0) }
 
 // Pages returns the number of logical pages.
 func (s *Store) Pages() int { return len(s.logToPhys) }
+
+// DirtyPages returns the number of physical page chunks privately owned
+// by this store — for a snapshot, the pages its writes have materialized
+// so far. It is the observable cost of the copy-on-write protocol.
+func (s *Store) DirtyPages() int {
+	n := 0
+	for _, owned := range s.pageOwned {
+		if owned {
+			n++
+		}
+	}
+	return n
+}
 
 // PhysPage returns the physical page number backing the logical page that
 // contains view rank p. Physical page numbers are stable for the lifetime

@@ -26,6 +26,10 @@ import (
 // In both cases the only ancestor maintenance is size += k on the chain
 // of ancestors of the insert point, which the transaction layer turns
 // into commutative delta increments (Section 3.2).
+//
+// Every write funnels through the dirtyPage / dirtyNodeChunk hooks, so on
+// a copy-on-write snapshot each path materializes exactly the pages it
+// touches (Section 3.2's copy-on-write discipline).
 
 // errIsRoot guards operations that are illegal on the document root.
 var errIsRoot = fmt.Errorf("core: operation not allowed on the document root")
@@ -110,14 +114,17 @@ func (s *Store) Delete(target xenc.Pre) error {
 			break
 		}
 		pos := s.physOf(p)
-		id := s.node[pos]
-		s.attrs[id] = nil
-		s.nodePos[id] = -1
-		s.parentOf[id] = xenc.NoNode
+		wp := s.dirtyPage(pos >> s.pageBits)
+		o := pos & s.pageMask
+		id := wp.node[o]
+		s.setAttrs(id, nil)
+		s.setPos(id, -1)
+		s.setParent(id, xenc.NoNode)
+		s.ensureOwnFreeNodes()
 		s.freeNodes = append(s.freeNodes, id)
-		s.level[pos] = xenc.LevelUnused
-		s.node[pos] = xenc.NoNode
-		s.text[pos] = ""
+		wp.level[o] = xenc.LevelUnused
+		wp.node[o] = xenc.NoNode
+		wp.text[o] = ""
 		touched[pos>>s.pageBits] = true
 		p++
 	}
@@ -138,7 +145,8 @@ func (s *Store) SetValue(p xenc.Pre, val string) error {
 	if k := s.Kind(p); k == xenc.KindElem {
 		return fmt.Errorf("core: SetValue on an element (pre %d); update its text child instead", p)
 	}
-	s.text[s.physOf(p)] = val
+	pos := s.physOf(p)
+	s.dirtyPage(pos >> s.pageBits).text[pos&s.pageMask] = val
 	return nil
 }
 
@@ -150,11 +158,14 @@ func (s *Store) Rename(p xenc.Pre, name string) error {
 	if k := s.Kind(p); k != xenc.KindElem && k != xenc.KindPI {
 		return fmt.Errorf("core: Rename on a %v node (pre %d)", k, p)
 	}
-	s.name[s.physOf(p)] = s.qn.Intern(name)
+	pos := s.physOf(p)
+	s.dirtyPage(pos >> s.pageBits).name[pos&s.pageMask] = s.qn.Intern(name)
 	return nil
 }
 
-// SetAttr adds or replaces an attribute on the element at p.
+// SetAttr adds or replaces an attribute on the element at p. The
+// attribute list is rebuilt rather than patched in place: the old slice
+// may be shared with a copy-on-write snapshot.
 func (s *Store) SetAttr(p xenc.Pre, name, val string) error {
 	if err := s.checkLive(p); err != nil {
 		return err
@@ -165,19 +176,24 @@ func (s *Store) SetAttr(p xenc.Pre, name, val string) error {
 	id := s.NodeOf(p)
 	nameID := s.qn.Intern(name)
 	valID := s.prop.put(val)
-	refs := s.attrs[id]
-	for i := range refs {
-		if refs[i].name == nameID {
-			refs[i].val = valID
+	refs := s.attrRefs(id)
+	nrefs := make([]attrRef, len(refs), len(refs)+1)
+	copy(nrefs, refs)
+	for i := range nrefs {
+		if nrefs[i].name == nameID {
+			nrefs[i].val = valID
+			s.setAttrs(id, nrefs)
 			return nil
 		}
 	}
-	s.attrs[id] = append(refs, attrRef{name: nameID, val: valID})
+	s.setAttrs(id, append(nrefs, attrRef{name: nameID, val: valID}))
 	return nil
 }
 
 // RemoveAttr deletes an attribute from the element at p. Removing an
-// absent attribute is not an error (XUpdate remove semantics).
+// absent attribute is not an error (XUpdate remove semantics). Like
+// SetAttr, the surviving attributes go into a fresh slice so snapshots
+// sharing the old one are unaffected.
 func (s *Store) RemoveAttr(p xenc.Pre, name string) error {
 	if err := s.checkLive(p); err != nil {
 		return err
@@ -187,10 +203,16 @@ func (s *Store) RemoveAttr(p xenc.Pre, name string) error {
 		return nil
 	}
 	id := s.NodeOf(p)
-	refs := s.attrs[id]
+	refs := s.attrRefs(id)
 	for i := range refs {
 		if refs[i].name == nameID {
-			s.attrs[id] = append(refs[:i], refs[i+1:]...)
+			nrefs := make([]attrRef, 0, len(refs)-1)
+			nrefs = append(nrefs, refs[:i]...)
+			nrefs = append(nrefs, refs[i+1:]...)
+			if len(nrefs) == 0 {
+				nrefs = nil
+			}
+			s.setAttrs(id, nrefs)
 			return nil
 		}
 	}
@@ -212,7 +234,7 @@ func (s *Store) checkLive(p xenc.Pre) error {
 // ParentPre returns the view rank of p's parent (NoPre for the root),
 // resolved through the parent column in O(1).
 func (s *Store) ParentPre(p xenc.Pre) xenc.Pre {
-	id := s.parentOf[s.NodeOf(p)]
+	id := s.parentOf(s.NodeOf(p))
 	if id == xenc.NoNode {
 		return xenc.NoPre
 	}
@@ -264,8 +286,9 @@ func (s *Store) childAt(parent xenc.Pre, idx int) xenc.Pre {
 // protocol performs with commutative delta increments.
 func (s *Store) addAncestorSizes(id xenc.NodeID, delta int32) {
 	for id != xenc.NoNode {
-		s.size[s.nodePos[id]] += delta
-		id = s.parentOf[id]
+		pos := s.posOf(id)
+		s.dirtyPage(pos >> s.pageBits).size[pos&s.pageMask] += delta
+		id = s.parentOf(id)
 	}
 }
 
@@ -298,9 +321,9 @@ func (s *Store) insertAt(at xenc.Pre, parent xenc.Pre, frag *shred.Tree) ([]xenc
 		lvl := int(frag.Nodes[i].Level)
 		stack = stack[:lvl]
 		if lvl == 0 {
-			s.parentOf[ids[i]] = parentID
+			s.setParent(ids[i], parentID)
 		} else {
-			s.parentOf[ids[i]] = stack[lvl-1]
+			s.setParent(ids[i], stack[lvl-1])
 		}
 		stack = append(stack, ids[i])
 	}
@@ -333,7 +356,7 @@ func (s *Store) placeTuples(at xenc.Pre, frag *shred.Tree, baseLevel xenc.Level)
 		prevPg := (at - 1) >> s.pageBits
 		physBase := s.logToPhys[prevPg] << s.pageBits
 		tailStart := s.pageSize
-		for tailStart > 0 && s.level[physBase+tailStart-1] == xenc.LevelUnused {
+		for tailStart > 0 && s.levelAt(physBase+tailStart-1) == xenc.LevelUnused {
 			tailStart--
 		}
 		if s.pageSize-tailStart >= k {
@@ -354,7 +377,7 @@ func (s *Store) placeTuples(at xenc.Pre, frag *shred.Tree, baseLevel xenc.Level)
 		physBase := s.logToPhys[pg] << s.pageBits
 		free := int32(0)
 		for i := off; i < s.pageSize; i++ {
-			if s.level[physBase+i] == xenc.LevelUnused {
+			if s.levelAt(physBase+i) == xenc.LevelUnused {
 				free++
 			}
 		}
@@ -369,9 +392,10 @@ func (s *Store) placeTuples(at xenc.Pre, frag *shred.Tree, baseLevel xenc.Level)
 
 // insertWithinPage is Figure 7(a): tuples after the insert point move
 // towards the page end (their node/pos entries are updated), the new
-// nodes fill the gap.
+// nodes fill the gap. Exactly one physical page is dirtied.
 func (s *Store) insertWithinPage(physBase, off int32, frag *shred.Tree, baseLevel xenc.Level) []xenc.NodeID {
 	k := int32(len(frag.Nodes))
+	wp := s.dirtyPage(physBase >> s.pageBits)
 	// Save the used tail in order.
 	type saved struct {
 		size  int32
@@ -383,9 +407,8 @@ func (s *Store) insertWithinPage(physBase, off int32, frag *shred.Tree, baseLeve
 	}
 	var tail []saved
 	for i := off; i < s.pageSize; i++ {
-		pos := physBase + i
-		if s.level[pos] != xenc.LevelUnused {
-			tail = append(tail, saved{s.size[pos], s.level[pos], s.kind[pos], s.name[pos], s.text[pos], s.node[pos]})
+		if wp.level[i] != xenc.LevelUnused {
+			tail = append(tail, saved{wp.size[i], wp.level[i], wp.kind[i], wp.name[i], wp.text[i], wp.node[i]})
 		}
 	}
 	ids := s.newIDs(k)
@@ -396,18 +419,18 @@ func (s *Store) insertWithinPage(physBase, off int32, frag *shred.Tree, baseLeve
 		s.writeNode(physBase+off+int32(i), &n, ids[i])
 	}
 	// Moved tail directly after them.
-	w := physBase + off + k
+	w := off + k
 	for _, t := range tail {
-		s.size[w] = t.size
-		s.level[w] = t.level
-		s.kind[w] = t.kind
-		s.name[w] = t.name
-		s.text[w] = t.text
-		s.node[w] = t.node
-		s.nodePos[t.node] = w
+		wp.size[w] = t.size
+		wp.level[w] = t.level
+		wp.kind[w] = t.kind
+		wp.name[w] = t.name
+		wp.text[w] = t.text
+		wp.node[w] = t.node
+		s.setPos(t.node, physBase+w)
 		w++
 	}
-	s.markFreeRun(w, physBase+s.pageSize)
+	s.markFreeRun(physBase+w, physBase+s.pageSize)
 	// An unused run that ended directly before off may have interior runs
 	// recorded before the compaction; rebuild the whole page's run lengths
 	// so no stale run length can jump over the freshly written tuples.
@@ -420,7 +443,8 @@ func (s *Store) insertWithinPage(physBase, off int32, frag *shred.Tree, baseLeve
 // then spliced into the logical page order directly after the insert
 // page. Only appended pages are written (bulk updates are "written only
 // in newly appended logical pages"), so a transaction can keep them
-// private until commit.
+// private until commit; besides the appended pages only the insert page
+// itself is dirtied (its tail becomes an unused run).
 //
 // physBase < 0 means "append at the very end of the document" (no tail to
 // move, splice after logical page pg).
@@ -440,12 +464,12 @@ func (s *Store) insertOverflow(pg, physBase, off int32, frag *shred.Tree, baseLe
 		seq = append(seq, saved{isNew: int32(i)})
 	}
 	if physBase >= 0 {
+		op := s.pages[physBase>>s.pageBits]
 		for i := off; i < s.pageSize; i++ {
-			pos := physBase + i
-			if s.level[pos] != xenc.LevelUnused {
+			if op.level[i] != xenc.LevelUnused {
 				seq = append(seq, saved{
-					size: s.size[pos], level: s.level[pos], kind: s.kind[pos],
-					name: s.name[pos], text: s.text[pos], node: s.node[pos], isNew: -1,
+					size: op.size[i], level: op.level[i], kind: op.kind[i],
+					name: op.name[i], text: op.text[i], node: op.node[i], isNew: -1,
 				})
 			}
 		}
@@ -459,22 +483,22 @@ func (s *Store) insertOverflow(pg, physBase, off int32, frag *shred.Tree, baseLe
 	for p := int32(0); p < nNew; p++ {
 		phys := s.appendPhysPage()
 		base := phys << s.pageBits
+		wp := s.pages[phys]
 		chunk := seq[p<<s.pageBits : min32((p+1)<<s.pageBits, int32(len(seq)))]
 		for i := range chunk {
 			t := chunk[i]
-			pos := base + int32(i)
 			if t.isNew >= 0 {
 				n := frag.Nodes[t.isNew]
 				n.Level += baseLevel
-				s.writeNode(pos, &n, ids[t.isNew])
+				s.writeNode(base+int32(i), &n, ids[t.isNew])
 			} else {
-				s.size[pos] = t.size
-				s.level[pos] = t.level
-				s.kind[pos] = t.kind
-				s.name[pos] = t.name
-				s.text[pos] = t.text
-				s.node[pos] = t.node
-				s.nodePos[t.node] = pos
+				wp.size[i] = t.size
+				wp.level[i] = t.level
+				wp.kind[i] = t.kind
+				wp.name[i] = t.name
+				wp.text[i] = t.text
+				wp.node[i] = t.node
+				s.setPos(t.node, base+int32(i))
 			}
 		}
 		s.markFreeRun(base+int32(len(chunk)), base+s.pageSize)
@@ -486,7 +510,8 @@ func (s *Store) insertOverflow(pg, physBase, off int32, frag *shred.Tree, baseLe
 // spliceLogical inserts physical page phys at logical index logIdx: the
 // pageOffset maintenance of Figure 7(b) ("a new entry for it is appended
 // to the pageOffset table, and the offset of all pages after the insert
-// point is incremented").
+// point is incremented"). The pageOffset tables are private per store
+// (copied at snapshot time), so no copy-on-write hook is needed here.
 func (s *Store) spliceLogical(logIdx, phys int32) {
 	s.logToPhys = append(s.logToPhys, 0)
 	copy(s.logToPhys[logIdx+1:], s.logToPhys[logIdx:])

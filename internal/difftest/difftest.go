@@ -1,0 +1,374 @@
+// Package difftest cross-checks the paged updatable store against the
+// naive O(N) reference store (internal/naive) on randomized update
+// workloads. The two implementations share nothing but the DocView
+// interface, so any divergence in serialized output or any broken
+// invariant points at a real defect in one of them — the style of net
+// FLUX-like update-language work recommends for XML stores, where update
+// correctness is notoriously easy to rot silently.
+//
+// Workloads are seeded and fully deterministic: a failure report's seed
+// reproduces the exact op sequence. Operations target nodes by *live
+// document-order index*, which both stores can resolve regardless of how
+// their physical layouts diverge (the paged store interleaves free
+// tuples; the naive store is dense).
+//
+// The harness runs in two modes: direct (every op mutates the paged
+// store in place) and transactional (ops run against a page-granular
+// copy-on-write transaction image in batches that alternately commit and
+// abort, exercising the snapshot/commit/abort paths of Section 3.2 — the
+// oracle is advanced only on commit).
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mxq/internal/core"
+	"mxq/internal/naive"
+	"mxq/internal/serialize"
+	"mxq/internal/shred"
+	"mxq/internal/tx"
+	"mxq/internal/xenc"
+)
+
+// Config describes one differential workload.
+type Config struct {
+	Seed     int64
+	Steps    int     // number of update operations
+	DocSize  int     // node count of the initial random document
+	PageSize int     // paged-store logical page size
+	Fill     float64 // paged-store fill factor
+	// TxBatch, when > 0, routes the paged-store operations through a
+	// tx.Manager in batches of TxBatch ops; odd batches commit, even
+	// batches abort (the oracle only advances on commit).
+	TxBatch int
+}
+
+// mutTarget is the mutation surface shared by *core.Store and *tx.Tx.
+type mutTarget interface {
+	xenc.DocView
+	InsertBefore(xenc.Pre, *shred.Tree) ([]xenc.NodeID, error)
+	InsertAfter(xenc.Pre, *shred.Tree) ([]xenc.NodeID, error)
+	AppendChild(xenc.Pre, *shred.Tree) ([]xenc.NodeID, error)
+	Delete(xenc.Pre) error
+	SetValue(xenc.Pre, string) error
+	Rename(xenc.Pre, string) error
+	SetAttr(xenc.Pre, string, string) error
+	RemoveAttr(xenc.Pre, string) error
+}
+
+var (
+	_ mutTarget = (*core.Store)(nil)
+	_ mutTarget = (*tx.Tx)(nil)
+)
+
+// op kinds.
+const (
+	opInsertBefore = iota
+	opInsertAfter
+	opAppendChild
+	opDelete
+	opSetValue
+	opRename
+	opSetAttr
+	opRemoveAttr
+	numOpKinds
+)
+
+var opNames = [numOpKinds]string{
+	"InsertBefore", "InsertAfter", "AppendChild", "Delete",
+	"SetValue", "Rename", "SetAttr", "RemoveAttr",
+}
+
+// op is one resolved operation: a kind plus a live document-order index,
+// which each store translates to its own pre rank at apply time.
+type op struct {
+	kind  int
+	index int
+	frag  *shred.Tree
+	name  string
+	value string
+}
+
+func (o op) String() string {
+	return fmt.Sprintf("%s@%d(name=%q value=%q)", opNames[o.kind], o.index, o.name, o.value)
+}
+
+// applyPaged runs the op on the paged store (or a transaction image).
+func (o op) applyPaged(v mutTarget) error {
+	p := liveIndexPre(v, o.index)
+	switch o.kind {
+	case opInsertBefore:
+		_, err := v.InsertBefore(p, o.frag)
+		return err
+	case opInsertAfter:
+		_, err := v.InsertAfter(p, o.frag)
+		return err
+	case opAppendChild:
+		_, err := v.AppendChild(p, o.frag)
+		return err
+	case opDelete:
+		return v.Delete(p)
+	case opSetValue:
+		return v.SetValue(p, o.value)
+	case opRename:
+		return v.Rename(p, o.name)
+	case opSetAttr:
+		return v.SetAttr(p, o.name, o.value)
+	case opRemoveAttr:
+		return v.RemoveAttr(p, o.name)
+	}
+	return fmt.Errorf("unknown op kind %d", o.kind)
+}
+
+// applyNaive runs the op on the oracle.
+func (o op) applyNaive(s *naive.Store) error {
+	p := liveIndexPre(s, o.index)
+	switch o.kind {
+	case opInsertBefore:
+		return s.InsertBefore(p, o.frag)
+	case opInsertAfter:
+		return s.InsertAfter(p, o.frag)
+	case opAppendChild:
+		return s.AppendChild(p, o.frag)
+	case opDelete:
+		return s.Delete(p)
+	case opSetValue:
+		return s.SetValue(p, o.value)
+	case opRename:
+		return s.Rename(p, o.name)
+	case opSetAttr:
+		return s.SetAttr(p, o.name, o.value)
+	case opRemoveAttr:
+		return s.RemoveAttr(p, o.name)
+	}
+	return fmt.Errorf("unknown op kind %d", o.kind)
+}
+
+// liveIndexPre returns the pre rank of the idx-th live node in document
+// order (idx 0 is the root).
+func liveIndexPre(v xenc.DocView, idx int) xenc.Pre {
+	p := xenc.SkipFree(v, 0)
+	for ; idx > 0; idx-- {
+		p = xenc.SkipFree(v, p+1)
+	}
+	return p
+}
+
+// genOp picks a random operation that is valid against the current state
+// of view v. It returns ok=false only if the document somehow has no
+// live nodes (which would itself be a bug the caller reports).
+func genOp(rng *rand.Rand, v xenc.DocView, stamp int) (op, bool) {
+	n := v.LiveNodes()
+	if n == 0 {
+		return op{}, false
+	}
+	idx := rng.Intn(n)
+	p := liveIndexPre(v, idx)
+	kind := v.Kind(p)
+
+	var candidates []int
+	if idx != 0 {
+		candidates = append(candidates, opInsertBefore, opInsertAfter, opDelete)
+	}
+	switch kind {
+	case xenc.KindElem:
+		candidates = append(candidates, opAppendChild, opRename, opSetAttr, opRemoveAttr)
+	case xenc.KindText, xenc.KindComment:
+		candidates = append(candidates, opSetValue)
+	case xenc.KindPI:
+		candidates = append(candidates, opSetValue, opRename)
+	}
+	o := op{kind: candidates[rng.Intn(len(candidates))], index: idx}
+	switch o.kind {
+	case opInsertBefore, opInsertAfter, opAppendChild:
+		o.frag = randFrag(rng, stamp)
+	case opSetValue:
+		o.value = fmt.Sprintf("v%d", stamp)
+	case opRename:
+		o.name = fmt.Sprintf("r%d", rng.Intn(6))
+	case opSetAttr:
+		o.name = fmt.Sprintf("a%d", rng.Intn(4))
+		o.value = fmt.Sprintf("w%d", stamp)
+	case opRemoveAttr:
+		o.name = fmt.Sprintf("a%d", rng.Intn(4))
+	}
+	return o, true
+}
+
+// randFrag builds a small random single-rooted fragment: an element with
+// up to three child nodes (elements, text, comments), possibly carrying
+// an attribute.
+func randFrag(rng *rand.Rand, stamp int) *shred.Tree {
+	b := shred.NewBuilder()
+	if rng.Intn(2) == 0 {
+		b.Start(fmt.Sprintf("f%d", rng.Intn(5)), shred.Attr{Name: "s", Value: fmt.Sprint(stamp)})
+	} else {
+		b.Start(fmt.Sprintf("f%d", rng.Intn(5)))
+	}
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			b.Elem(fmt.Sprintf("g%d", rng.Intn(3)), fmt.Sprintf("t%d", stamp))
+		case 1:
+			b.Text(fmt.Sprintf("x%d", stamp))
+		default:
+			b.Comment(fmt.Sprintf("c%d", stamp))
+		}
+	}
+	return b.End().Tree()
+}
+
+// randomDoc builds the seeded initial document.
+func randomDoc(rng *rand.Rand, n int) *shred.Tree {
+	b := shred.NewBuilder().Start("root")
+	depth := 1
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			if rng.Intn(2) == 0 {
+				b.Start(fmt.Sprintf("e%d", rng.Intn(4)), shred.Attr{Name: "i", Value: fmt.Sprint(i)})
+			} else {
+				b.Start(fmt.Sprintf("e%d", rng.Intn(4)))
+			}
+			depth++
+		case 1:
+			b.Text(fmt.Sprintf("t%d", i))
+		case 2:
+			b.Elem("leaf", fmt.Sprintf("l%d", i))
+		default:
+			if depth > 1 {
+				b.End()
+				depth--
+			} else {
+				b.Comment(fmt.Sprintf("c%d", i))
+			}
+		}
+	}
+	for depth > 0 {
+		b.End()
+		depth--
+	}
+	return b.Tree()
+}
+
+// serializeView renders a view to XML.
+func serializeView(tb testing.TB, v xenc.DocView) string {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := serialize.Document(&buf, v, serialize.Options{}); err != nil {
+		tb.Fatalf("serialize: %v", err)
+	}
+	return buf.String()
+}
+
+// checkAgree compares the paged store against the oracle and verifies
+// the paged store's structural invariants.
+func checkAgree(t *testing.T, cfg Config, step int, paged *core.Store, oracle *naive.Store, history []op) {
+	t.Helper()
+	if err := paged.CheckInvariants(); err != nil {
+		t.Fatalf("seed %d step %d: paged-store invariants broken after %v: %v",
+			cfg.Seed, step, tail(history), err)
+	}
+	got, want := serializeView(t, paged), serializeView(t, oracle)
+	if got != want {
+		t.Fatalf("seed %d step %d: stores diverged after %v\npaged:  %s\noracle: %s",
+			cfg.Seed, step, tail(history), got, want)
+	}
+	if paged.LiveNodes() != oracle.LiveNodes() {
+		t.Fatalf("seed %d step %d: live-node counts diverged: paged %d, oracle %d",
+			cfg.Seed, step, paged.LiveNodes(), oracle.LiveNodes())
+	}
+}
+
+func tail(history []op) []op {
+	if len(history) > 5 {
+		return history[len(history)-5:]
+	}
+	return history
+}
+
+// Run executes one differential workload described by cfg.
+func Run(t *testing.T, cfg Config) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tree := randomDoc(rng, cfg.DocSize)
+
+	oracle, err := naive.Build(tree)
+	if err != nil {
+		t.Fatalf("seed %d: building oracle: %v", cfg.Seed, err)
+	}
+	paged, err := core.Build(tree, core.Options{PageSize: cfg.PageSize, FillFactor: cfg.Fill})
+	if err != nil {
+		t.Fatalf("seed %d: building paged store: %v", cfg.Seed, err)
+	}
+	checkAgree(t, cfg, -1, paged, oracle, nil)
+
+	if cfg.TxBatch > 0 {
+		runTx(t, cfg, rng, paged, oracle)
+		return
+	}
+
+	var history []op
+	for step := 0; step < cfg.Steps; step++ {
+		o, ok := genOp(rng, paged, step)
+		if !ok {
+			t.Fatalf("seed %d step %d: paged store has no live nodes", cfg.Seed, step)
+		}
+		history = append(history, o)
+		if err := o.applyPaged(paged); err != nil {
+			t.Fatalf("seed %d step %d: paged %v: %v", cfg.Seed, step, o, err)
+		}
+		if err := o.applyNaive(oracle); err != nil {
+			t.Fatalf("seed %d step %d: oracle %v: %v", cfg.Seed, step, o, err)
+		}
+		checkAgree(t, cfg, step, paged, oracle, history)
+	}
+}
+
+// runTx drives the same differential comparison through the transaction
+// layer: ops are generated against (and applied to) a copy-on-write
+// transaction image; odd batches commit — replaying onto the base and
+// advancing the oracle — while even batches abort, after which the base
+// must still match the oracle exactly (the dropped private pages must
+// not have leaked into shared state).
+func runTx(t *testing.T, cfg Config, rng *rand.Rand, paged *core.Store, oracle *naive.Store) {
+	t.Helper()
+	m := tx.NewManager(paged, nil)
+	step := 0
+	batch := 0
+	var history []op
+	for step < cfg.Steps {
+		batch++
+		txn := m.Begin()
+		var pending []op
+		for i := 0; i < cfg.TxBatch && step < cfg.Steps; i++ {
+			o, ok := genOp(rng, txn, step)
+			if !ok {
+				t.Fatalf("seed %d step %d: tx image has no live nodes", cfg.Seed, step)
+			}
+			pending = append(pending, o)
+			if err := o.applyPaged(txn); err != nil {
+				t.Fatalf("seed %d step %d: tx %v: %v", cfg.Seed, step, o, err)
+			}
+			step++
+		}
+		commit := batch%2 == 1
+		if commit {
+			if err := txn.Commit(); err != nil {
+				t.Fatalf("seed %d batch %d: commit: %v", cfg.Seed, batch, err)
+			}
+			for _, o := range pending {
+				if err := o.applyNaive(oracle); err != nil {
+					t.Fatalf("seed %d batch %d: oracle %v: %v", cfg.Seed, batch, o, err)
+				}
+			}
+			history = append(history, pending...)
+		} else {
+			txn.Abort()
+		}
+		checkAgree(t, cfg, step, paged, oracle, history)
+	}
+}

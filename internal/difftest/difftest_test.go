@@ -1,0 +1,74 @@
+package difftest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDirectSmallPages drives the paged store directly with tiny pages,
+// the regime with the most page splices and free-run churn per op.
+func TestDirectSmallPages(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			Run(t, Config{
+				Seed: seed, Steps: 120, DocSize: 60,
+				PageSize: 16, Fill: 0.75,
+			})
+		})
+	}
+}
+
+// TestDirectLargePages exercises the within-page insert path: with large
+// pages nearly all inserts fit without splicing.
+func TestDirectLargePages(t *testing.T) {
+	for seed := int64(10); seed <= 13; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			Run(t, Config{
+				Seed: seed, Steps: 120, DocSize: 120,
+				PageSize: 256, Fill: 0.6,
+			})
+		})
+	}
+}
+
+// TestDirectFullPages forces the page-overflow path: fill factor 1.0
+// leaves no free tuples, so every structural insert splices pages.
+func TestDirectFullPages(t *testing.T) {
+	for seed := int64(20); seed <= 23; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			Run(t, Config{
+				Seed: seed, Steps: 100, DocSize: 80,
+				PageSize: 16, Fill: 1.0,
+			})
+		})
+	}
+}
+
+// TestTxCommitAbort routes every op through a page-granular
+// copy-on-write transaction image, alternating committing and aborting
+// batches: the base store must match the oracle after every batch, and
+// an aborted batch must leave no trace.
+func TestTxCommitAbort(t *testing.T) {
+	for seed := int64(30); seed <= 35; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			Run(t, Config{
+				Seed: seed, Steps: 120, DocSize: 70,
+				PageSize: 16, Fill: 0.75, TxBatch: 5,
+			})
+		})
+	}
+}
+
+// TestTxSingleOpBatches is the worst case for snapshot overhead: every
+// single op pays a fresh Begin (copy-on-write snapshot) and commit or
+// abort.
+func TestTxSingleOpBatches(t *testing.T) {
+	for seed := int64(40); seed <= 43; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			Run(t, Config{
+				Seed: seed, Steps: 80, DocSize: 50,
+				PageSize: 32, Fill: 0.8, TxBatch: 1,
+			})
+		})
+	}
+}

@@ -287,6 +287,76 @@ func (s *Store) Delete(target xenc.Pre) error {
 	return nil
 }
 
+// --- value updates (in place; the naive schema handles these fine) ---------
+
+// SetValue replaces the content of a text, comment or PI node.
+func (s *Store) SetValue(p xenc.Pre, val string) error {
+	if p < 0 || p >= s.Len() {
+		return fmt.Errorf("naive: pre %d out of range", p)
+	}
+	if s.Kind(p) == xenc.KindElem {
+		return fmt.Errorf("naive: SetValue on an element (pre %d)", p)
+	}
+	s.text[p] = val
+	return nil
+}
+
+// Rename changes the qualified name of an element or PI node.
+func (s *Store) Rename(p xenc.Pre, name string) error {
+	if p < 0 || p >= s.Len() {
+		return fmt.Errorf("naive: pre %d out of range", p)
+	}
+	if k := s.Kind(p); k != xenc.KindElem && k != xenc.KindPI {
+		return fmt.Errorf("naive: Rename on a %v node (pre %d)", k, p)
+	}
+	s.name[p] = s.qn.Intern(name)
+	return nil
+}
+
+// SetAttr adds or replaces an attribute on the element at p. A replaced
+// attribute keeps its position; a new one goes last, matching the paged
+// store's semantics so differential tests can compare serializations.
+func (s *Store) SetAttr(p xenc.Pre, name, val string) error {
+	if p < 0 || p >= s.Len() {
+		return fmt.Errorf("naive: pre %d out of range", p)
+	}
+	if s.Kind(p) != xenc.KindElem {
+		return fmt.Errorf("naive: SetAttr on a %v node (pre %d)", s.Kind(p), p)
+	}
+	nameID := s.qn.Intern(name)
+	lo, hi := s.attrRange(p)
+	for i := lo; i < hi; i++ {
+		if s.attrName[i] == nameID {
+			s.attrVal[i] = s.prop.Put(val)
+			return nil
+		}
+	}
+	s.spliceAttr(p, name, val)
+	return nil
+}
+
+// RemoveAttr deletes an attribute from the element at p. Removing an
+// absent attribute is not an error (XUpdate remove semantics).
+func (s *Store) RemoveAttr(p xenc.Pre, name string) error {
+	if p < 0 || p >= s.Len() {
+		return fmt.Errorf("naive: pre %d out of range", p)
+	}
+	nameID, ok := s.qn.Lookup(name)
+	if !ok {
+		return nil
+	}
+	lo, hi := s.attrRange(p)
+	for i := lo; i < hi; i++ {
+		if s.attrName[i] == nameID {
+			s.attrOwner = append(s.attrOwner[:i], s.attrOwner[i+1:]...)
+			s.attrName = append(s.attrName[:i], s.attrName[i+1:]...)
+			s.attrVal = append(s.attrVal[:i], s.attrVal[i+1:]...)
+			return nil
+		}
+	}
+	return nil
+}
+
 // parent finds the parent by the backward level scan every pre/size/level
 // store supports.
 func (s *Store) parent(p xenc.Pre) xenc.Pre {

@@ -1,11 +1,17 @@
 // Package tx implements the ACID transaction protocol of Section 3.2
 // (Figure 8) over the paged document store:
 //
-//   - read-only queries acquire a global read lock for their duration;
-//   - write transactions work in isolation on a copy-on-write image of
-//     the base store, acquiring page-grained write locks for every
-//     logical page their structural updates touch (no-wait locking: a
-//     conflict aborts the younger request instead of risking deadlock);
+//   - read-only queries acquire a global read lock for their duration,
+//     or take a lock-free Snapshot view that stays consistent across
+//     commits;
+//   - write transactions work in isolation on a *page-granular
+//     copy-on-write* image of the base store (core.Store.Snapshot): the
+//     image shares all pages with the base and privately copies only the
+//     pages its updates touch, so beginning a transaction and making a
+//     small update are both O(pages touched), never O(document). They
+//     acquire page-grained write locks for every logical page their
+//     structural updates touch (no-wait locking: a conflict aborts the
+//     younger request instead of risking deadlock);
 //   - ancestor size maintenance is performed with commutative delta
 //     increments at commit, so concurrent writers under the same
 //     ancestors — in particular the document root — never contend on
@@ -50,6 +56,14 @@ type Manager struct {
 	store     *core.Store
 	log       *wal.Log
 	validator Validator
+
+	// snapMu serializes snapshot creation (Begin / Snapshot) against
+	// itself: taking a snapshot mutates only the base store's
+	// chunk-ownership tables, which readers never touch, so snapshot
+	// creation runs under mu.RLock (excluding commits, which hold the
+	// exclusive lock) plus this mutex (excluding other snapshotters) —
+	// never blocking or queueing behind read-only queries.
+	snapMu sync.Mutex
 
 	lockMu sync.Mutex
 	owners map[int32]*Tx // logical page -> holder
@@ -102,11 +116,37 @@ func (m *Manager) Stats() (commits, aborts uint64) {
 
 // Begin starts a write transaction. The returned Tx is not safe for
 // concurrent use by multiple goroutines.
+//
+// The transaction's private image is a page-granular copy-on-write
+// snapshot (core.Store.Snapshot): taking it costs O(pages) and the
+// transaction's writes materialize only the pages they touch. Snapshot
+// creation mutates only the base store's chunk-ownership tables, which
+// readers never access, so it runs under the shared read lock (to
+// exclude commits) plus snapMu (to exclude other snapshotters) and
+// proceeds in parallel with read-only queries.
 func (m *Manager) Begin() *Tx {
+	return &Tx{m: m, clone: m.snapshot(), pages: make(map[int32]bool)}
+}
+
+func (m *Manager) snapshot() *core.Store {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
 	m.mu.RLock()
-	clone := m.store.Clone()
-	m.mu.RUnlock()
-	return &Tx{m: m, clone: clone, pages: make(map[int32]bool)}
+	defer m.mu.RUnlock()
+	return m.store.Snapshot()
+}
+
+// Snapshot returns an immutable point-in-time view of the document that
+// can be read without holding any lock: readers traverse it while later
+// write transactions commit concurrently, because commits copy the pages
+// they modify instead of updating shared chunks in place (Section 3.2's
+// copy-on-write reader isolation). The view is safe for concurrent use
+// by any number of goroutines and stays consistent forever. A read-only
+// snapshot never materializes pages of its own — it pins the chunks it
+// shares with the base, which become collectable as the base replaces
+// them and the snapshot itself is dropped.
+func (m *Manager) Snapshot() xenc.DocView {
+	return m.snapshot()
 }
 
 // Checkpoint writes an LSN-stamped snapshot of the current base store;
@@ -139,6 +179,11 @@ func Recover(snapshot io.Reader, log *wal.Log) (*core.Store, error) {
 	if log == nil {
 		return store, nil
 	}
+	// The checkpoint covers every record up to lsn. Make sure the log
+	// never hands out those LSNs again (a truncated log reopens with its
+	// counter at 0), or commits after this recovery would be skipped by
+	// the replay of the next one.
+	log.EnsureLSN(lsn)
 	err = log.Replay(lsn, func(rec *wal.Record) error {
 		if err := ApplyOps(store, rec.Ops); err != nil {
 			return fmt.Errorf("tx: replaying LSN %d: %w", rec.LSN, err)

@@ -356,6 +356,73 @@ func TestWALRecovery(t *testing.T) {
 	}
 }
 
+// TestRecoveryAfterCheckpointTruncate reproduces the full durability
+// cycle an embedding application drives: commit, checkpoint (which
+// truncates the WAL), restart, commit again, restart again. The second
+// restart must see the post-checkpoint commit. This is a regression
+// test: a truncated log reopened with its LSN counter at zero used to
+// hand out LSNs the checkpoint already covered, so the replay of the
+// second recovery silently skipped the commit.
+func TestRecoveryAfterCheckpointTruncate(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "doc.wal")
+	log, err := wal.Open(logPath, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, log)
+
+	commitBook := func(m *Manager, name string) {
+		t.Helper()
+		tx := m.Begin()
+		shelf := mustSelect(t, tx, `//shelf[@id="s1"]`)
+		if _, err := tx.AppendChild(shelf, frag(t, `<book>`+name+`</book>`)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Session 1: commit, checkpoint, truncate the now-redundant WAL.
+	commitBook(m, "before-ckpt")
+	var checkpoint bytes.Buffer
+	if err := m.Checkpoint(&checkpoint); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+
+	// Session 2: recover, commit one more book.
+	log2, err := wal.Open(logPath, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Recover(bytes.NewReader(checkpoint.Bytes()), log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitBook(NewManager(s2, log2), "after-ckpt")
+	log2.Close()
+
+	// Session 3: the post-checkpoint commit must survive.
+	log3, err := wal.Open(logPath, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log3.Close()
+	s3, err := Recover(bytes.NewReader(checkpoint.Bytes()), log3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := xpath.MustParse(`//book[text()="after-ckpt"]`).Select(s3); len(n) != 1 {
+		t.Fatalf("post-checkpoint commit lost on recovery: found %d matching books", len(n))
+	}
+}
+
 func TestRecoveryWithTornTail(t *testing.T) {
 	dir := t.TempDir()
 	logPath := filepath.Join(dir, "doc.wal")

@@ -192,6 +192,18 @@ func (l *Log) scan(fn func(*Record) error) (validEnd int64, lastLSN uint64, err 
 	}
 }
 
+// EnsureLSN raises the log's LSN counter to at least lsn. Recovery calls
+// it with the checkpoint's LSN: after Truncate empties the log, a
+// reopened Log would otherwise restart numbering at 1 and hand out LSNs
+// the checkpoint already covers — and Replay, which skips records with
+// LSN <= the checkpoint LSN, would silently drop those commits on the
+// next recovery.
+func (l *Log) EnsureLSN(lsn uint64) {
+	if l.lsn < lsn {
+		l.lsn = lsn
+	}
+}
+
 // Truncate discards all records (after a checkpoint made them redundant).
 func (l *Log) Truncate() error {
 	if err := l.f.Truncate(0); err != nil {

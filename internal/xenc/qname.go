@@ -1,11 +1,21 @@
 package xenc
 
+import "sync"
+
 // QNamePool interns qualified names (the paper's qn table, Figure 5).
 // Elements and attributes reference names by dense integer id, which is
 // what makes name tests a single integer comparison during axis steps.
 //
+// The pool is append-only and safe for concurrent use: with page-grained
+// copy-on-write snapshots, the base store and all of its snapshots share
+// a single pool, so a writer may intern a new name while readers resolve
+// ids. Names interned by an aborted transaction stay in the pool
+// unreferenced, which is harmless (ids are only meaningful through the
+// column data that references them).
+//
 // The zero value is not ready for use; call NewQNamePool.
 type QNamePool struct {
+	mu    sync.RWMutex
 	names []string
 	ids   map[string]int32
 }
@@ -17,6 +27,8 @@ func NewQNamePool() *QNamePool {
 
 // Intern returns the id for name, adding it to the pool if new.
 func (q *QNamePool) Intern(name string) int32 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	if id, ok := q.ids[name]; ok {
 		return id
 	}
@@ -28,6 +40,8 @@ func (q *QNamePool) Intern(name string) int32 {
 
 // Lookup returns the id for name without interning it.
 func (q *QNamePool) Lookup(name string) (int32, bool) {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
 	id, ok := q.ids[name]
 	return id, ok
 }
@@ -38,21 +52,23 @@ func (q *QNamePool) Name(id int32) string {
 	if id == NoName {
 		return ""
 	}
+	q.mu.RLock()
+	defer q.mu.RUnlock()
 	return q.names[id]
 }
 
 // Len returns the number of interned names.
-func (q *QNamePool) Len() int { return len(q.names) }
-
-// Clone returns an independent copy of the pool. Transactions clone the
-// pool so aborted updates cannot leak names into the base document.
-func (q *QNamePool) Clone() *QNamePool {
-	c := &QNamePool{
-		names: append([]string(nil), q.names...),
-		ids:   make(map[string]int32, len(q.ids)),
-	}
-	for k, v := range q.ids {
-		c.ids[k] = v
-	}
-	return c
+func (q *QNamePool) Len() int {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return len(q.names)
 }
+
+// NamesList returns a point-in-time copy of all interned names in id
+// order (used by checkpointing).
+func (q *QNamePool) NamesList() []string {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	return append([]string(nil), q.names...)
+}
+

@@ -141,7 +141,7 @@ func (e *emitter) text(n int) {
 		if i > 0 {
 			e.emit(" ")
 		}
-		e.emit(e.rng.choice(wordList))
+		e.emit("%s", e.rng.choice(wordList))
 	}
 }
 
@@ -158,7 +158,7 @@ func (e *emitter) markedText(n int) {
 		case 1:
 			e.emit("<keyword>%s</keyword>", e.rng.choice(wordList))
 		default:
-			e.emit(e.rng.choice(wordList))
+			e.emit("%s", e.rng.choice(wordList))
 		}
 	}
 }

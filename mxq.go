@@ -9,7 +9,11 @@
 // following pre numbers for free, immutable node ids behind a node/pos
 // table, and ACID transactions whose ancestor-size maintenance uses
 // commutative delta increments so the document root never becomes a
-// locking bottleneck.
+// locking bottleneck. Write transactions run against a page-granular
+// copy-on-write snapshot of the store (Section 3.2): beginning a
+// transaction shares all pages with the base, updates privately copy
+// just the pages they touch, and Document.Snapshot exposes the same
+// mechanism as a lock-free consistent read view.
 //
 // Quick start:
 //
