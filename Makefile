@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench fuzz
 
 check: build vet race
 
@@ -25,7 +25,17 @@ race:
 	$(GO) test -race ./...
 
 # The paper's evaluation benchmarks (Figure 9, insert scaling, the
-# page-COW transaction cost, ...). Narrow with BENCH=<regexp>.
+# page-COW transaction cost, the versioned-snapshot read path, ...).
+# Narrow with BENCH=<regexp>.
 BENCH ?= .
 bench:
 	$(GO) test -run xxx -bench '$(BENCH)' -benchmem .
+
+# Native fuzz smoke over the two text-input surfaces (the XPath compiler
+# and the XUpdate parser). Go allows one -fuzz target per invocation;
+# -fuzzminimizetime=1x keeps short runs fuzzing instead of minimizing.
+# Raise FUZZTIME for a real session.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzXPathParse -fuzztime $(FUZZTIME) -fuzzminimizetime=1x ./internal/xpath
+	$(GO) test -run xxx -fuzz FuzzXUpdateParse -fuzztime $(FUZZTIME) -fuzzminimizetime=1x ./internal/xupdate

@@ -29,8 +29,20 @@ type Document struct {
 // Name returns the document's name.
 func (d *Document) Name() string { return d.name }
 
+// read runs fn against the cached snapshot of the current committed
+// version. No lock is held while fn runs — the view is an immutable
+// copy-on-write snapshot leased from the transaction manager — so
+// queries fully overlap commits, and repeated reads at an unchanged
+// version reuse the same snapshot.
+func (d *Document) read(fn func(v xenc.DocView) error) error {
+	rv := d.mgr.AcquireRead()
+	defer rv.Close()
+	return fn(rv.View())
+}
+
 // Item is one materialized query result: results are copied out of the
-// store under the read lock, so they stay valid across later updates.
+// snapshot the query ran against, so they stay valid across later
+// updates.
 type Item struct {
 	// Kind is "element", "text", "comment", "processing-instruction",
 	// "attribute", "document", "number", "string" or "boolean".
@@ -53,14 +65,17 @@ func (r Result) Strings() []string {
 	return out
 }
 
-// Query compiles and runs an XPath expression as a read-only transaction.
+// Query compiles and runs an XPath expression as a read-only transaction
+// against the snapshot of the current committed version; evaluation
+// holds no lock, so queries never block (and are never blocked by)
+// concurrent commits.
 func (d *Document) Query(q string) (Result, error) {
 	expr, err := xpath.Parse(q)
 	if err != nil {
 		return nil, err
 	}
 	var res Result
-	err = d.mgr.View(func(v xenc.DocView) error {
+	err = d.read(func(v xenc.DocView) error {
 		var inner error
 		res, inner = materialize(v, expr, nil)
 		return inner
@@ -79,7 +94,7 @@ func (d *Document) QueryVars(q string, vars map[string]string) (Result, error) {
 		bound[k] = xpath.String(v)
 	}
 	var res Result
-	err = d.mgr.View(func(v xenc.DocView) error {
+	err = d.read(func(v xenc.DocView) error {
 		var inner error
 		res, inner = materialize(v, expr, bound)
 		return inner
@@ -89,7 +104,9 @@ func (d *Document) QueryVars(q string, vars map[string]string) (Result, error) {
 
 // Prepared is a compiled query bound to a document. Compiling once and
 // running many times skips the parse on every execution; the compiled
-// form is safe for concurrent use.
+// form is safe for concurrent use. Each Run evaluates against the
+// snapshot of the version committed at that moment: a run before a
+// commit sees the old data, a run after it sees the new — never a blend.
 type Prepared struct {
 	doc  *Document
 	expr *xpath.Expr
@@ -114,7 +131,7 @@ func (p *Prepared) Run(vars map[string]string) (Result, error) {
 		}
 	}
 	var res Result
-	err := p.doc.mgr.View(func(v xenc.DocView) error {
+	err := p.doc.read(func(v xenc.DocView) error {
 		var inner error
 		res, inner = materialize(v, p.expr, bound)
 		return inner
@@ -217,9 +234,16 @@ func (d *Document) Begin() *Tx {
 	return &Tx{inner: d.mgr.Begin(), doc: d}
 }
 
-// SerializeTo writes the document as XML.
+// Version returns the document's committed version: the number of write
+// transactions committed so far. Every query observes exactly one
+// version; the counter is what keys the per-version snapshot cache.
+func (d *Document) Version() uint64 { return d.mgr.Version() }
+
+// SerializeTo writes the document as XML. Serialization runs against
+// the current committed version's snapshot, so a slow writer never
+// stalls commits.
 func (d *Document) SerializeTo(w io.Writer, indent string) error {
-	return d.mgr.View(func(v xenc.DocView) error {
+	return d.read(func(v xenc.DocView) error {
 		return serialize.Document(w, v, serialize.Options{Indent: indent})
 	})
 }
@@ -304,7 +328,11 @@ func (d *Document) View(fn func(v xenc.DocView) error) error {
 // pages they modify instead of updating shared ones in place (the
 // page-granular copy-on-write scheme of the paper's Section 3.2).
 // Taking a snapshot costs O(pages); it is safe for concurrent use by any
-// number of goroutines and can be held for as long as needed.
+// number of goroutines and can be held for as long as needed. A held
+// snapshot keeps the pages it shares with the base store copy-on-write,
+// so commits that overlap its lifetime pay one page copy per page they
+// dirty; queries (which lease the internally cached, refcounted
+// per-version snapshot instead) do not pay this indefinitely.
 func (d *Document) Snapshot() xenc.DocView {
 	return d.mgr.Snapshot()
 }

@@ -31,18 +31,28 @@ func (s *Store) CheckInvariants() error {
 	if len(s.pages) != nPages {
 		return fmt.Errorf("store holds %d page chunks, want %d", len(s.pages), nPages)
 	}
-	if len(s.pageOwned) != len(s.pages) {
-		return fmt.Errorf("page ownership table holds %d entries, want %d", len(s.pageOwned), len(s.pages))
-	}
-	if len(s.nodeOwned) != len(s.nodes) {
-		return fmt.Errorf("node-chunk ownership table holds %d entries, want %d", len(s.nodeOwned), len(s.nodes))
-	}
 	for i, pg := range s.pages {
+		if r := pg.refs.Load(); r < 1 {
+			return fmt.Errorf("page chunk %d has reference count %d", i, r)
+		}
 		if int32(len(pg.size)) != s.pageSize || int32(len(pg.level)) != s.pageSize ||
 			int32(len(pg.kind)) != s.pageSize || int32(len(pg.name)) != s.pageSize ||
 			int32(len(pg.text)) != s.pageSize || int32(len(pg.node)) != s.pageSize {
 			return fmt.Errorf("page chunk %d has ragged columns", i)
 		}
+	}
+	for i, nc := range s.nodes {
+		if r := nc.refs.Load(); r < 1 {
+			return fmt.Errorf("node chunk %d has reference count %d", i, r)
+		}
+	}
+	for i, fc := range s.freeChunks {
+		if r := fc.refs.Load(); r < 1 {
+			return fmt.Errorf("free-list chunk %d has reference count %d", i, r)
+		}
+	}
+	if want := (s.freeLen + s.pageSize - 1) >> s.pageBits; int32(len(s.freeChunks)) < want {
+		return fmt.Errorf("free list holds %d ids but only %d chunks", s.freeLen, len(s.freeChunks))
 	}
 	if maxIDs := int32(len(s.nodes)) << s.pageBits; s.nodeLen > maxIDs {
 		return fmt.Errorf("nodeLen %d exceeds chunk capacity %d", s.nodeLen, maxIDs)
@@ -144,10 +154,14 @@ func (s *Store) CheckInvariants() error {
 	}
 
 	// Free node ids must not be referenced; attribute owners must live.
-	for _, id := range s.freeNodes {
-		if s.posOf(id) != -1 {
-			return fmt.Errorf("free node id %d still mapped to pos %d", id, s.posOf(id))
+	var freeErr error
+	s.forEachFree(func(id int32) {
+		if freeErr == nil && s.posOf(id) != -1 {
+			freeErr = fmt.Errorf("free node id %d still mapped to pos %d", id, s.posOf(id))
 		}
+	})
+	if freeErr != nil {
+		return freeErr
 	}
 	for id := xenc.NodeID(0); id < s.nodeLen; id++ {
 		if len(s.attrRefs(id)) > 0 && s.posOf(id) < 0 {

@@ -87,11 +87,14 @@ func (s *Store) Compact(fill float64) error {
 		wp.node[o] = xenc.NoNode
 	}
 
-	s.pages = pages
-	s.pageOwned = make([]bool, nPages)
-	for i := range s.pageOwned {
-		s.pageOwned[i] = true
+	// The fresh pages replace the old ones wholesale; drop this store's
+	// references to the old chunks so snapshots still reading them become
+	// their sole owners (and the chunks become collectable once those
+	// snapshots are released).
+	for _, old := range s.pages {
+		old.refs.Add(-1)
 	}
+	s.pages = pages
 	s.logToPhys = make([]int32, nPages)
 	s.physToLog = make([]int32, nPages)
 	for i := int32(0); i < nPages; i++ {

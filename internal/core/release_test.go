@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mxq/internal/shred"
+	"mxq/internal/xenc"
+)
+
+// deleteChildren removes children of the root until the free list holds
+// at least wantFree recycled ids.
+func deleteChildren(t *testing.T, s *Store, wantFree int) {
+	t.Helper()
+	for {
+		if ids, _, _ := s.FreeListStats(); ids >= wantFree {
+			return
+		}
+		root := s.Root()
+		lvl := s.Level(root)
+		// First child of the root.
+		c := xenc.SkipFree(s, root+1)
+		if c >= s.Len() || s.Level(c) <= lvl {
+			t.Fatalf("ran out of deletable children with %d free ids", mustFreeIDs(s))
+		}
+		if err := s.Delete(c); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+	}
+}
+
+func mustFreeIDs(s *Store) int {
+	ids, _, _ := s.FreeListStats()
+	return ids
+}
+
+func oneNodeFrag(name, text string) *shred.Tree {
+	return shred.NewBuilder().Start(name).Text(text).End().Tree()
+}
+
+// TestFreeListChunkedCopy is the regression test for the old wholesale
+// free-list copy: after heavy deletes the recycled-id stack spans many
+// chunks, and a small transaction image must touch O(1) of them — pops
+// copy nothing, a push copies exactly the tail chunk — instead of
+// duplicating the entire list on first mutation.
+func TestFreeListChunkedCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s, err := Build(randomDoc(rng, 1200), Options{PageSize: 16, FillFactor: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleteChildren(t, s, 20*int(s.pageSize))
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	ids, chunks, _ := s.FreeListStats()
+	if chunks < 20 {
+		t.Fatalf("free list spans only %d chunks (%d ids); need ≥ 20 for the regression to bite", chunks, ids)
+	}
+
+	// A 1-node insert pops one recycled id: no free-list chunk may be
+	// copied at all (the popped slot is dead to the image, and the shared
+	// chunks stay shared).
+	c := s.Snapshot()
+	defer c.Release()
+	if _, err := c.AppendChild(c.Root(), oneNodeFrag("probe", "x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, owned := c.FreeListStats(); owned != 0 {
+		t.Fatalf("1-node insert copied %d free-list chunks, want 0", owned)
+	}
+
+	// A 1-node delete pushes one recycled id: exactly the tail chunk is
+	// copied, regardless of stack depth. Plant a known leaf first (the
+	// heavy deletes above may have emptied the root).
+	ids2, err := s.AppendChild(s.Root(), oneNodeFrag("victim", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := s.Snapshot()
+	defer c2.Release()
+	victim := c2.PreOf(ids2[1]) // the text leaf
+	if victim == xenc.NoPre {
+		t.Fatal("planted leaf not found in snapshot")
+	}
+	if err := c2.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, owned := c2.FreeListStats(); owned > 1 {
+		t.Fatalf("1-node delete copied %d free-list chunks, want ≤ 1", owned)
+	}
+	if err := c2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReleaseReturnsOwnership verifies the snapshot-lifetime half of the
+// refcount protocol: while a snapshot is live every chunk is shared (a
+// base write would copy), and releasing the last snapshot hands
+// exclusive ownership back to the base so later writes go in place.
+func TestReleaseReturnsOwnership(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s, err := Build(randomDoc(rng, 300), Options{PageSize: 16, FillFactor: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(s.pages)
+	if s.DirtyPages() != total {
+		t.Fatalf("fresh store owns %d/%d pages", s.DirtyPages(), total)
+	}
+
+	c1 := s.Snapshot()
+	c2 := s.Snapshot()
+	if s.DirtyPages() != 0 || c1.DirtyPages() != 0 || c2.DirtyPages() != 0 {
+		t.Fatalf("shared chunks counted as owned: base %d, snaps %d/%d",
+			s.DirtyPages(), c1.DirtyPages(), c2.DirtyPages())
+	}
+
+	c1.Release()
+	if s.DirtyPages() != 0 {
+		t.Fatalf("base owns %d pages while a snapshot is still live", s.DirtyPages())
+	}
+	c2.Release()
+	if s.DirtyPages() != total {
+		t.Fatalf("base owns %d/%d pages after the last snapshot released", s.DirtyPages(), total)
+	}
+
+	// With ownership back, a write must not copy the chunk.
+	root := s.Root()
+	victim := xenc.SkipFree(s, root+1)
+	before := s.pages[s.physOf(victim)>>s.pageBits]
+	if s.Kind(victim) == xenc.KindElem {
+		if err := s.Rename(victim, "renamed"); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if err := s.SetValue(victim, "renamed"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := s.pages[s.physOf(victim)>>s.pageBits]; after != before {
+		t.Fatal("write after release still copied the page chunk")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotIsolationAfterPeerRelease: releasing one snapshot must not
+// let the base write in place under a *different* still-live snapshot.
+func TestSnapshotIsolationAfterPeerRelease(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s, err := Build(randomDoc(rng, 200), Options{PageSize: 16, FillFactor: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := s.Snapshot()
+	dead := s.Snapshot()
+	want := fingerprint(live)
+	dead.Release()
+	for i := 0; i < 25; i++ {
+		applyRandomOp(rng, s)
+	}
+	if got := fingerprint(live); got != want {
+		t.Fatal("live snapshot observed base writes after a peer snapshot released")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	live.Release()
+}

@@ -10,38 +10,48 @@ import (
 
 // Snapshot returns a page-granular copy-on-write snapshot of the store:
 // the paper's "temporary view backed by a copy-on-write memory-map on the
-// base table" (Section 3.2). The snapshot shares every page chunk and
-// node chunk with the base, so taking it costs O(pages), not
-// O(document). Both sides lose ownership of the shared chunks; whichever
-// side writes a page first (the snapshot through a transaction's updates,
-// the base through a later commit) copies just that page via the
-// dirtyPage hook — "the base table is never altered" through the
-// snapshot, and only touched pages are ever materialized.
+// base table" (Section 3.2). The snapshot shares every page chunk, node
+// chunk and free-list chunk with the base by incrementing each chunk's
+// reference count, so taking it costs O(pages), not O(document).
+// Whichever side writes a shared page first (the snapshot through a
+// transaction's updates, the base through a later commit) copies just
+// that page via the dirty* hooks — "the base table is never altered"
+// through the snapshot, and only touched pages are ever materialized.
 //
-// The caller must have exclusive write access to s while taking the
-// snapshot (the transaction manager holds its global lock). The returned
-// store may be read concurrently; writes to it must come from a single
-// goroutine.
+// Snapshot never mutates base-private state (it only performs atomic
+// reference-count increments), so any number of snapshots may be taken
+// concurrently with each other and with readers; the caller need only
+// exclude concurrent *writes* to s (the transaction manager holds its
+// shared read lock, which excludes commits). The returned store may be
+// read concurrently; writes to it must come from a single goroutine.
+// Call Release when the snapshot is no longer needed so the base regains
+// exclusive ownership of the shared chunks; an unreleased snapshot keeps
+// them copy-on-write forever (the garbage collector still reclaims the
+// memory, but later base writes keep paying the copy).
 func (s *Store) Snapshot() *Store {
-	// Freeze the base: every chunk it currently owns becomes shared.
-	clear(s.pageOwned)
-	clear(s.nodeOwned)
-	s.ownFreeNodes = false
+	for _, p := range s.pages {
+		p.refs.Add(1)
+	}
+	for _, c := range s.nodes {
+		c.refs.Add(1)
+	}
+	for _, c := range s.freeChunks {
+		c.refs.Add(1)
+	}
 	return &Store{
-		pageBits:  s.pageBits,
-		pageMask:  s.pageMask,
-		pageSize:  s.pageSize,
-		pages:     append([]*page(nil), s.pages...),
-		pageOwned: make([]bool, len(s.pages)),
-		logToPhys: append([]int32(nil), s.logToPhys...),
-		physToLog: append([]int32(nil), s.physToLog...),
-		nodes:     append([]*nodeChunk(nil), s.nodes...),
-		nodeOwned: make([]bool, len(s.nodes)),
-		nodeLen:   s.nodeLen,
-		freeNodes: s.freeNodes, // shared until the first pop/push
-		prop:      s.prop,      // shared: append-only, synchronized
-		qn:        s.qn,        // shared: append-only, synchronized
-		liveNodes: s.liveNodes,
+		pageBits:   s.pageBits,
+		pageMask:   s.pageMask,
+		pageSize:   s.pageSize,
+		pages:      append([]*page(nil), s.pages...),
+		logToPhys:  append([]int32(nil), s.logToPhys...),
+		physToLog:  append([]int32(nil), s.physToLog...),
+		nodes:      append([]*nodeChunk(nil), s.nodes...),
+		nodeLen:    s.nodeLen,
+		freeChunks: append([]*freeChunk(nil), s.freeChunks...),
+		freeLen:    s.freeLen,
+		prop:       s.prop, // shared: append-only, synchronized
+		qn:         s.qn,   // shared: append-only, synchronized
+		liveNodes:  s.liveNodes,
 	}
 }
 
@@ -83,11 +93,12 @@ func (s *Store) Save(w io.Writer) error {
 		LogToPhys: s.logToPhys,
 		PhysToLog: s.physToLog,
 		NodePos:   make([]int32, 0, s.nodeLen),
-		FreeNodes: s.freeNodes,
+		FreeNodes: make([]int32, 0, s.freeLen),
 		ParentOf:  make([]int32, 0, s.nodeLen),
 		PropVals:  s.prop.values(),
 		LiveNodes: s.liveNodes,
 	}
+	s.forEachFree(func(id int32) { snap.FreeNodes = append(snap.FreeNodes, id) })
 	for _, pg := range s.pages {
 		snap.Size = append(snap.Size, pg.size...)
 		snap.Level = append(snap.Level, pg.level...)
@@ -131,16 +142,14 @@ func Load(r io.Reader) (*Store, error) {
 	}
 	pageSize := int32(1) << snap.PageBits
 	s := &Store{
-		pageBits:     snap.PageBits,
-		pageMask:     pageSize - 1,
-		pageSize:     pageSize,
-		logToPhys:    snap.LogToPhys,
-		physToLog:    snap.PhysToLog,
-		freeNodes:    snap.FreeNodes,
-		ownFreeNodes: true,
-		prop:         newPropDict(),
-		qn:           xenc.NewQNamePool(),
-		liveNodes:    snap.LiveNodes,
+		pageBits:  snap.PageBits,
+		pageMask:  pageSize - 1,
+		pageSize:  pageSize,
+		logToPhys: snap.LogToPhys,
+		physToLog: snap.PhysToLog,
+		prop:      newPropDict(),
+		qn:        xenc.NewQNamePool(),
+		liveNodes: snap.LiveNodes,
 	}
 	if int32(len(snap.Size))&s.pageMask != 0 {
 		return nil, fmt.Errorf("core: snapshot is corrupt: %d tuples is not a whole number of %d-tuple pages", len(snap.Size), pageSize)
@@ -167,7 +176,6 @@ func Load(r io.Reader) (*Store, error) {
 		copy(pg.text, snap.Text[base:end])
 		copy(pg.node, snap.Node[base:end])
 		s.pages = append(s.pages, pg)
-		s.pageOwned = append(s.pageOwned, true)
 	}
 	s.nodeLen = int32(len(snap.NodePos))
 	for base := int32(0); base < s.nodeLen; base += pageSize {
@@ -175,12 +183,12 @@ func Load(r io.Reader) (*Store, error) {
 		copy(nc.pos, snap.NodePos[base:min32(base+pageSize, s.nodeLen)])
 		copy(nc.parent, snap.ParentOf[base:min32(base+pageSize, s.nodeLen)])
 		s.nodes = append(s.nodes, nc)
-		s.nodeOwned = append(s.nodeOwned, true)
 	}
 	for _, id := range snap.FreeNodes {
 		if id < 0 || id >= s.nodeLen {
 			return nil, fmt.Errorf("core: snapshot is corrupt: free node id %d out of range [0,%d)", id, s.nodeLen)
 		}
+		s.pushFree(id)
 	}
 	if len(snap.AttrVals) != len(snap.AttrKeys) {
 		return nil, fmt.Errorf("core: snapshot is corrupt: %d attribute owners, %d value lists", len(snap.AttrKeys), len(snap.AttrVals))

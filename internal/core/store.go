@@ -26,19 +26,23 @@
 //
 // All columns are physically chunked per page: the pos/size/level table
 // is a slice of *page chunks, and the NodeID-keyed tables (node/pos,
-// parent, attributes) are a slice of *nodeChunk chunks of the same
-// granularity. Snapshot reproduces Section 3.2's "temporary view backed
-// by a copy-on-write memory-map on the base table": it shares every chunk
-// between the base store and the snapshot and marks both sides not-owned,
-// so taking a snapshot is O(pages), not O(document). Every write path
-// funnels through the dirtyPage / dirtyNodeChunk hooks, which privately
-// copy a chunk the first time it is written ("only those parts of the
-// table that are actually updated get copied" — the base table is never
-// altered through a snapshot). A transaction therefore materializes only
-// the logical pages it touches, and commit — which replays the
-// transaction's operations onto the base — likewise copies only the pages
-// it writes, leaving the chunks shared with live snapshots untouched.
-// Dropping a snapshot simply drops its private chunks.
+// parent, attributes) and the recycled-NodeID stack are chunks of the
+// same granularity. Snapshot reproduces Section 3.2's "temporary view
+// backed by a copy-on-write memory-map on the base table": it shares
+// every chunk between the base store and the snapshot by bumping each
+// chunk's reference count, so taking a snapshot is O(pages), not
+// O(document), and never mutates base-private state. Every write path
+// funnels through the dirtyPage / dirtyNodeChunk / dirtyFreeChunk hooks,
+// which privately copy a chunk the first time it is written while shared
+// (refs > 1) — "only those parts of the table that are actually updated
+// get copied"; the base table is never altered through a snapshot. A
+// transaction therefore materializes only the logical pages it touches,
+// and commit — which replays the transaction's operations onto the base
+// — likewise copies only the pages it writes, leaving the chunks shared
+// with live snapshots untouched. Releasing a snapshot (Store.Release)
+// decrements its chunks' reference counts; once a chunk's last sharer is
+// gone, the surviving owner writes it in place again, so a snapshot's
+// lifetime cost is bounded by the pages dirtied while it was live.
 //
 // The qualified-name pool and the attribute-value dictionary are shared
 // between the base and all snapshots (both are append-only and internally
@@ -50,6 +54,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"mxq/internal/shred"
 	"mxq/internal/xenc"
@@ -97,9 +102,19 @@ type attrRef struct {
 }
 
 // page is one physical page's worth of the pos/size/level table (plus the
-// kind/name/text/node columns). A page chunk shared with a snapshot is
-// immutable; writers obtain a private copy through Store.dirtyPage.
+// kind/name/text/node columns).
+//
+// refs counts the stores referencing the chunk (the base plus every live
+// snapshot sharing it). A chunk with refs == 1 is exclusively owned and
+// may be written in place; a shared chunk (refs > 1) is immutable, and
+// writers obtain a private copy through Store.dirtyPage, dropping their
+// reference to the shared original. Store.Release decrements the refs of
+// every chunk a snapshot holds, so once the last sharer is gone the
+// remaining owner writes the chunk in place again — a cached snapshot
+// that survives many commits therefore costs O(pages dirtied while it
+// was live), never a permanent copy-on-every-write tax.
 type page struct {
+	refs  atomic.Int32
 	size  []int32
 	level []int16
 	kind  []uint8
@@ -109,7 +124,7 @@ type page struct {
 }
 
 func newPage(n int) *page {
-	return &page{
+	p := &page{
 		size:  make([]int32, n),
 		level: make([]int16, n),
 		kind:  make([]uint8, n),
@@ -117,10 +132,12 @@ func newPage(n int) *page {
 		text:  make([]string, n),
 		node:  make([]int32, n),
 	}
+	p.refs.Store(1)
+	return p
 }
 
 func (p *page) clone() *page {
-	return &page{
+	c := &page{
 		size:  append([]int32(nil), p.size...),
 		level: append([]int16(nil), p.level...),
 		kind:  append([]uint8(nil), p.kind...),
@@ -128,31 +145,61 @@ func (p *page) clone() *page {
 		text:  append([]string(nil), p.text...),
 		node:  append([]int32(nil), p.node...),
 	}
+	c.refs.Store(1)
+	return c
 }
 
 // nodeChunk holds one page-sized chunk of the NodeID-keyed tables:
 // node/pos, the parent column, and the attribute table (Figure 6). It is
-// copy-on-write with the same discipline as page.
+// copy-on-write with the same refcount discipline as page.
 type nodeChunk struct {
+	refs   atomic.Int32
 	pos    []int32     // NodeID -> Pos (-1 when the id is free)
 	parent []int32     // NodeID -> parent NodeID (NoNode for a root)
 	attrs  [][]attrRef // NodeID -> attribute refs
 }
 
 func newNodeChunk(n int) *nodeChunk {
-	return &nodeChunk{
+	c := &nodeChunk{
 		pos:    make([]int32, n),
 		parent: make([]int32, n),
 		attrs:  make([][]attrRef, n),
 	}
+	c.refs.Store(1)
+	return c
 }
 
 func (c *nodeChunk) clone() *nodeChunk {
-	return &nodeChunk{
+	n := &nodeChunk{
 		pos:    append([]int32(nil), c.pos...),
 		parent: append([]int32(nil), c.parent...),
 		attrs:  append([][]attrRef(nil), c.attrs...),
 	}
+	n.refs.Store(1)
+	return n
+}
+
+// freeChunk is one page-sized chunk of the recycled-NodeID stack, with
+// the same copy-on-write refcount discipline as page. Chunking the free
+// list bounds the cost of the first free-list mutation after a snapshot
+// to one chunk, where a flat slice was once copied wholesale — the cost
+// that used to make a 1-node transaction O(deleted nodes) after heavy
+// deletes.
+type freeChunk struct {
+	refs atomic.Int32
+	ids  []int32
+}
+
+func newFreeChunk(n int) *freeChunk {
+	c := &freeChunk{ids: make([]int32, n)}
+	c.refs.Store(1)
+	return c
+}
+
+func (c *freeChunk) clone() *freeChunk {
+	n := &freeChunk{ids: append([]int32(nil), c.ids...)}
+	n.refs.Store(1)
+	return n
 }
 
 // Store is the paged updatable document store.
@@ -166,12 +213,10 @@ type Store struct {
 	pageMask int32
 	pageSize int32
 
-	// Physical pos/size/level table, chunked per physical page.
-	// pageOwned[i] reports whether pages[i] is private to this store;
-	// chunks shared with a snapshot are frozen and must be copied via
-	// dirtyPage before the first write.
-	pages     []*page
-	pageOwned []bool
+	// Physical pos/size/level table, chunked per physical page. A chunk
+	// with refs == 1 is private to this store; shared chunks (refs > 1)
+	// are frozen and must be copied via dirtyPage before the first write.
+	pages []*page
 
 	// pageOffset tables: logical page order over physical pages.
 	logToPhys []int32
@@ -180,14 +225,15 @@ type Store struct {
 	// NodeID-keyed tables, chunked at page granularity with the same
 	// copy-on-write discipline. nodeLen is the number of NodeIDs ever
 	// allocated (the tail of the last chunk is unallocated headroom).
-	nodes     []*nodeChunk
-	nodeOwned []bool
-	nodeLen   int32
+	nodes   []*nodeChunk
+	nodeLen int32
 
-	// freeNodes holds recycled NodeIDs. It is shared with snapshots until
-	// the first pop/push, which copies it (ownFreeNodes).
-	freeNodes    []int32
-	ownFreeNodes bool
+	// The recycled-NodeID stack, chunked at page granularity. freeLen is
+	// the stack depth; popping only reads (the slot above freeLen is dead
+	// to this store), so it never copies, while pushing dirties exactly
+	// the tail chunk.
+	freeChunks []*freeChunk
+	freeLen    int32
 
 	// The attribute-value dictionary (Figure 5) and the qualified-name
 	// pool are shared between the base and every snapshot: both are
@@ -251,7 +297,6 @@ func Build(t *shred.Tree, opts Options) (*Store, error) {
 		prop:     newPropDict(),
 		qn:       xenc.NewQNamePool(),
 	}
-	s.ownFreeNodes = true
 	perPage := int32(float64(opts.PageSize) * opts.FillFactor)
 	if perPage < 1 {
 		perPage = 1
@@ -296,32 +341,97 @@ func min32(a, b int32) int32 {
 
 // dirtyPage is the copy-on-write hook of every physical write path: it
 // returns a privately owned copy of physical page pg, copying the chunk
-// first if it is still shared with the base or a snapshot.
+// first if it is still shared with the base or a snapshot (refs > 1) and
+// dropping this store's reference to the shared original.
 func (s *Store) dirtyPage(pg int32) *page {
-	if !s.pageOwned[pg] {
-		s.pages[pg] = s.pages[pg].clone()
-		s.pageOwned[pg] = true
+	p := s.pages[pg]
+	if p.refs.Load() != 1 {
+		c := p.clone()
+		p.refs.Add(-1)
+		s.pages[pg] = c
+		p = c
 	}
-	return s.pages[pg]
+	return p
 }
 
 // dirtyNodeChunk is dirtyPage for the NodeID-keyed tables.
 func (s *Store) dirtyNodeChunk(ch int32) *nodeChunk {
-	if !s.nodeOwned[ch] {
-		s.nodes[ch] = s.nodes[ch].clone()
-		s.nodeOwned[ch] = true
+	c := s.nodes[ch]
+	if c.refs.Load() != 1 {
+		n := c.clone()
+		c.refs.Add(-1)
+		s.nodes[ch] = n
+		c = n
 	}
-	return s.nodes[ch]
+	return c
 }
 
-// ensureOwnFreeNodes makes the free-node list private before a pop or
-// push. Popping from a shared list and pushing again would overwrite the
-// shared backing array a snapshot still reads.
-func (s *Store) ensureOwnFreeNodes() {
-	if !s.ownFreeNodes {
-		s.freeNodes = append([]int32(nil), s.freeNodes...)
-		s.ownFreeNodes = true
+// dirtyFreeChunk is dirtyPage for the recycled-NodeID stack.
+func (s *Store) dirtyFreeChunk(ch int32) *freeChunk {
+	c := s.freeChunks[ch]
+	if c.refs.Load() != 1 {
+		n := c.clone()
+		c.refs.Add(-1)
+		s.freeChunks[ch] = n
+		c = n
 	}
+	return c
+}
+
+// pushFree records a recycled NodeID. Only the tail chunk is dirtied, so
+// the first free-list mutation after a snapshot costs one chunk copy no
+// matter how deep the stack is.
+func (s *Store) pushFree(id int32) {
+	ch := s.freeLen >> s.pageBits
+	if int(ch) == len(s.freeChunks) {
+		s.freeChunks = append(s.freeChunks, newFreeChunk(int(s.pageSize)))
+	}
+	s.dirtyFreeChunk(ch).ids[s.freeLen&s.pageMask] = id
+	s.freeLen++
+}
+
+// popFree takes the most recently recycled NodeID. Popping only reads:
+// the slot above the shrunk freeLen is dead to this store, and a later
+// push overwriting it goes through dirtyFreeChunk, so snapshots sharing
+// the chunk are never disturbed.
+func (s *Store) popFree() (int32, bool) {
+	if s.freeLen == 0 {
+		return 0, false
+	}
+	s.freeLen--
+	return s.freeChunks[s.freeLen>>s.pageBits].ids[s.freeLen&s.pageMask], true
+}
+
+// forEachFree visits the recycled NodeIDs (testing and invariant checks).
+func (s *Store) forEachFree(fn func(id int32)) {
+	for i := int32(0); i < s.freeLen; i++ {
+		fn(s.freeChunks[i>>s.pageBits].ids[i&s.pageMask])
+	}
+}
+
+// Release drops this store's references to every chunk it shares, so the
+// remaining owner (typically the base store) regains exclusive ownership
+// and writes those chunks in place again instead of copying them. It is
+// how a dropped snapshot stops taxing later commits.
+//
+// Release must be called at most once, and only when no goroutine will
+// read the store again (the transaction manager's refcounted read views
+// guarantee this for cached snapshots). It is safe to call concurrently
+// with reads and writes of *other* stores sharing the same chunks. The
+// store is unusable afterwards.
+func (s *Store) Release() {
+	for _, p := range s.pages {
+		p.refs.Add(-1)
+	}
+	for _, c := range s.nodes {
+		c.refs.Add(-1)
+	}
+	for _, c := range s.freeChunks {
+		c.refs.Add(-1)
+	}
+	s.pages, s.nodes, s.freeChunks = nil, nil, nil
+	s.logToPhys, s.physToLog = nil, nil
+	s.nodeLen, s.freeLen, s.liveNodes = 0, 0, 0
 }
 
 // --- raw column access ----------------------------------------------------
@@ -369,24 +479,19 @@ func (s *Store) setAttrs(id xenc.NodeID, refs []attrRef) {
 func (s *Store) appendPhysPage() int32 {
 	pg := int32(len(s.pages))
 	s.pages = append(s.pages, newPage(int(s.pageSize)))
-	s.pageOwned = append(s.pageOwned, true)
 	return pg
 }
 
 // newNodeID allocates a node id, recycling freed ids first (the paper
 // scans for NULL pos values before appending to node/pos).
 func (s *Store) newNodeID() xenc.NodeID {
-	if n := len(s.freeNodes); n > 0 {
-		s.ensureOwnFreeNodes()
-		id := s.freeNodes[n-1]
-		s.freeNodes = s.freeNodes[:n-1]
+	if id, ok := s.popFree(); ok {
 		return id
 	}
 	id := s.nodeLen
 	ch := id >> s.pageBits
 	if int(ch) == len(s.nodes) {
 		s.nodes = append(s.nodes, newNodeChunk(int(s.pageSize)))
-		s.nodeOwned = append(s.nodeOwned, true)
 	}
 	nc := s.dirtyNodeChunk(ch)
 	off := id & s.pageMask
@@ -538,17 +643,32 @@ func (s *Store) Root() xenc.Pre { return xenc.SkipFree(s, 0) }
 // Pages returns the number of logical pages.
 func (s *Store) Pages() int { return len(s.logToPhys) }
 
-// DirtyPages returns the number of physical page chunks privately owned
-// by this store — for a snapshot, the pages its writes have materialized
-// so far. It is the observable cost of the copy-on-write protocol.
+// DirtyPages returns the number of physical page chunks exclusively
+// owned by this store (refs == 1) — for a fresh snapshot, the pages its
+// writes have materialized so far. It is the observable cost of the
+// copy-on-write protocol. Note that ownership also returns when the
+// *other* sharers release their references: once every snapshot sharing
+// a chunk is dropped, the chunk counts as this store's again.
 func (s *Store) DirtyPages() int {
 	n := 0
-	for _, owned := range s.pageOwned {
-		if owned {
+	for _, p := range s.pages {
+		if p.refs.Load() == 1 {
 			n++
 		}
 	}
 	return n
+}
+
+// FreeListStats reports the recycled-NodeID stack's depth, its chunk
+// count, and how many of those chunks this store owns exclusively — the
+// observable cost of free-list copy-on-write (testing hook).
+func (s *Store) FreeListStats() (ids, chunks, ownedChunks int) {
+	for _, c := range s.freeChunks {
+		if c.refs.Load() == 1 {
+			ownedChunks++
+		}
+	}
+	return int(s.freeLen), len(s.freeChunks), ownedChunks
 }
 
 // PhysPage returns the physical page number backing the logical page that

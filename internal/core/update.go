@@ -120,8 +120,7 @@ func (s *Store) Delete(target xenc.Pre) error {
 		s.setAttrs(id, nil)
 		s.setPos(id, -1)
 		s.setParent(id, xenc.NoNode)
-		s.ensureOwnFreeNodes()
-		s.freeNodes = append(s.freeNodes, id)
+		s.pushFree(id)
 		wp.level[o] = xenc.LevelUnused
 		wp.node[o] = xenc.NoNode
 		wp.text[o] = ""

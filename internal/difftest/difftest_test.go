@@ -72,3 +72,38 @@ func TestTxSingleOpBatches(t *testing.T) {
 		})
 	}
 }
+
+// TestConcurrentSnapshotQueries is the concurrent mode: reader
+// goroutines run XMark-style queries over per-version snapshots while
+// the driver applies randomized committed/aborted update batches. Every
+// query result must match the naive oracle frozen at that snapshot's
+// version. Run under -race (make check does).
+func TestConcurrentSnapshotQueries(t *testing.T) {
+	batches := 25
+	readers := 4
+	if testing.Short() {
+		batches, readers = 8, 2
+	}
+	for seed := int64(50); seed <= 52; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			RunConcurrent(t, ConcurrentConfig{
+				Seed: seed, SF: 0.002, Readers: readers,
+				Batches: batches, BatchOps: 6,
+				PageSize: 64, Fill: 0.75,
+			})
+		})
+	}
+}
+
+// TestConcurrentSnapshotQueriesTinyPages stresses the page-splice paths
+// under concurrency: tiny full pages make almost every insert splice.
+func TestConcurrentSnapshotQueriesTinyPages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by TestConcurrentSnapshotQueries in -short mode")
+	}
+	RunConcurrent(t, ConcurrentConfig{
+		Seed: 60, SF: 0.002, Readers: 3,
+		Batches: 15, BatchOps: 4,
+		PageSize: 16, Fill: 1.0,
+	})
+}

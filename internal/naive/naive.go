@@ -63,6 +63,26 @@ func Build(t *shred.Tree) (*Store, error) {
 	return s, nil
 }
 
+// Clone returns an independent deep copy of the store. The concurrent
+// differential harness uses it to freeze the oracle at each committed
+// version while the original keeps advancing; the clone shares only the
+// qualified-name pool, which is append-only and internally synchronized.
+func (s *Store) Clone() *Store {
+	return &Store{
+		pre:       append([]int32(nil), s.pre...),
+		size:      append([]int32(nil), s.size...),
+		level:     append([]int16(nil), s.level...),
+		kind:      append([]uint8(nil), s.kind...),
+		name:      append([]int32(nil), s.name...),
+		text:      append([]string(nil), s.text...),
+		attrOwner: append([]int32(nil), s.attrOwner...),
+		attrName:  append([]int32(nil), s.attrName...),
+		attrVal:   append([]int32(nil), s.attrVal...),
+		prop:      s.prop.Clone(),
+		qn:        s.qn,
+	}
+}
+
 // --- DocView --------------------------------------------------------------
 
 // Len returns the number of tuples.

@@ -1,9 +1,13 @@
 // Package tx implements the ACID transaction protocol of Section 3.2
 // (Figure 8) over the paged document store:
 //
-//   - read-only queries acquire a global read lock for their duration,
-//     or take a lock-free Snapshot view that stays consistent across
-//     commits;
+//   - read-only queries run against an immutable per-version snapshot
+//     (AcquireRead): the manager keeps a monotonic version counter,
+//     bumped on every commit, and lazily caches one copy-on-write
+//     snapshot for the current committed version. Acquiring a read view
+//     at an unchanged version is a refcount bump — no per-query
+//     O(pages) snapshot, and no lock held during evaluation, so long
+//     scans never block commits and commits never block readers;
 //   - write transactions work in isolation on a *page-granular
 //     copy-on-write* image of the base store (core.Store.Snapshot): the
 //     image shares all pages with the base and privately copies only the
@@ -33,6 +37,7 @@ import (
 	"io"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"mxq/internal/core"
 	"mxq/internal/wal"
@@ -57,13 +62,23 @@ type Manager struct {
 	log       *wal.Log
 	validator Validator
 
-	// snapMu serializes snapshot creation (Begin / Snapshot) against
-	// itself: taking a snapshot mutates only the base store's
-	// chunk-ownership tables, which readers never touch, so snapshot
-	// creation runs under mu.RLock (excluding commits, which hold the
-	// exclusive lock) plus this mutex (excluding other snapshotters) —
-	// never blocking or queueing behind read-only queries.
-	snapMu sync.Mutex
+	// version counts committed write transactions. It is bumped inside
+	// the commit critical section (under mu) and read atomically by the
+	// lock-free read path to detect a stale cached snapshot.
+	version atomic.Uint64
+
+	// cached is the snapshot for the current committed version, built
+	// lazily by AcquireRead and replaced (never mutated) when a reader
+	// first arrives after a commit. Commit drops the cache-slot
+	// reference of a superseded snapshot (invalidateStale) so a
+	// write-only phase neither pins the old version in memory nor pays
+	// copy-on-write for chunks no reader will ever lease again. readMu
+	// serializes cache maintenance only; it is never held during query
+	// evaluation and never taken while holding mu, so the read and
+	// write paths cannot deadlock and evaluation shares no lock with
+	// commits.
+	readMu sync.Mutex
+	cached *readSnap
 
 	lockMu sync.Mutex
 	owners map[int32]*Tx // logical page -> holder
@@ -71,10 +86,50 @@ type Manager struct {
 	// LockAncestors switches to the root-locking discipline (ablation).
 	lockAncestors bool
 
-	version  uint64
 	commits  uint64
 	aborts   uint64
 	pageBits uint
+}
+
+// readSnap is one cached per-version snapshot plus its lease count: one
+// reference is held by the manager's cache slot while the snap is
+// current, plus one per open ReadView. When the count reaches zero —
+// the cache has moved on to a newer version and the last reader closed —
+// the snapshot's chunk references are released, handing ownership back
+// to the base store (see core.Store.Release).
+type readSnap struct {
+	store   *core.Store
+	version uint64
+	refs    atomic.Int64
+}
+
+func (rs *readSnap) release() {
+	if rs.refs.Add(-1) == 0 {
+		rs.store.Release()
+	}
+}
+
+// ReadView is a leased handle on the cached snapshot of one committed
+// version. The view is immutable and safe for concurrent use; Close
+// returns the lease (idempotent). Holding a ReadView open pins the
+// chunks its version shares with the base, so long-running readers cost
+// the base only the pages dirtied by commits that overlap them.
+type ReadView struct {
+	rs     *readSnap
+	closed atomic.Bool
+}
+
+// View returns the immutable document view.
+func (rv *ReadView) View() xenc.DocView { return rv.rs.store }
+
+// Version returns the committed version the view observes.
+func (rv *ReadView) Version() uint64 { return rv.rs.version }
+
+// Close returns the lease. Calling Close more than once is harmless.
+func (rv *ReadView) Close() {
+	if rv.closed.CompareAndSwap(false, true) {
+		rv.rs.release()
+	}
 }
 
 // NewManager wraps a store; log may be nil for a volatile database.
@@ -93,7 +148,9 @@ func (m *Manager) SetValidator(v Validator) { m.validator = v }
 // SetLockAncestors toggles the root-locking ablation mode.
 func (m *Manager) SetLockAncestors(on bool) { m.lockAncestors = on }
 
-// View runs a read-only transaction under the global read lock.
+// View runs a read-only transaction under the global read lock (the
+// paper's original read path; AcquireRead is the lock-free successor —
+// View remains for callers that need to see the base store itself).
 func (m *Manager) View(fn func(v xenc.DocView) error) error {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
@@ -101,10 +158,61 @@ func (m *Manager) View(fn func(v xenc.DocView) error) error {
 }
 
 // Version returns the number of committed write transactions.
-func (m *Manager) Version() uint64 {
+func (m *Manager) Version() uint64 { return m.version.Load() }
+
+// AcquireRead leases an immutable snapshot of the current committed
+// version. The fast path — the cached snapshot is still current — is a
+// version check and a refcount bump: no lock is held while the caller
+// evaluates against the view, so readers fully overlap commits. The
+// first reader after a commit pays one O(pages) snapshot, which then
+// serves every reader until the next commit.
+//
+// The caller must Close the returned view when done; the snapshot for a
+// superseded version is dropped when its last reader closes, returning
+// chunk ownership to the base store.
+func (m *Manager) AcquireRead() *ReadView {
+	m.readMu.Lock()
+	rs := m.cached
+	if rs == nil || rs.version != m.version.Load() {
+		rs = m.refreshLocked()
+	}
+	rs.refs.Add(1)
+	m.readMu.Unlock()
+	return &ReadView{rs: rs}
+}
+
+// refreshLocked builds the snapshot for the current committed version
+// and installs it as the cache entry. readMu must be held. The snapshot
+// and its version are captured under the shared read lock, so a commit
+// cannot slip between them; commits themselves never take readMu, which
+// keeps the lock order (readMu → mu.RLock) acyclic.
+func (m *Manager) refreshLocked() *readSnap {
 	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.version
+	snap := m.store.Snapshot()
+	v := m.version.Load()
+	m.mu.RUnlock()
+	rs := &readSnap{store: snap, version: v}
+	rs.refs.Store(1) // the cache slot's reference
+	if old := m.cached; old != nil {
+		old.release()
+	}
+	m.cached = rs
+	return rs
+}
+
+// invalidateStale drops the cache-slot reference of a snapshot whose
+// version has been superseded, so open readers keep their leases but
+// the cache stops pinning the old version across a write-only phase.
+// Commit calls it after releasing the global lock — never under mu:
+// AcquireRead's slow path acquires mu.RLock while holding readMu, so
+// taking readMu under mu would deadlock.
+func (m *Manager) invalidateStale() {
+	m.readMu.Lock()
+	if rs := m.cached; rs != nil && rs.version != m.version.Load() {
+		m.cached = nil
+		rs.release()
+	}
+	m.readMu.Unlock()
 }
 
 // Stats returns commit and abort counters.
@@ -120,17 +228,15 @@ func (m *Manager) Stats() (commits, aborts uint64) {
 // The transaction's private image is a page-granular copy-on-write
 // snapshot (core.Store.Snapshot): taking it costs O(pages) and the
 // transaction's writes materialize only the pages they touch. Snapshot
-// creation mutates only the base store's chunk-ownership tables, which
-// readers never access, so it runs under the shared read lock (to
-// exclude commits) plus snapMu (to exclude other snapshotters) and
-// proceeds in parallel with read-only queries.
+// creation only increments chunk reference counts — it never mutates
+// base-private state — so it runs under the shared read lock (to
+// exclude commits) and proceeds in parallel with read-only queries and
+// other Begins.
 func (m *Manager) Begin() *Tx {
 	return &Tx{m: m, clone: m.snapshot(), pages: make(map[int32]bool)}
 }
 
 func (m *Manager) snapshot() *core.Store {
-	m.snapMu.Lock()
-	defer m.snapMu.Unlock()
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.store.Snapshot()
@@ -143,8 +249,11 @@ func (m *Manager) snapshot() *core.Store {
 // copy-on-write reader isolation). The view is safe for concurrent use
 // by any number of goroutines and stays consistent forever. A read-only
 // snapshot never materializes pages of its own — it pins the chunks it
-// shares with the base, which become collectable as the base replaces
-// them and the snapshot itself is dropped.
+// shares with the base, which the garbage collector reclaims once the
+// base replaces them and the snapshot itself is dropped. Because the
+// returned view has no release hook, the base keeps copy-on-write
+// semantics for its chunks indefinitely; prefer AcquireRead, whose
+// leased views hand ownership back when closed.
 func (m *Manager) Snapshot() xenc.DocView {
 	return m.snapshot()
 }

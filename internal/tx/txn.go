@@ -404,11 +404,16 @@ func (t *Tx) Commit() error {
 		t.Abort()
 		return fmt.Errorf("tx: applying committed ops: %w", err)
 	}
-	m.version++
+	m.version.Add(1)
 	m.commits++
 	m.mu.Unlock()
+	m.invalidateStale()
 	m.unlockAll(t)
 	t.done = true
+	// Return the image's chunk references: pages the transaction did not
+	// dirty go back to being base-owned (in-place writable) as soon as
+	// no snapshot shares them.
+	t.clone.Release()
 	t.clone = nil
 	return nil
 }
@@ -434,6 +439,7 @@ func (t *Tx) Abort() {
 	t.m.mu.Unlock()
 	t.m.unlockAll(t)
 	t.done = true
+	t.clone.Release()
 	t.clone = nil
 }
 

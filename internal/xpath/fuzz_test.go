@@ -1,0 +1,94 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+
+	"mxq/internal/rostore"
+	"mxq/internal/shred"
+	"mxq/internal/xenc"
+)
+
+// FuzzXPathParse feeds arbitrary strings to the XPath compiler. Parse
+// must either return an error or an expression whose Source round-trips
+// and which survives evaluation against a tiny document — it must never
+// panic, loop, or index out of range, whatever the lexer and parser are
+// handed. The seed corpus covers the grammar: all axes, node tests,
+// predicates, functions, operators, literals and variables.
+func FuzzXPathParse(f *testing.F) {
+	seeds := []string{
+		// Paths and axes.
+		`/`, `//person`, `/site/people/person/name/text()`,
+		`//person/descendant-or-self::person`, `//d/ancestor::*[1]`,
+		`//f/preceding-sibling::*[1]`, `//item[1]/preceding::person`,
+		`//person[1]/following::item`, `//watch/ancestor-or-self::*`,
+		`//increase/parent::bidder`, `./name/..`, `.//watch`,
+		`//@id`, `//person/@id`, `child::*/attribute::id`,
+		// Node tests.
+		`//node()`, `//text()`, `//comment()`,
+		`//processing-instruction()`, `//processing-instruction("tgt")`,
+		// Predicates and positions.
+		`//person[2]`, `//person[position() = 2]`, `//person[last()]`,
+		`//person[@id="person0"]`, `//person[not(watches)]`,
+		`//open_auction[bidder/increase > 10]`, `(//a)[1]/text()`,
+		`//person/name[../income]`, `(1)[2]`, `("x")[1]/b`,
+		// Operators.
+		`1 + 2 * 3 - 4 div 5 mod 6`, `-1`, `- -1`, `1 < 2 or 3 >= 4 and 5 != 6`,
+		`//name | //income`, `//a | 3`, `//person/@id = "person2"`,
+		`//person/name = //item/name`, `"a" != "a"`,
+		// Functions.
+		`count(//person)`, `sum(//income)`, `floor(1.5)`, `ceiling(1.5)`,
+		`round(2.5)`, `number("7")`, `string(123)`, `boolean(0)`,
+		`concat("a", "-", "b")`, `contains(name, "gold")`,
+		`starts-with(name(), "open_a")`, `substring("hello", 2, 3)`,
+		`substring-before("a-b", "-")`, `substring-after("a-b", "-")`,
+		`normalize-space("  x   y ")`, `string-length()`, `translate("abc","ab","x")`,
+		`local-name()`, `true()`, `false()`, `not(true())`, `position()`,
+		// Variables, literals, whitespace.
+		`$who`, `//person[@id = $who]/name`, `'single'`, `"double"`,
+		`  //a  [  1  ]  `, `3.14159`, `.5`, `5.`,
+		// Malformed shapes that must error cleanly.
+		`//person]`, `!`, `, `, `(`, `)`, `[`, `]`, `@`, `::`, `//`, `///`,
+		`"unterminated`, `'unterminated`, `1 +`, `foo(`, `$`, `//a[`,
+		`processing-instruction(`, `a//`, `..a`, `. .`, `1e`, `0x10`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	doc := buildFuzzDoc(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		// Reject pathological inputs that are legal but exponentially
+		// nested; the parser is recursive descent, and Go's fuzzer finds
+		// multi-kilobyte bracket towers that only test stack depth.
+		if len(src) > 4096 {
+			t.Skip()
+		}
+		expr, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if got := expr.Source(); got != src {
+			t.Fatalf("Source() = %q, want %q", got, src)
+		}
+		// A successfully compiled expression must also evaluate without
+		// panicking (errors are fine: unbound variables etc.).
+		vars := map[string]Value{"who": String("w"), "x": Number(1)}
+		_, _ = expr.EvalVars(doc, vars)
+	})
+}
+
+func buildFuzzDoc(f *testing.F) xenc.DocView {
+	f.Helper()
+	tr, err := shred.Parse(strings.NewReader(
+		`<site><people><person id="person0"><name>a b</name><income>42</income></person><person id="person1"><name>gold</name></person></people><open_auctions><open_auction><bidder><increase>20</increase></bidder></open_auction></open_auctions><!--c--><?tgt data?></site>`),
+		shred.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	v, err := rostore.Build(tr)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,68 @@
+package xupdate
+
+import (
+	"testing"
+)
+
+const fuzzWrap = `<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">`
+
+// FuzzXUpdateParse feeds arbitrary byte strings to the XUpdate
+// modification-list parser: it must return a parse error or a valid
+// *Mods, never panic — whatever the XML decoder and the embedded XPath
+// select compiler are handed. The seed corpus covers every operation
+// the subset implements, namespace variants, fragment content, and
+// malformed shapes.
+func FuzzXUpdateParse(f *testing.F) {
+	seeds := []string{
+		// Every operation, well-formed.
+		fuzzWrap + `<xupdate:remove select="/site/people/person[@id='p0']"/></xupdate:modifications>`,
+		fuzzWrap + `<xupdate:remove select="//person[@id='p1']/@id"/></xupdate:modifications>`,
+		fuzzWrap + `<xupdate:insert-before select="//person[@id='p1']"><person id="px"><name>Xen</name></person></xupdate:insert-before></xupdate:modifications>`,
+		fuzzWrap + `<xupdate:insert-after select="//name"><x/></xupdate:insert-after></xupdate:modifications>`,
+		fuzzWrap + `<xupdate:append select="/site" child="2"><y>text</y></xupdate:append></xupdate:modifications>`,
+		fuzzWrap + `<xupdate:append select="/a"><xupdate:element name="e"><xupdate:attribute name="k">v</xupdate:attribute>body</xupdate:element></xupdate:append></xupdate:modifications>`,
+		fuzzWrap + `<xupdate:update select="//name">New Name</xupdate:update></xupdate:modifications>`,
+		fuzzWrap + `<xupdate:update select="//person/@id">p9</xupdate:update></xupdate:modifications>`,
+		fuzzWrap + `<xupdate:rename select="//person">human</xupdate:rename></xupdate:modifications>`,
+		fuzzWrap + `<xupdate:variable name="v" select="//name"/><xupdate:value-of select="$v"/></xupdate:modifications>`,
+		// Multiple ops, comments, PIs, whitespace.
+		fuzzWrap + `
+		  <xupdate:remove select="//a"/><!-- c -->
+		  <xupdate:append select="/r"><b><!--x--><?pi d?></b></xupdate:append>
+		</xupdate:modifications>`,
+		// Namespace variants the parser accepts.
+		`<modifications><remove select="//a"/></modifications>`,
+		`<m:modifications xmlns:m="http://www.xmldb.org/xupdate"><m:remove select="//a"/></m:modifications>`,
+		// Malformed: must error, not panic.
+		``, `<`, `</xupdate:modifications>`, `<xupdate:remove select="//a"/>`,
+		fuzzWrap, // unterminated root
+		fuzzWrap + `<xupdate:bogus select="//a"/></xupdate:modifications>`,
+		fuzzWrap + `<xupdate:remove/></xupdate:modifications>`,                    // missing select
+		fuzzWrap + `<xupdate:remove select="///"/></xupdate:modifications>`,       // bad XPath
+		fuzzWrap + `<xupdate:remove select="//a["/></xupdate:modifications>`,      // unterminated predicate
+		fuzzWrap + `<xupdate:update select="//a"><z/></xupdate:update></xupdate:modifications>`,
+		fuzzWrap + `<xupdate:modifications/></xupdate:modifications>`, // nested root
+		`<notxupdate><remove select="//a"/></notxupdate>`,
+		fuzzWrap + `<xupdate:append select="/r" child="notanumber"><b/></xupdate:append></xupdate:modifications>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 8192 {
+			t.Skip()
+		}
+		mods, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		// A successful parse must produce a well-formed op list: every op
+		// carries a compiled select.
+		for i, op := range mods.Ops {
+			if op.Select == nil {
+				t.Fatalf("op %d (%v) parsed without a select expression", i, op.Kind)
+			}
+		}
+	})
+}

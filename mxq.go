@@ -11,9 +11,26 @@
 // commutative delta increments so the document root never becomes a
 // locking bottleneck. Write transactions run against a page-granular
 // copy-on-write snapshot of the store (Section 3.2): beginning a
-// transaction shares all pages with the base, updates privately copy
-// just the pages they touch, and Document.Snapshot exposes the same
-// mechanism as a lock-free consistent read view.
+// transaction shares all pages with the base, and updates privately copy
+// just the pages they touch.
+//
+// # Versioned-snapshot reads
+//
+// Every query entry point (Query, QueryVars, Prepared.Run, QueryValue,
+// Count, SerializeTo, XML) evaluates against an immutable snapshot of
+// the current committed version rather than under a lock, so reads fully
+// overlap commits and commits never wait for readers. The document keeps
+// a monotonic version counter (Document.Version), bumped on every
+// commit, and caches one snapshot per committed version: the first read
+// after a commit materializes the snapshot once (O(pages) pointer
+// copies), and every further read at that version is a refcount bump.
+// Page chunks are shared between the base store and all live snapshots
+// with per-chunk reference counts — a snapshot that outlives many
+// commits costs only the pages those commits dirtied, and when a
+// superseded snapshot's last reader finishes, its chunk references are
+// handed back so the base writes those pages in place again.
+// Document.Snapshot exposes the same mechanism as an explicit,
+// indefinitely-held consistent read view.
 //
 // Quick start:
 //
