@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz
+.PHONY: check build vet test race bench bench-json lint fuzz
 
 check: build vet race
 
@@ -30,6 +30,26 @@ race:
 BENCH ?= .
 bench:
 	$(GO) test -run xxx -bench '$(BENCH)' -benchmem .
+
+# bench-json records the same run as go-test JSON events in BENCH_ci.json
+# (the per-commit benchmark artifact CI uploads; each event's Output
+# lines carry the benchstat-parsable result text).
+bench-json:
+	$(GO) test -run xxx -bench '$(BENCH)' -benchmem -json . > BENCH_ci.json
+	@tail -n 3 BENCH_ci.json
+
+# Formatting + static analysis. staticcheck is optional locally (the CI
+# lint job installs it); gofmt and vet always run.
+lint:
+	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (CI runs it)"; \
+	fi
 
 # Native fuzz smoke over the two text-input surfaces (the XPath compiler
 # and the XUpdate parser). Go allows one -fuzz target per invocation;

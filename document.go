@@ -264,6 +264,8 @@ type Stats struct {
 	Pages     int     // logical pages
 	PageSize  int     // tuples per page
 	Fill      float64 // live / total
+	Names     int     // interned qualified names (see CompactDictionaries)
+	Props     int     // attribute-value dictionary entries
 	Commits   uint64  // committed write transactions
 	Aborts    uint64  // aborted write transactions
 }
@@ -276,6 +278,7 @@ func (d *Document) Stats() Stats {
 		s.Tuples = int(v.Len())
 		s.Pages = d.store.Pages()
 		s.PageSize = d.store.PageSize()
+		s.Names, s.Props = d.store.DictStats()
 		if s.Tuples > 0 {
 			s.Fill = float64(s.LiveNodes) / float64(s.Tuples)
 		}
@@ -322,19 +325,18 @@ func (d *Document) View(fn func(v xenc.DocView) error) error {
 	return d.mgr.View(fn)
 }
 
-// Snapshot returns an immutable point-in-time view of the document.
-// Unlike View, the returned view is read without any lock: it stays
-// consistent while later transactions commit, because commits copy the
-// pages they modify instead of updating shared ones in place (the
-// page-granular copy-on-write scheme of the paper's Section 3.2).
-// Taking a snapshot costs O(pages); it is safe for concurrent use by any
-// number of goroutines and can be held for as long as needed. A held
-// snapshot keeps the pages it shares with the base store copy-on-write,
-// so commits that overlap its lifetime pay one page copy per page they
-// dirty; queries (which lease the internally cached, refcounted
-// per-version snapshot instead) do not pay this indefinitely.
-func (d *Document) Snapshot() xenc.DocView {
-	return d.mgr.Snapshot()
+// CompactDictionaries rebuilds the document's shared qualified-name
+// pool and attribute-value dictionary, dropping entries that only
+// aborted transactions ever referenced (aborts discard column data but
+// the shared dictionaries are append-only, so their entries leak). It
+// is an offline maintenance pass in the spirit of page compaction: run
+// it when Stats shows Names or Props drifting above what the live
+// document references. It blocks like a commit (exclusive lock) but
+// never disturbs open snapshots or in-flight transactions, which keep
+// their own dictionary references. It returns the number of dropped
+// name and property entries.
+func (d *Document) CompactDictionaries() (namesDropped, propsDropped int) {
+	return d.mgr.CompactDictionaries()
 }
 
 // CheckInvariants validates the storage invariants (testing hook).

@@ -47,7 +47,16 @@ func main() {
 		}
 		fmt.Printf("committed entry %d (one WAL record)\n", i)
 	}
-	want, _ := doc.XML()
+	// Capture the committed pre-crash state through a point-in-time
+	// snapshot handle; the deferred Close returns its chunk references
+	// once we are done comparing (the snapshot-handle contract: always
+	// pair Snapshot with Close).
+	snap := doc.Snapshot()
+	defer snap.Close()
+	want, err := snap.XML()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Simulate a crash: walk away without checkpointing. The three
 	// committed records exist only in the WAL.

@@ -47,7 +47,8 @@
 // The qualified-name pool and the attribute-value dictionary are shared
 // between the base and all snapshots (both are append-only and internally
 // synchronized); an aborted transaction can leave unreferenced dictionary
-// entries behind, which is harmless.
+// entries behind, which CompactDictionaries reclaims offline the way
+// Compact reclaims dead pages.
 package core
 
 import (
@@ -271,6 +272,13 @@ func (d *propDict) get(id int32) string {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.vals[id]
+}
+
+// count returns the number of dictionary entries.
+func (d *propDict) count() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.vals)
 }
 
 // values returns a point-in-time copy of the dictionary contents.

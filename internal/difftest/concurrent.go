@@ -149,42 +149,53 @@ func RunConcurrent(t *testing.T, cfg ConcurrentConfig) {
 					return
 				default:
 				}
-				rv := m.AcquireRead()
-				v := rv.Version()
-				want := oracleAt(v)
-				if want == nil {
-					fail(fmt.Errorf("seed %d reader %d: no oracle for version %d", cfg.Seed, r, v))
-					rv.Close()
-					return
-				}
-				e := exprs[rrng.Intn(len(exprs))]
-				got, err1 := queryFingerprint(rv.View(), e)
-				exp, err2 := queryFingerprint(want, e)
-				if err1 != nil || err2 != nil {
-					fail(fmt.Errorf("seed %d reader %d version %d query %q: paged err %v, oracle err %v",
-						cfg.Seed, r, v, e.Source(), err1, err2))
-					rv.Close()
-					return
-				}
-				if got != exp {
-					fail(fmt.Errorf("seed %d reader %d version %d query %q diverged\npaged:  %.400s\noracle: %.400s",
-						cfg.Seed, r, v, e.Source(), got, exp))
-					rv.Close()
-					return
-				}
-				// Periodic whole-document agreement on top of the query
-				// check — catches structural divergence queries miss.
-				if i%8 == 0 {
-					gs, err1 := serializeErr(rv.View())
-					ws, err2 := serializeErr(want)
-					if err1 != nil || err2 != nil || gs != ws {
-						fail(fmt.Errorf("seed %d reader %d version %d: serialized documents diverged (errs %v/%v)",
-							cfg.Seed, r, v, err1, err2))
-						rv.Close()
-						return
+				if err := func() error {
+					// Lifecycle-aware acquisition: most iterations lease
+					// the cached per-version snapshot (AcquireRead), but
+					// every fourth takes a public closeable Snapshot
+					// handle, so the refcount handoff of both entry
+					// points races commits, compactions and each other.
+					var view xenc.DocView
+					var v uint64
+					var release func()
+					if i%4 == 3 {
+						snap := m.Snapshot()
+						view, v, release = snap.View(), snap.Version(), snap.Close
+					} else {
+						rv := m.AcquireRead()
+						view, v, release = rv.View(), rv.Version(), rv.Close
 					}
+					defer release()
+					want := oracleAt(v)
+					if want == nil {
+						return fmt.Errorf("seed %d reader %d: no oracle for version %d", cfg.Seed, r, v)
+					}
+					e := exprs[rrng.Intn(len(exprs))]
+					got, err1 := queryFingerprint(view, e)
+					exp, err2 := queryFingerprint(want, e)
+					if err1 != nil || err2 != nil {
+						return fmt.Errorf("seed %d reader %d version %d query %q: paged err %v, oracle err %v",
+							cfg.Seed, r, v, e.Source(), err1, err2)
+					}
+					if got != exp {
+						return fmt.Errorf("seed %d reader %d version %d query %q diverged\npaged:  %.400s\noracle: %.400s",
+							cfg.Seed, r, v, e.Source(), got, exp)
+					}
+					// Periodic whole-document agreement on top of the query
+					// check — catches structural divergence queries miss.
+					if i%8 == 0 {
+						gs, err1 := serializeErr(view)
+						ws, err2 := serializeErr(want)
+						if err1 != nil || err2 != nil || gs != ws {
+							return fmt.Errorf("seed %d reader %d version %d: serialized documents diverged (errs %v/%v)",
+								cfg.Seed, r, v, err1, err2)
+						}
+					}
+					return nil
+				}(); err != nil {
+					fail(err)
+					return
 				}
-				rv.Close()
 			}
 		}(r)
 	}
@@ -225,6 +236,12 @@ func RunConcurrent(t *testing.T, cfg ConcurrentConfig) {
 			close(stop)
 			t.Fatalf("seed %d batch %d: commit: %v", cfg.Seed, batch, err)
 		}
+		// Periodic dictionary compaction while readers race: aborted
+		// batches leak names and attribute values into the shared pools,
+		// and reclaiming them must never disturb a live snapshot.
+		if batch%4 == 0 {
+			m.CompactDictionaries()
+		}
 	}
 	close(stop)
 	wg.Wait()
@@ -237,6 +254,16 @@ func RunConcurrent(t *testing.T, cfg ConcurrentConfig) {
 	if err := paged.CheckInvariants(); err != nil {
 		t.Fatalf("seed %d: invariants broken after concurrent run: %v", cfg.Seed, err)
 	}
+	// A final compaction must leave the document intact (checked by the
+	// serialization below), and an immediate second pass must find
+	// nothing left to drop.
+	m.CompactDictionaries()
+	if nd, pd := m.CompactDictionaries(); nd != 0 || pd != 0 {
+		t.Errorf("seed %d: second dictionary compaction dropped (%d names, %d props), want (0, 0)", cfg.Seed, nd, pd)
+	}
+	if err := paged.CheckInvariants(); err != nil {
+		t.Fatalf("seed %d: invariants broken after dictionary compaction: %v", cfg.Seed, err)
+	}
 	rv := m.AcquireRead()
 	defer rv.Close()
 	got, err1 := serializeErr(rv.View())
@@ -246,5 +273,19 @@ func RunConcurrent(t *testing.T, cfg ConcurrentConfig) {
 	}
 	if got != want {
 		t.Fatalf("seed %d: final states diverged\npaged:  %.600s\noracle: %.600s", cfg.Seed, got, want)
+	}
+	// The rewritten base (post-compaction dictionary ids) must agree too,
+	// not just the cached pre-compaction snapshot.
+	if err := m.View(func(v xenc.DocView) error {
+		base, err := serializeErr(v)
+		if err != nil {
+			return err
+		}
+		if base != want {
+			return fmt.Errorf("compacted base diverged\npaged:  %.600s\noracle: %.600s", base, want)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("seed %d: %v", cfg.Seed, err)
 	}
 }

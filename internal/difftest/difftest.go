@@ -44,6 +44,12 @@ type Config struct {
 	// tx.Manager in batches of TxBatch ops; odd batches commit, even
 	// batches abort (the oracle only advances on commit).
 	TxBatch int
+	// CompactDictEvery, when > 0, runs CompactDictionaries every N steps
+	// (direct mode) or every N batches (tx mode) and re-verifies the
+	// stores agree: the dictionary rewrite must be invisible to the
+	// serialized document, and aborted batches' leaked entries must be
+	// reclaimable at any point in the workload.
+	CompactDictEvery int
 }
 
 // mutTarget is the mutation surface shared by *core.Store and *tx.Tx.
@@ -324,6 +330,9 @@ func Run(t *testing.T, cfg Config) {
 		if err := o.applyNaive(oracle); err != nil {
 			t.Fatalf("seed %d step %d: oracle %v: %v", cfg.Seed, step, o, err)
 		}
+		if cfg.CompactDictEvery > 0 && (step+1)%cfg.CompactDictEvery == 0 {
+			paged.CompactDictionaries()
+		}
 		checkAgree(t, cfg, step, paged, oracle, history)
 	}
 }
@@ -368,6 +377,9 @@ func runTx(t *testing.T, cfg Config, rng *rand.Rand, paged *core.Store, oracle *
 			history = append(history, pending...)
 		} else {
 			txn.Abort()
+		}
+		if cfg.CompactDictEvery > 0 && batch%cfg.CompactDictEvery == 0 {
+			m.CompactDictionaries()
 		}
 		checkAgree(t, cfg, step, paged, oracle, history)
 	}

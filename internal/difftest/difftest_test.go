@@ -2,8 +2,22 @@ package difftest
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 )
+
+// concurrentBatches returns def unless the MXQ_DIFFTEST_BATCHES
+// environment variable overrides it — the nightly CI workflow raises the
+// concurrent-mode iteration count far beyond what per-PR runs can spend.
+func concurrentBatches(def int) int {
+	if s := os.Getenv("MXQ_DIFFTEST_BATCHES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 // TestDirectSmallPages drives the paged store directly with tiny pages,
 // the regime with the most page splices and free-run churn per op.
@@ -12,7 +26,7 @@ func TestDirectSmallPages(t *testing.T) {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			Run(t, Config{
 				Seed: seed, Steps: 120, DocSize: 60,
-				PageSize: 16, Fill: 0.75,
+				PageSize: 16, Fill: 0.75, CompactDictEvery: 40,
 			})
 		})
 	}
@@ -54,6 +68,7 @@ func TestTxCommitAbort(t *testing.T) {
 			Run(t, Config{
 				Seed: seed, Steps: 120, DocSize: 70,
 				PageSize: 16, Fill: 0.75, TxBatch: 5,
+				CompactDictEvery: 6,
 			})
 		})
 	}
@@ -79,10 +94,10 @@ func TestTxSingleOpBatches(t *testing.T) {
 // query result must match the naive oracle frozen at that snapshot's
 // version. Run under -race (make check does).
 func TestConcurrentSnapshotQueries(t *testing.T) {
-	batches := 25
+	batches := concurrentBatches(25)
 	readers := 4
 	if testing.Short() {
-		batches, readers = 8, 2
+		batches, readers = concurrentBatches(8), 2
 	}
 	for seed := int64(50); seed <= 52; seed++ {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
@@ -103,7 +118,7 @@ func TestConcurrentSnapshotQueriesTinyPages(t *testing.T) {
 	}
 	RunConcurrent(t, ConcurrentConfig{
 		Seed: 60, SF: 0.002, Readers: 3,
-		Batches: 15, BatchOps: 4,
+		Batches: concurrentBatches(15), BatchOps: 4,
 		PageSize: 16, Fill: 1.0,
 	})
 }

@@ -121,7 +121,10 @@ func TestConcurrentSnapshotReadersDuringCommit(t *testing.T) {
 					return
 				default:
 				}
-				if err := checkSnapshot(m.Snapshot()); err != nil {
+				snap := m.Snapshot()
+				err := checkSnapshot(snap.View())
+				snap.Close()
+				if err != nil {
 					t.Error(err)
 					return
 				}
@@ -135,7 +138,9 @@ func TestConcurrentSnapshotReadersDuringCommit(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		frozen := m.Snapshot()
+		snap := m.Snapshot()
+		defer snap.Close()
+		frozen := snap.View()
 		base := frozen.LiveNodes()
 		for {
 			select {
@@ -207,7 +212,9 @@ func TestConcurrentSnapshotReadersDuringCommit(t *testing.T) {
 		t.Fatal("no snapshots were checked concurrently with commits")
 	}
 	// Final state: base must reflect exactly the committed books.
-	if err := checkSnapshot(m.Snapshot()); err != nil {
+	final := m.Snapshot()
+	defer final.Close()
+	if err := checkSnapshot(final.View()); err != nil {
 		t.Fatalf("final state: %v", err)
 	}
 }

@@ -119,7 +119,9 @@ func TestAcquireReadConcurrentWithCommits(t *testing.T) {
 	// byVersion[v] = the document XML after commit v (filled by the
 	// writer before the commit becomes visible).
 	byVersion := make([]string, commits+1)
-	byVersion[0] = viewXML(t, m.Snapshot())
+	rv0 := m.AcquireRead()
+	byVersion[0] = viewXML(t, rv0.View())
+	rv0.Close()
 	var mu sync.Mutex
 
 	done := make(chan struct{})

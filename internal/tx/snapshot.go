@@ -1,0 +1,115 @@
+package tx
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+
+	"mxq/internal/xenc"
+)
+
+// ErrSnapshotClosed reports use of a Snapshot handle after Close.
+var ErrSnapshotClosed = errors.New("tx: snapshot is closed")
+
+// Snapshot is a closeable, refcounted handle on an immutable snapshot of
+// one committed version — the public extension of the chunk-refcount
+// protocol that ReadView applies inside the query path. The view is read
+// without any lock: it stays consistent while later transactions commit,
+// because commits copy the pages they modify instead of updating shared
+// chunks in place (Section 3.2's copy-on-write reader isolation), and it
+// is safe for concurrent use by any number of goroutines.
+//
+// Handles taken at the same committed version share one underlying
+// snapshot; the base store pays copy-on-write only for the chunks
+// commits dirty while at least one sharer is alive, and resumes in-place
+// writes on a chunk as soon as its last sharer is gone. Close returns
+// this handle's reference (idempotent; see core.Store.Release). The view
+// must not be used after Close, and must not outlive the handle it came
+// from: a garbage-collected unclosed handle is reported through the leak
+// handler by a finalizer, which releases the reference as a backstop —
+// but relying on the finalizer reintroduces exactly the unbounded
+// copy-on-write tax Close exists to end.
+type Snapshot struct {
+	rs     *readSnap
+	closed atomic.Bool
+}
+
+// Snapshot returns a handle on the snapshot of the current committed
+// version. Taking one costs at most one O(pages) refcount sweep, and
+// nothing at all when the cached per-version snapshot is current; the
+// handle shares the cache's snapshot, so open queries and other handles
+// at the same version all pin the same chunks once.
+func (m *Manager) Snapshot() *Snapshot {
+	s := &Snapshot{rs: m.acquireSnap()}
+	runtime.SetFinalizer(s, (*Snapshot).finalize)
+	return s
+}
+
+// View returns the immutable document view. The view must not be used
+// after Close, and must not be retained beyond the handle's lifetime.
+func (s *Snapshot) View() xenc.DocView { return s.rs.store }
+
+// Version returns the committed version the snapshot observes.
+func (s *Snapshot) Version() uint64 { return s.rs.version }
+
+// Closed reports whether Close has been called.
+func (s *Snapshot) Closed() bool { return s.closed.Load() }
+
+// WithView runs fn against the snapshot's view while holding a
+// temporary reference of its own, so a Close racing the call (from
+// another goroutine, or from the finalizer backstop) cannot release the
+// snapshot's chunks mid-read — the release is deferred until fn
+// returns. It fails with ErrSnapshotClosed once Close has been called,
+// or if the snapshot is already fully released.
+func (s *Snapshot) WithView(fn func(v xenc.DocView) error) error {
+	if s.closed.Load() || !s.rs.tryAcquire() {
+		return ErrSnapshotClosed
+	}
+	defer s.rs.release()
+	return fn(s.rs.store)
+}
+
+// Close returns the handle's snapshot reference. Once the last sharer of
+// the version is gone (handles, query leases and the manager's cache
+// slot all count), the snapshot's chunk references are handed back to
+// the base store, which resumes writing those chunks in place. Close is
+// idempotent and safe to call concurrently with commits.
+func (s *Snapshot) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		runtime.SetFinalizer(s, nil)
+		s.rs.release()
+	}
+}
+
+// leakHandler is called with the snapshot's version when an unclosed
+// Snapshot is garbage-collected. Nil means the default (a warning on
+// stderr).
+var leakHandler atomic.Pointer[func(version uint64)]
+
+// SetSnapshotLeakHandler replaces the hook invoked when an unclosed
+// Snapshot handle is reclaimed by the garbage collector (after its
+// reference has been released). Passing nil restores the default, which
+// writes a warning to stderr. Intended for tests and embedders that
+// route diagnostics elsewhere.
+func SetSnapshotLeakHandler(fn func(version uint64)) {
+	if fn == nil {
+		leakHandler.Store(nil)
+		return
+	}
+	leakHandler.Store(&fn)
+}
+
+func (s *Snapshot) finalize() {
+	if s.closed.CompareAndSwap(false, true) {
+		s.rs.release()
+		if fn := leakHandler.Load(); fn != nil {
+			(*fn)(s.rs.version)
+			return
+		}
+		fmt.Fprintf(os.Stderr,
+			"mxq/internal/tx: Snapshot of version %d was garbage-collected without Close; "+
+				"the base store paid copy-on-write for its chunks until now\n", s.rs.version)
+	}
+}

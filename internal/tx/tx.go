@@ -68,17 +68,23 @@ type Manager struct {
 	version atomic.Uint64
 
 	// cached is the snapshot for the current committed version, built
-	// lazily by AcquireRead and replaced (never mutated) when a reader
-	// first arrives after a commit. Commit drops the cache-slot
-	// reference of a superseded snapshot (invalidateStale) so a
-	// write-only phase neither pins the old version in memory nor pays
-	// copy-on-write for chunks no reader will ever lease again. readMu
-	// serializes cache maintenance only; it is never held during query
-	// evaluation and never taken while holding mu, so the read and
-	// write paths cannot deadlock and evaluation shares no lock with
-	// commits.
-	readMu sync.Mutex
-	cached *readSnap
+	// lazily by the read path and replaced (never mutated) when a reader
+	// first arrives after a commit. Cache maintenance is epoch-based and
+	// entirely lock-free: racing first-readers after a commit each build
+	// a snapshot in parallel (Snapshot only bumps refcounts, so builds
+	// don't conflict), the newest version wins the CAS into the slot,
+	// and losers either adopt the winner or release their build
+	// immediately. Commit drops the cache-slot reference of a superseded
+	// snapshot (invalidateStale) so a write-only phase neither pins the
+	// old version in memory nor pays copy-on-write for chunks no reader
+	// will ever lease again.
+	cached atomic.Pointer[readSnap]
+
+	// snapBuildHook, when non-nil, runs between building a snapshot and
+	// trying to install it (testing hook: it lets tests prove that
+	// racing first-readers really do build in parallel). Set it before
+	// any reader runs; it must not be mutated afterwards.
+	snapBuildHook func()
 
 	lockMu sync.Mutex
 	owners map[int32]*Tx // logical page -> holder
@@ -106,6 +112,23 @@ type readSnap struct {
 func (rs *readSnap) release() {
 	if rs.refs.Add(-1) == 0 {
 		rs.store.Release()
+	}
+}
+
+// tryAcquire takes one reference unless the snapshot is already fully
+// released. The CAS loop makes the "is it still alive" check and the
+// increment atomic: a reader that loses the race against the final
+// release must not resurrect a snapshot whose chunks are already handed
+// back.
+func (rs *readSnap) tryAcquire() bool {
+	for {
+		n := rs.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if rs.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
 	}
 }
 
@@ -161,58 +184,115 @@ func (m *Manager) View(fn func(v xenc.DocView) error) error {
 func (m *Manager) Version() uint64 { return m.version.Load() }
 
 // AcquireRead leases an immutable snapshot of the current committed
-// version. The fast path — the cached snapshot is still current — is a
-// version check and a refcount bump: no lock is held while the caller
-// evaluates against the view, so readers fully overlap commits. The
-// first reader after a commit pays one O(pages) snapshot, which then
-// serves every reader until the next commit.
+// version. The fast path — the cached snapshot is still current — is an
+// atomic pointer load, a version check and a refcount bump: no lock is
+// held while the caller evaluates against the view, so readers fully
+// overlap commits. The slow path is epoch-based: every first-reader
+// racing in after a commit builds its own O(pages) snapshot in parallel
+// (snapshot construction only increments chunk refcounts under the
+// shared read lock, so builds never conflict with each other or with
+// other readers), and the builds are reconciled by compare-and-swap on
+// the cache slot — the newest version wins, racers that lose to an
+// equal-version build adopt the winner and release their own build
+// immediately, and a build overtaken by an even newer commit is served
+// to its own caller uncached. No reader ever waits for another reader's
+// build.
 //
 // The caller must Close the returned view when done; the snapshot for a
 // superseded version is dropped when its last reader closes, returning
 // chunk ownership to the base store.
 func (m *Manager) AcquireRead() *ReadView {
-	m.readMu.Lock()
-	rs := m.cached
-	if rs == nil || rs.version != m.version.Load() {
-		rs = m.refreshLocked()
-	}
-	rs.refs.Add(1)
-	m.readMu.Unlock()
-	return &ReadView{rs: rs}
+	return &ReadView{rs: m.acquireSnap()}
 }
 
-// refreshLocked builds the snapshot for the current committed version
-// and installs it as the cache entry. readMu must be held. The snapshot
-// and its version are captured under the shared read lock, so a commit
-// cannot slip between them; commits themselves never take readMu, which
-// keeps the lock order (readMu → mu.RLock) acyclic.
-func (m *Manager) refreshLocked() *readSnap {
+// acquireSnap returns the current version's snapshot with one reference
+// taken for the caller.
+func (m *Manager) acquireSnap() *readSnap {
+	for {
+		if rs := m.cached.Load(); rs != nil && rs.version == m.version.Load() && rs.tryAcquire() {
+			return rs
+		}
+		if rs := m.buildSnap(); rs != nil {
+			return rs
+		}
+	}
+}
+
+// buildSnap is the epoch-based slow path: build a snapshot of the
+// current committed version without holding any manager-wide reader
+// lock, then reconcile with racing builders through the cache slot's
+// compare-and-swap. The snapshot and its version are captured together
+// under the shared read lock, so a commit cannot slip between them.
+// The returned snapshot carries one reference for the caller.
+func (m *Manager) buildSnap() *readSnap {
 	m.mu.RLock()
 	snap := m.store.Snapshot()
 	v := m.version.Load()
 	m.mu.RUnlock()
-	rs := &readSnap{store: snap, version: v}
-	rs.refs.Store(1) // the cache slot's reference
-	if old := m.cached; old != nil {
-		old.release()
+	if h := m.snapBuildHook; h != nil {
+		h()
 	}
-	m.cached = rs
-	return rs
+	rs := &readSnap{store: snap, version: v}
+	rs.refs.Store(1) // the caller's lease
+	for {
+		old := m.cached.Load()
+		if old != nil {
+			if old.version > v {
+				// A racer installed a newer epoch while we built. Our
+				// snapshot is still a consistent view of a version that
+				// was current within this call, so serve it to our own
+				// caller uncached; it is released when that one lease
+				// closes.
+				return rs
+			}
+			if old.version == v {
+				// Lost the install race to an equal-version build:
+				// adopt the winner and release ours immediately.
+				if old.tryAcquire() {
+					rs.release()
+					return old
+				}
+				// The cached equal-version snapshot was already fully
+				// released (a commit invalidated it and its last reader
+				// left); the CAS below will fail against the changed
+				// slot and we reconcile again.
+			}
+		}
+		rs.refs.Add(1) // the cache slot's reference
+		if m.cached.CompareAndSwap(old, rs) {
+			if old != nil {
+				old.release()
+			}
+			// A commit may have landed between capturing the version
+			// and installing: its invalidateStale can have run before
+			// our install made rs visible, so re-check and self-evict
+			// rather than leave a stale snapshot pinned in the slot
+			// across a write-only phase.
+			if rs.version != m.version.Load() {
+				m.invalidateStale()
+			}
+			return rs
+		}
+		rs.refs.Add(-1)
+	}
 }
 
 // invalidateStale drops the cache-slot reference of a snapshot whose
 // version has been superseded, so open readers keep their leases but
 // the cache stops pinning the old version across a write-only phase.
-// Commit calls it after releasing the global lock — never under mu:
-// AcquireRead's slow path acquires mu.RLock while holding readMu, so
-// taking readMu under mu would deadlock.
+// Commit calls it after releasing the global lock; it is lock-free and
+// safe to race with readers installing fresh snapshots.
 func (m *Manager) invalidateStale() {
-	m.readMu.Lock()
-	if rs := m.cached; rs != nil && rs.version != m.version.Load() {
-		m.cached = nil
-		rs.release()
+	for {
+		rs := m.cached.Load()
+		if rs == nil || rs.version == m.version.Load() {
+			return
+		}
+		if m.cached.CompareAndSwap(rs, nil) {
+			rs.release()
+			return
+		}
 	}
-	m.readMu.Unlock()
 }
 
 // Stats returns commit and abort counters.
@@ -242,20 +322,17 @@ func (m *Manager) snapshot() *core.Store {
 	return m.store.Snapshot()
 }
 
-// Snapshot returns an immutable point-in-time view of the document that
-// can be read without holding any lock: readers traverse it while later
-// write transactions commit concurrently, because commits copy the pages
-// they modify instead of updating shared chunks in place (Section 3.2's
-// copy-on-write reader isolation). The view is safe for concurrent use
-// by any number of goroutines and stays consistent forever. A read-only
-// snapshot never materializes pages of its own — it pins the chunks it
-// shares with the base, which the garbage collector reclaims once the
-// base replaces them and the snapshot itself is dropped. Because the
-// returned view has no release hook, the base keeps copy-on-write
-// semantics for its chunks indefinitely; prefer AcquireRead, whose
-// leased views hand ownership back when closed.
-func (m *Manager) Snapshot() xenc.DocView {
-	return m.snapshot()
+// CompactDictionaries rebuilds the shared qualified-name pool and
+// attribute-value dictionary of the base store, dropping entries leaked
+// by aborted transactions (see core.Store.CompactDictionaries). It runs
+// under the global write lock — like a commit — and returns the number
+// of dropped name and property entries. Live snapshots and in-flight
+// transactions keep their own references to the old pools and chunks,
+// so they are never disturbed.
+func (m *Manager) CompactDictionaries() (namesDropped, propsDropped int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.store.CompactDictionaries()
 }
 
 // Checkpoint writes an LSN-stamped snapshot of the current base store;

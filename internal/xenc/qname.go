@@ -71,4 +71,3 @@ func (q *QNamePool) NamesList() []string {
 	defer q.mu.RUnlock()
 	return append([]string(nil), q.names...)
 }
-

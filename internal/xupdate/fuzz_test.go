@@ -37,9 +37,9 @@ func FuzzXUpdateParse(f *testing.F) {
 		``, `<`, `</xupdate:modifications>`, `<xupdate:remove select="//a"/>`,
 		fuzzWrap, // unterminated root
 		fuzzWrap + `<xupdate:bogus select="//a"/></xupdate:modifications>`,
-		fuzzWrap + `<xupdate:remove/></xupdate:modifications>`,                    // missing select
-		fuzzWrap + `<xupdate:remove select="///"/></xupdate:modifications>`,       // bad XPath
-		fuzzWrap + `<xupdate:remove select="//a["/></xupdate:modifications>`,      // unterminated predicate
+		fuzzWrap + `<xupdate:remove/></xupdate:modifications>`,               // missing select
+		fuzzWrap + `<xupdate:remove select="///"/></xupdate:modifications>`,  // bad XPath
+		fuzzWrap + `<xupdate:remove select="//a["/></xupdate:modifications>`, // unterminated predicate
 		fuzzWrap + `<xupdate:update select="//a"><z/></xupdate:update></xupdate:modifications>`,
 		fuzzWrap + `<xupdate:modifications/></xupdate:modifications>`, // nested root
 		`<notxupdate><remove select="//a"/></notxupdate>`,

@@ -29,8 +29,39 @@
 // commits costs only the pages those commits dirtied, and when a
 // superseded snapshot's last reader finishes, its chunk references are
 // handed back so the base writes those pages in place again.
-// Document.Snapshot exposes the same mechanism as an explicit,
-// indefinitely-held consistent read view.
+//
+// # Snapshot handles and the Close contract
+//
+// Document.Snapshot exposes the same mechanism as an explicit handle: a
+// refcounted *Snapshot whose queries observe one committed version for
+// as long as it is open, shared with the query path's internal cache
+// when the versions coincide. The contract is Close-when-done: a held
+// snapshot keeps the chunks it shares with the base copy-on-write (each
+// overlapping commit pays one page copy per page it dirties), and Close
+// — idempotent, safe to race with commits — returns the handle's chunk
+// references so the base resumes in-place writes once the last sharer
+// of that version is gone. A snapshot's lifetime cost is therefore
+// bounded by the pages dirtied while it was open, never by how long it
+// stayed open after. Using a handle after Close returns
+// ErrSnapshotClosed. Handles that are garbage-collected unclosed are
+// released by a finalizer and reported as leaks (see
+// tx.SetSnapshotLeakHandler), but the base pays the copy-on-write tax
+// until the collector runs — always pair Snapshot with a deferred
+// Close.
+//
+// # Dictionary compaction
+//
+// The qualified-name pool and attribute-value dictionary are shared,
+// append-only structures; transactions intern new names and values
+// before committing, so an abort leaks entries nothing references.
+// Document.CompactDictionaries is the offline reclamation pass: it
+// rewrites both dictionaries to exactly the entries the live document
+// references (Stats.Names and Stats.Props expose the drift), blocking
+// like a single commit while never disturbing open snapshots or
+// in-flight transactions, which keep their own consistent dictionary
+// references until released. Document content, node identities and
+// storage layout are guaranteed unchanged; only internal dictionary
+// ids are remapped.
 //
 // Quick start:
 //

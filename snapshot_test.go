@@ -1,0 +1,147 @@
+package mxq
+
+import (
+	"strings"
+	"testing"
+)
+
+const snapDoc = `<lib><shelf id="s1"><book genre="sf">A</book><book genre="hist">B</book></shelf></lib>`
+
+func loadSnapDoc(t *testing.T) *Document {
+	t.Helper()
+	db, err := Open(Options{PageSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := db.LoadXMLString("lib", snapDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestSnapshotHandleLifecycle covers the public contract end to end: a
+// snapshot observes its version across commits, Close is idempotent,
+// and use after Close fails with ErrSnapshotClosed.
+func TestSnapshotHandleLifecycle(t *testing.T) {
+	doc := loadSnapDoc(t)
+
+	snap := doc.Snapshot()
+	if snap.Version() != 0 {
+		t.Fatalf("fresh snapshot at version %d, want 0", snap.Version())
+	}
+	before, err := snap.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := doc.Update(`<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+	  <xupdate:append select="/lib/shelf"><book>C</book></xupdate:append>
+	</xupdate:modifications>`); err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot still sees 2 books; the document sees 3.
+	if n, err := snap.Count(`//book`); err != nil || n != 2 {
+		t.Fatalf("snapshot sees %d books (err %v), want 2", n, err)
+	}
+	if n, err := doc.Count(`//book`); err != nil || n != 3 {
+		t.Fatalf("document sees %d books (err %v), want 3", n, err)
+	}
+	if got, _ := snap.XML(); got != before {
+		t.Fatalf("snapshot drifted across a commit:\nbefore: %s\nafter:  %s", before, got)
+	}
+	if v, err := snap.QueryValue(`/lib/shelf/book[1]/text()`); err != nil || v != "A" {
+		t.Fatalf("snapshot QueryValue = %q, %v", v, err)
+	}
+
+	snap.Close()
+	snap.Close() // idempotent
+	if _, err := snap.Query(`//book`); err != ErrSnapshotClosed {
+		t.Fatalf("query on closed snapshot: %v, want ErrSnapshotClosed", err)
+	}
+	if err := snap.SerializeTo(&strings.Builder{}, ""); err != ErrSnapshotClosed {
+		t.Fatalf("serialize on closed snapshot: %v, want ErrSnapshotClosed", err)
+	}
+
+	// The document is unaffected by the handle's lifecycle.
+	if n, _ := doc.Count(`//book`); n != 3 {
+		t.Fatalf("document sees %d books after snapshot close, want 3", n)
+	}
+	if err := doc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactDictionariesPublic: an aborted transaction leaks names and
+// attribute values into the shared dictionaries; CompactDictionaries
+// reclaims exactly those, visible through Stats, without changing the
+// document.
+func TestCompactDictionariesPublic(t *testing.T) {
+	doc := loadSnapDoc(t)
+	base := doc.Stats()
+
+	txn := doc.Begin()
+	if _, err := txn.Update(`<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+	  <xupdate:append select="/lib/shelf"><leaked-elem leaked-attr="leaked-val">x</leaked-elem></xupdate:append>
+	</xupdate:modifications>`); err != nil {
+		t.Fatal(err)
+	}
+	txn.Abort()
+
+	leaked := doc.Stats()
+	if leaked.Names <= base.Names || leaked.Props <= base.Props {
+		t.Fatalf("abort leaked nothing: names %d->%d, props %d->%d",
+			base.Names, leaked.Names, base.Props, leaked.Props)
+	}
+	if leaked.Aborts != 1 {
+		t.Fatalf("abort count %d, want 1", leaked.Aborts)
+	}
+
+	before, err := doc.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, pd := doc.CompactDictionaries()
+	if nd == 0 || pd == 0 {
+		t.Fatalf("compaction dropped (%d names, %d props), want both > 0", nd, pd)
+	}
+	after := doc.Stats()
+	if after.Names != base.Names || after.Props != base.Props {
+		t.Fatalf("post-compaction dict sizes (%d, %d), want (%d, %d)",
+			after.Names, after.Props, base.Names, base.Props)
+	}
+	if got, _ := doc.XML(); got != before {
+		t.Fatalf("document changed across dictionary compaction:\nbefore: %s\nafter:  %s", before, got)
+	}
+	// Attribute queries still resolve through the rewritten table.
+	if v, err := doc.QueryValue(`/lib/shelf/book[1]/@genre`); err != nil || v != "sf" {
+		t.Fatalf("attribute query after compaction = %q, %v, want \"sf\"", v, err)
+	}
+	if err := doc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing left to drop.
+	if nd, pd := doc.CompactDictionaries(); nd != 0 || pd != 0 {
+		t.Fatalf("second compaction dropped (%d, %d), want (0, 0)", nd, pd)
+	}
+}
+
+// TestSnapshotSharesQueryCache: handles taken at the same version share
+// the query path's cached snapshot, so open queries and snapshots pin
+// the base's chunks once, not per handle.
+func TestSnapshotSharesQueryCache(t *testing.T) {
+	doc := loadSnapDoc(t)
+	a := doc.Snapshot()
+	b := doc.Snapshot()
+	defer a.Close()
+	defer b.Close()
+	if a.Version() != b.Version() {
+		t.Fatalf("versions diverged: %d vs %d", a.Version(), b.Version())
+	}
+	ax, _ := a.XML()
+	bx, _ := b.XML()
+	if ax != bx {
+		t.Fatal("two same-version handles disagree")
+	}
+}
