@@ -685,3 +685,74 @@ func BenchmarkConcurrentQueryDuringCommits(b *testing.B) {
 		b.ReportMetric(float64(v1-v0)/float64(b.N), "commits/query")
 	})
 }
+
+// BenchmarkCommitFsyncThroughput measures group commit: N goroutines
+// commit small disjoint updates against one durable document (real
+// fsyncs), so concurrent committers share the WAL flush through the
+// leader/follower door. Throughput should *rise* with committer count —
+// the whole point of turning N commit fsyncs into ~1 — where a
+// fsync-per-commit design would stay flat. The reported fsyncs/commit
+// ratio makes the batching visible in BENCH_ci.json.
+func BenchmarkCommitFsyncThroughput(b *testing.B) {
+	for _, committers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("committers=%d", committers), func(b *testing.B) {
+			dir := b.TempDir()
+			db, err := Open(Options{Dir: dir, PageSize: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			// One padded section per committer so their SetValue targets
+			// land on disjoint pages (no lock conflicts, pure commit-path
+			// contention).
+			var sb strings.Builder
+			sb.WriteString(`<r>`)
+			for c := 0; c < committers; c++ {
+				fmt.Fprintf(&sb, `<s id="c%d"><v>0</v>%s</s>`, c, strings.Repeat(`<pad>x</pad>`, 80))
+			}
+			sb.WriteString(`</r>`)
+			doc, err := db.LoadXMLString("bench", sb.String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			mods := make([]string, committers)
+			for c := 0; c < committers; c++ {
+				mods[c] = wrapMods(fmt.Sprintf(
+					`<xupdate:update select="/r/s[@id=&quot;c%d&quot;]/v">n</xupdate:update>`, c))
+			}
+
+			syncs0 := docSyncCount(doc)
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N / committers
+			if per == 0 {
+				per = 1
+			}
+			for c := 0; c < committers; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if _, err := doc.Update(mods[c]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			b.StopTimer()
+			commits := float64(per * committers)
+			b.ReportMetric(float64(docSyncCount(doc)-syncs0)/commits, "fsyncs/commit")
+			b.ReportMetric(commits/b.Elapsed().Seconds(), "commits/s")
+		})
+	}
+}
+
+// docSyncCount reads the document WAL's physical fsync counter.
+func docSyncCount(d *Document) uint64 {
+	if d.log == nil {
+		return 0
+	}
+	return d.log.SyncCount()
+}

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	mxqshell [-page 1024] [-fill 0.8] [-dir data/] [doc.xml ...]
+//	mxqshell [-page 1024] [-fill 0.8] [-dir data/]
+//	         [-ckpt-bytes N] [-ckpt-records N] [doc.xml ...]
 //
 // Commands:
 //
@@ -14,7 +15,7 @@
 //	u <name> <file.xu>     apply an XUpdate file
 //	xml <name>             print the document
 //	stats <name>           storage statistics
-//	checkpoint <name>      write a checkpoint (needs -dir)
+//	checkpoint <name>      write an online checkpoint (needs -dir)
 //	quit
 package main
 
@@ -33,10 +34,15 @@ import (
 func main() {
 	page := flag.Int("page", 0, "logical page size in tuples (power of two)")
 	fill := flag.Float64("fill", 0, "shredder fill factor (0,1]")
-	dir := flag.String("dir", "", "durability directory (WAL + checkpoints)")
+	dir := flag.String("dir", "", "durability directory (segmented WAL + checkpoints)")
+	ckptBytes := flag.Int64("ckpt-bytes", 0, "auto-checkpoint once the WAL tail exceeds this many bytes (0 = off)")
+	ckptRecords := flag.Int("ckpt-records", 0, "auto-checkpoint once the WAL tail exceeds this many records (0 = off)")
 	flag.Parse()
 
-	db, err := mxq.Open(mxq.Options{PageSize: *page, FillFactor: *fill, Dir: *dir})
+	db, err := mxq.Open(mxq.Options{
+		PageSize: *page, FillFactor: *fill, Dir: *dir,
+		CheckpointEvery: mxq.CheckpointPolicy{Bytes: *ckptBytes, Records: *ckptRecords},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mxqshell:", err)
 		os.Exit(1)

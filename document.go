@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"mxq/internal/ckpt"
 	"mxq/internal/serialize"
 	"mxq/internal/tx"
 	"mxq/internal/wal"
@@ -24,6 +26,22 @@ type Document struct {
 	store *core.Store
 	mgr   *tx.Manager
 	log   *wal.Log
+
+	// Online durability (nil without Options.Dir): the checkpointer
+	// streams LSN-pinned snapshots outside any lock; the auto goroutine
+	// (only with Options.CheckpointEvery) runs it when the WAL tail
+	// exceeds the policy.
+	ckpter      *ckpt.Checkpointer
+	autoC       chan struct{}
+	stopC       chan struct{}
+	stopOnce    sync.Once
+	wg          sync.WaitGroup
+	checkpoints atomic.Uint64
+	// lastCkptLSN is the LSN the newest checkpoint covers — the baseline
+	// the auto policy (and Stats' WAL-tail figures) measure against, so
+	// covered records parked in the never-pruned active segment don't
+	// re-trigger checkpoint after checkpoint.
+	lastCkptLSN atomic.Uint64
 }
 
 // Name returns the document's name.
@@ -268,6 +286,11 @@ type Stats struct {
 	Props     int     // attribute-value dictionary entries
 	Commits   uint64  // committed write transactions
 	Aborts    uint64  // aborted write transactions
+
+	// Durability state (zero without a durability directory).
+	Checkpoints uint64 // checkpoints completed this session (manual + auto)
+	WALBytes    int64  // WAL bytes beyond the last checkpoint (approximate)
+	WALRecords  int    // committed records beyond the last checkpoint
 }
 
 // Stats returns storage statistics.
@@ -285,38 +308,71 @@ func (d *Document) Stats() Stats {
 		return nil
 	})
 	s.Commits, s.Aborts = d.mgr.Stats()
+	if d.log != nil {
+		s.Checkpoints = d.checkpoints.Load()
+		s.WALBytes, s.WALRecords = d.log.TailStatsAbove(d.lastCkptLSN.Load())
+	}
 	return s
 }
 
-// Checkpoint writes the document snapshot to its .ckpt file (durability
-// directory required) and truncates the WAL.
+// Checkpoint writes an *online* checkpoint: a (snapshot, LSN) pair is
+// pinned inside the commit critical section (an O(pages) refcount
+// sweep), and the O(document) image streams from that immutable
+// snapshot outside any lock — commits keep landing at full speed while
+// it writes. Completion is published through a crash-safe manifest, and
+// only WAL segments wholly below the pinned LSN are deleted, so a
+// commit racing the checkpoint is never lost: its record lives in a
+// segment the prune keeps. Requires a durability directory.
 func (d *Document) Checkpoint() error {
-	if d.db.opts.Dir == "" || d.log == nil {
+	if d.ckpter == nil {
 		return fmt.Errorf("mxq: document %q has no durability directory", d.name)
 	}
-	path := filepath.Join(d.db.opts.Dir, d.name+".ckpt")
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	lsn, err := d.ckpter.Run()
 	if err != nil {
 		return err
 	}
-	if err := d.mgr.Checkpoint(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+	// CAS-max: a manual Checkpoint racing the auto goroutine can finish
+	// its lower-LSN Run later; the baseline must never regress or the
+	// policy would re-trigger on work the newer image already absorbed.
+	for {
+		cur := d.lastCkptLSN.Load()
+		if cur >= lsn || d.lastCkptLSN.CompareAndSwap(cur, lsn) {
+			break
+		}
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+	d.checkpoints.Add(1)
+	return nil
+}
+
+// maybeAutoCheckpoint nudges the background checkpointer when the WAL
+// tail has outgrown the policy. Called after every commit; the
+// non-blocking send coalesces bursts.
+func (d *Document) maybeAutoCheckpoint() {
+	if d.autoC == nil {
+		return
 	}
-	if err := f.Close(); err != nil {
-		return err
+	bytes, records := d.log.TailStatsAbove(d.lastCkptLSN.Load())
+	if !d.db.opts.CheckpointEvery.exceeded(bytes, records) {
+		return
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
+	select {
+	case d.autoC <- struct{}{}:
+	default:
 	}
-	return d.log.Truncate()
+}
+
+func (d *Document) autoCheckpointLoop() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.stopC:
+			return
+		case <-d.autoC:
+			if err := d.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "mxq: auto-checkpoint of %q: %v\n", d.name, err)
+			}
+		}
+	}
 }
 
 // View runs fn under the global read lock with direct access to the
@@ -375,8 +431,17 @@ func (t *Tx) Update(xupdateXML string) (xupdate.Result, error) {
 	return xupdate.Execute(t.inner, mods)
 }
 
-// Commit makes the transaction durable and visible.
-func (t *Tx) Commit() error { return t.inner.Commit() }
+// Commit makes the transaction durable and visible. Under load,
+// concurrent commits share their WAL fsync (group commit), and a commit
+// that pushes the WAL tail past Options.CheckpointEvery nudges the
+// background checkpointer.
+func (t *Tx) Commit() error {
+	if err := t.inner.Commit(); err != nil {
+		return err
+	}
+	t.doc.maybeAutoCheckpoint()
+	return nil
+}
 
 // Abort discards the transaction.
 func (t *Tx) Abort() { t.inner.Abort() }

@@ -1,0 +1,449 @@
+// Package ckpt is the online durability subsystem: checkpoints that
+// never stall commits, a crash-safe manifest, and recovery that degrades
+// gracefully over torn artifacts.
+//
+// The paper's transaction protocol (Section 3.2 / Figure 8) rests on two
+// legs: a single-I/O WAL commit and a checkpointed store image. This
+// package makes the checkpoint leg *online*. A checkpoint pins a
+// (snapshot, LSN) pair inside the commit critical section — an O(pages)
+// refcount sweep under the shared read lock (tx.Manager.PinCheckpoint) —
+// and then streams core.Store.Save from that immutable snapshot outside
+// any lock, so commits proceed at full speed for the whole O(document)
+// write. Completion is recorded in a manifest written via
+// tmp+rename+fsync; only then are WAL segments wholly below the
+// checkpoint's LSN deleted (wal.Log.Prune), which closes the legacy
+// lost-commit window by construction: a record the checkpoint does not
+// cover lives in a segment Prune keeps.
+//
+// # Artifacts
+//
+// For a document <name> in directory dir:
+//
+//	<name>-<LSN as 16 hex digits>.ckpt   checkpoint images (LSN-stamped)
+//	<name>.manifest                      JSON {file, lsn} naming the
+//	                                     current checkpoint
+//	<name>.wal.NNNNNNNN                  WAL segments (see internal/wal)
+//
+// Every artifact is published atomically (write to *.tmp, fsync, rename,
+// fsync dir). Cleanup keeps the previous checkpoint image besides the
+// current one, and the WAL is pruned only below the *oldest retained*
+// checkpoint — so if the current image or manifest is lost or torn,
+// recovery still has an older image plus every record needed to roll it
+// forward.
+//
+// # Recovery
+//
+// Recover tries candidates in order of preference — the manifest's
+// target first, then every other image on disk by descending LSN — and
+// accepts the first one that loads and whose WAL replay is gap-free
+// (contiguous LSNs from the image's pin). A leftover *.tmp, a manifest
+// naming a missing file, a torn image, or an empty segment tail all
+// degrade to the next candidate instead of failing.
+package ckpt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mxq/internal/core"
+	"mxq/internal/tx"
+	"mxq/internal/wal"
+)
+
+// ErrWALGap reports that WAL replay found non-contiguous LSNs: a record
+// needed to roll the checkpoint forward is missing (e.g. a deleted
+// segment). Recovery treats it as "this candidate cannot recover" and
+// falls back to the next one.
+var ErrWALGap = errors.New("ckpt: gap in WAL records")
+
+// ErrNoCheckpoint reports that no usable checkpoint exists for the
+// document.
+var ErrNoCheckpoint = errors.New("ckpt: no usable checkpoint")
+
+// Pin captures a copy-on-write snapshot of the store together with the
+// LSN of the last WAL record the snapshot covers, atomically with
+// respect to commits. tx.Manager.PinCheckpoint is the canonical
+// implementation. The checkpointer releases the snapshot when done.
+type Pin func() (*core.Store, uint64)
+
+// manifest is the JSON wire form of the current-checkpoint pointer.
+type manifest struct {
+	File string `json:"file"` // checkpoint file name, relative to dir
+	LSN  uint64 `json:"lsn"`
+}
+
+// Checkpointer writes online checkpoints for one document.
+type Checkpointer struct {
+	dir  string
+	name string
+	log  *wal.Log // may be nil (checkpoint-only durability)
+	pin  Pin
+
+	// keep is how many superseded checkpoint images to retain besides
+	// the current one. The WAL is pruned only below the oldest retained
+	// image, so every retained image can actually be rolled forward.
+	keep int
+
+	// mu serializes checkpoints: concurrent Run calls (auto + manual)
+	// queue rather than race on the manifest.
+	mu sync.Mutex
+
+	// saveWrap, when non-nil, wraps the checkpoint image writer (testing
+	// hook: throttling it stretches the streaming phase to prove commits
+	// do not stall behind it).
+	saveWrap func(io.Writer) io.Writer
+}
+
+// New returns a checkpointer for document name in dir. log may be nil.
+func New(dir, name string, log *wal.Log, pin Pin) *Checkpointer {
+	return &Checkpointer{dir: dir, name: name, log: log, pin: pin, keep: 1}
+}
+
+// SetSaveWrapper installs a writer wrapper around the image stream
+// (testing hook; pass nil to remove).
+func (c *Checkpointer) SetSaveWrapper(fn func(io.Writer) io.Writer) { c.saveWrap = fn }
+
+// ckptFile names the image for a pin LSN.
+func ckptFile(name string, lsn uint64) string {
+	return fmt.Sprintf("%s-%016x.ckpt", name, lsn)
+}
+
+// parseCkptLSN extracts the LSN from an image file name produced by
+// ckptFile, reporting ok=false for anything else (legacy or foreign
+// files). Matching is exact — lowercase hex, fixed width, the "-"
+// boundary in place — so a document whose name is a dash-prefix of
+// another ("a" vs "a-b") never claims the other's images.
+func parseCkptLSN(name, file string) (uint64, bool) {
+	base := strings.TrimSuffix(file, ".ckpt")
+	if base == file || !strings.HasPrefix(base, name+"-") {
+		return 0, false
+	}
+	hex := base[len(name)+1:]
+	if len(hex) != 16 || !isLowerHex(hex) {
+		return 0, false
+	}
+	lsn, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+func isLowerHex(s string) bool {
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ownsTmp reports whether a "*.tmp" file (bare name) is an in-progress
+// or stale artifact of this document — exactly an image, manifest or
+// legacy-image path plus the ".tmp" suffix. A bare prefix match would
+// claim (and let retire delete) another document's in-flight tmp when
+// one name prefixes the other.
+func ownsTmp(name, file string) bool {
+	base := strings.TrimSuffix(file, ".tmp")
+	if base == file {
+		return false
+	}
+	if base == name+manifestSuffix || base == name+".ckpt" {
+		return true
+	}
+	_, ok := parseCkptLSN(name, base)
+	return ok
+}
+
+// DocumentOfArtifact reports which document a durability artifact file
+// (bare name) belongs to: a manifest, an LSN-stamped image, or a legacy
+// unversioned image. ok=false for everything else (tmp files, WAL
+// segments, foreign files). Database discovery shares this parser so it
+// can never disagree with Recover's candidate scan.
+func DocumentOfArtifact(file string) (string, bool) {
+	if strings.HasSuffix(file, ".tmp") {
+		return "", false
+	}
+	if base := strings.TrimSuffix(file, manifestSuffix); base != file {
+		return base, base != ""
+	}
+	base := strings.TrimSuffix(file, ".ckpt")
+	if base == file || base == "" {
+		return "", false
+	}
+	if i := len(base) - 17; i > 0 && base[i] == '-' && isLowerHex(base[i+1:]) {
+		return base[:i], true // LSN-stamped image
+	}
+	return base, true // legacy unversioned image
+}
+
+// RemoveArtifacts deletes every checkpoint artifact of the document —
+// images, manifest, legacy image, stale tmp files — with exact-boundary
+// matching, leaving other documents' files alone.
+func RemoveArtifacts(dir, name string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		n := e.Name()
+		_, isImage := parseCkptLSN(name, n)
+		if isImage || n == name+manifestSuffix || n == name+".ckpt" || ownsTmp(name, n) {
+			os.Remove(filepath.Join(dir, n))
+		}
+	}
+}
+
+// CurrentLSN returns the manifest's checkpoint LSN for the document (0
+// if there is no readable manifest): the baseline the auto-checkpoint
+// policy measures the WAL tail against.
+func CurrentLSN(dir, name string) uint64 {
+	m, err := readManifest(dir, name)
+	if err != nil {
+		return 0
+	}
+	return m.LSN
+}
+
+// Run writes one checkpoint: pin, stream, publish, retire. It returns
+// the LSN the new checkpoint covers. The pin is the only step that
+// shares a lock with committers (a shared read lock held for an
+// O(pages) refcount sweep); the O(document) Save streams from the
+// pinned immutable snapshot while commits continue.
+func (c *Checkpointer) Run() (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	img, lsn := c.pin()
+	defer img.Release()
+
+	file := ckptFile(c.name, lsn)
+	err := writeFileAtomic(c.dir, file, func(w io.Writer) error {
+		if c.saveWrap != nil {
+			w = c.saveWrap(w)
+		}
+		if err := tx.WriteSnapshotHeader(w, lsn); err != nil {
+			return err
+		}
+		return img.Save(w)
+	})
+	if err != nil {
+		return 0, fmt.Errorf("ckpt: writing image: %w", err)
+	}
+
+	m, _ := json.Marshal(manifest{File: file, LSN: lsn})
+	err = writeFileAtomic(c.dir, c.name+manifestSuffix, func(w io.Writer) error {
+		_, werr := w.Write(m)
+		return werr
+	})
+	if err != nil {
+		return 0, fmt.Errorf("ckpt: writing manifest: %w", err)
+	}
+
+	// The manifest is durable: the new checkpoint is the recovery root.
+	// Retire images beyond the retention horizon and prune WAL segments
+	// every retained image has already absorbed.
+	pruneTo := c.retire(lsn)
+	if c.log != nil {
+		if err := c.log.Prune(pruneTo); err != nil {
+			return 0, fmt.Errorf("ckpt: pruning wal: %w", err)
+		}
+	}
+	return lsn, nil
+}
+
+const manifestSuffix = ".manifest"
+
+// retire removes checkpoint images beyond the retention count plus any
+// stale *.tmp leftovers, and returns the prune horizon: the LSN of the
+// oldest image still retained (every WAL record at or below it is
+// redundant for every image we can still recover from).
+func (c *Checkpointer) retire(current uint64) uint64 {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	var lsns []uint64
+	for _, e := range entries {
+		n := e.Name()
+		if ownsTmp(c.name, n) {
+			os.Remove(filepath.Join(c.dir, n))
+			continue
+		}
+		if n == c.name+".ckpt" {
+			// A legacy unversioned image: superseded by the manifest'd
+			// image we just published.
+			os.Remove(filepath.Join(c.dir, n))
+			continue
+		}
+		if lsn, ok := parseCkptLSN(c.name, n); ok {
+			lsns = append(lsns, lsn)
+		}
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
+	oldest := current
+	for i, lsn := range lsns {
+		if i <= c.keep {
+			if lsn < oldest {
+				oldest = lsn
+			}
+			continue
+		}
+		os.Remove(filepath.Join(c.dir, ckptFile(c.name, lsn)))
+	}
+	return oldest
+}
+
+// writeFileAtomic publishes dir/file via tmp + fsync + rename + dir
+// fsync, so a crash leaves either the old file or the new one — never a
+// torn one.
+func writeFileAtomic(dir, file string, write func(io.Writer) error) error {
+	path := filepath.Join(dir, file)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Recover rebuilds the document's store from the best available
+// checkpoint plus the WAL. Candidates are tried in order — the
+// manifest's target first, then every image on disk by descending LSN,
+// then a legacy unversioned <name>.ckpt — and the first one that loads
+// cleanly and replays without an LSN gap wins. It returns the store and
+// the LSN of the last replayed record (the durable horizon).
+func Recover(dir, name string, log *wal.Log) (*core.Store, uint64, error) {
+	var candidates []string
+	seen := map[string]bool{}
+	add := func(file string) {
+		if file != "" && !seen[file] {
+			seen[file] = true
+			candidates = append(candidates, file)
+		}
+	}
+	if m, err := readManifest(dir, name); err == nil {
+		add(m.File)
+	}
+	if entries, err := os.ReadDir(dir); err == nil {
+		var stamped []struct {
+			file string
+			lsn  uint64
+		}
+		for _, e := range entries {
+			if lsn, ok := parseCkptLSN(name, e.Name()); ok {
+				stamped = append(stamped, struct {
+					file string
+					lsn  uint64
+				}{e.Name(), lsn})
+			}
+		}
+		sort.Slice(stamped, func(i, j int) bool { return stamped[i].lsn > stamped[j].lsn })
+		for _, s := range stamped {
+			add(s.file)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, name+".ckpt")); err == nil {
+		add(name + ".ckpt") // legacy unversioned image
+	}
+
+	var firstErr error
+	for _, file := range candidates {
+		store, lsn, err := tryRecover(filepath.Join(dir, file), log)
+		if err == nil {
+			if log != nil {
+				log.EnsureLSN(lsn)
+			}
+			return store, lsn, nil
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("ckpt: recovering from %s: %w", file, err)
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("%w for %q in %s", ErrNoCheckpoint, name, dir)
+	}
+	return nil, 0, firstErr
+}
+
+// readManifest loads and validates the manifest.
+func readManifest(dir, name string) (manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, name+manifestSuffix))
+	if err != nil {
+		return manifest{}, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, fmt.Errorf("ckpt: corrupt manifest: %w", err)
+	}
+	if m.File == "" || strings.ContainsAny(m.File, "/\\") {
+		return manifest{}, fmt.Errorf("ckpt: corrupt manifest: bad file %q", m.File)
+	}
+	return m, nil
+}
+
+// tryRecover loads one image and rolls it forward, insisting on
+// gap-free LSNs so a missing segment can never surface as silent loss.
+func tryRecover(path string, log *wal.Log) (*core.Store, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	lsn, err := tx.ReadSnapshotHeader(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	store, err := core.Load(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	last := lsn
+	if log != nil {
+		err = log.Replay(lsn, func(rec *wal.Record) error {
+			if rec.LSN != last+1 {
+				return fmt.Errorf("%w: have %d, next record is %d", ErrWALGap, last, rec.LSN)
+			}
+			if err := tx.ApplyOps(store, rec.Ops); err != nil {
+				return fmt.Errorf("ckpt: replaying LSN %d: %w", rec.LSN, err)
+			}
+			last = rec.LSN
+			return nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return store, last, nil
+}

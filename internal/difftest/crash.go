@@ -1,0 +1,239 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mxq/internal/ckpt"
+	"mxq/internal/core"
+	"mxq/internal/naive"
+	"mxq/internal/tx"
+	"mxq/internal/wal"
+)
+
+// CrashConfig describes one crash-injection workload: a seeded batch
+// workload commits through the transaction manager with a segmented WAL
+// and periodic online checkpoints, then the WAL is cut at a random byte
+// offset — mid-record, mid-segment, or exactly at a rotation boundary —
+// and the recovered store is compared against the naive oracle replayed
+// to the LSN recovery reports durable.
+type CrashConfig struct {
+	Seed     int64
+	Batches  int // committed/aborted batches before the crash
+	BatchOps int // ops per batch
+	DocSize  int
+	PageSize int
+	Fill     float64
+	// SegmentBytes should be small enough that the workload rotates
+	// through several segments, so cuts land mid-rotation too.
+	SegmentBytes int64
+	// CheckpointEvery runs an online checkpoint every N committed
+	// batches (0: only the initial checkpoint).
+	CheckpointEvery int
+}
+
+// RunCrash executes one crash-injection workload. The durability
+// contract it checks: recovery never errors, recovers a *prefix* of the
+// committed history — at least the last completed checkpoint, at most
+// the full history, exactly the full history when the cut removed
+// nothing — and the recovered document is bit-identical to the oracle
+// replayed to that same LSN. Recovery is then repeated to prove it is
+// deterministic (the first recovery's torn-tail truncation must not
+// change the outcome).
+func RunCrash(t *testing.T, cfg CrashConfig) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dir := t.TempDir()
+	tree := randomDoc(rng, cfg.DocSize)
+	walPath := filepath.Join(dir, "d.wal")
+
+	log, err := wal.Open(walPath, wal.Options{NoSync: true, SegmentBytes: cfg.SegmentBytes})
+	if err != nil {
+		t.Fatalf("seed %d: %v", cfg.Seed, err)
+	}
+	paged, err := core.Build(tree, core.Options{PageSize: cfg.PageSize, FillFactor: cfg.Fill})
+	if err != nil {
+		t.Fatalf("seed %d: building paged store: %v", cfg.Seed, err)
+	}
+	m := tx.NewManager(paged, log)
+	ck := ckpt.New(dir, "d", log, m.PinCheckpoint)
+
+	ckptLSN, err := ck.Run() // initial checkpoint: the recovery floor
+	if err != nil {
+		t.Fatalf("seed %d: initial checkpoint: %v", cfg.Seed, err)
+	}
+
+	// The committed history, keyed by the LSN of the commit that applied
+	// it; the oracle replays a prefix of it after the crash.
+	batches := make(map[uint64][]op)
+	committed := 0
+	for b := 1; b <= cfg.Batches; b++ {
+		txn := m.Begin()
+		var pending []op
+		for i := 0; i < cfg.BatchOps; i++ {
+			o, ok := genOp(rng, txn, b*1000+i)
+			if !ok {
+				t.Fatalf("seed %d batch %d: tx image has no live nodes", cfg.Seed, b)
+			}
+			pending = append(pending, o)
+			if err := o.applyPaged(txn); err != nil {
+				t.Fatalf("seed %d batch %d: tx %v: %v", cfg.Seed, b, o, err)
+			}
+		}
+		if rng.Intn(4) == 0 { // some batches abort: no record, no oracle ops
+			txn.Abort()
+			continue
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatalf("seed %d batch %d: commit: %v", cfg.Seed, b, err)
+		}
+		committed++
+		batches[log.LastLSN()] = pending
+		if cfg.CheckpointEvery > 0 && committed%cfg.CheckpointEvery == 0 {
+			lsn, err := ck.Run()
+			if err != nil {
+				t.Fatalf("seed %d batch %d: checkpoint: %v", cfg.Seed, b, err)
+			}
+			ckptLSN = lsn
+		}
+	}
+	lastLSN := log.LastLSN()
+	log.Close()
+
+	// Crash: sever the WAL at a random byte offset across the
+	// concatenated live segments.
+	cutAll := cutWAL(t, rng, walPath)
+
+	recovered, recLSN := recoverOnce(t, cfg, dir, walPath)
+
+	// Prefix property: at least the checkpoint floor, at most (and after
+	// a no-op cut, exactly) the full history.
+	if recLSN < ckptLSN {
+		t.Fatalf("seed %d: recovered LSN %d below checkpoint %d", cfg.Seed, recLSN, ckptLSN)
+	}
+	if recLSN > lastLSN {
+		t.Fatalf("seed %d: recovered LSN %d beyond committed history %d", cfg.Seed, recLSN, lastLSN)
+	}
+	if cutAll && recLSN != lastLSN {
+		t.Fatalf("seed %d: cut removed nothing but recovery lost LSNs %d..%d", cfg.Seed, recLSN+1, lastLSN)
+	}
+	if err := recovered.CheckInvariants(); err != nil {
+		t.Fatalf("seed %d: recovered store invariants: %v", cfg.Seed, err)
+	}
+
+	// The oracle replayed to the recovered LSN must agree exactly.
+	oracle, err := naive.Build(tree)
+	if err != nil {
+		t.Fatalf("seed %d: building oracle: %v", cfg.Seed, err)
+	}
+	for lsn := uint64(1); lsn <= recLSN; lsn++ {
+		for _, o := range batches[lsn] {
+			if err := o.applyNaive(oracle); err != nil {
+				t.Fatalf("seed %d: oracle replay of LSN %d op %v: %v", cfg.Seed, lsn, o, err)
+			}
+		}
+	}
+	got, want := serializeView(t, recovered), serializeView(t, oracle)
+	if got != want {
+		t.Fatalf("seed %d: recovered state diverges from oracle at LSN %d\nrecovered: %s\noracle:    %s",
+			cfg.Seed, recLSN, got, want)
+	}
+
+	// Recovery must be deterministic: running it again (after the first
+	// pass truncated the torn tail) lands on the same LSN and bytes.
+	recovered2, recLSN2 := recoverOnce(t, cfg, dir, walPath)
+	if recLSN2 != recLSN {
+		t.Fatalf("seed %d: second recovery reached LSN %d, first %d", cfg.Seed, recLSN2, recLSN)
+	}
+	if got2 := serializeView(t, recovered2); got2 != got {
+		t.Fatalf("seed %d: second recovery produced different bytes", cfg.Seed)
+	}
+}
+
+func recoverOnce(t *testing.T, cfg CrashConfig, dir, walPath string) (*core.Store, uint64) {
+	t.Helper()
+	log, err := wal.Open(walPath, wal.Options{NoSync: true, SegmentBytes: cfg.SegmentBytes})
+	if err != nil {
+		t.Fatalf("seed %d: reopening wal after crash: %v", cfg.Seed, err)
+	}
+	defer log.Close()
+	store, lsn, err := ckpt.Recover(dir, "d", log)
+	if err != nil {
+		t.Fatalf("seed %d: recovery errored (must degrade, never fail): %v", cfg.Seed, err)
+	}
+	return store, lsn
+}
+
+// cutWAL truncates the concatenated segment stream at a uniformly random
+// byte offset: a cut inside segment k truncates k mid-file and deletes
+// every later segment. It reports whether the cut was a no-op (landed at
+// the very end of the stream).
+func cutWAL(t *testing.T, rng *rand.Rand, walPath string) (noop bool) {
+	t.Helper()
+	segs, err := wal.SegmentPaths(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatalf("no WAL segments found at %s — nothing to cut", walPath)
+	}
+	var total int64
+	sizes := make([]int64, len(segs))
+	for i, s := range segs {
+		fi, err := os.Stat(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[i] = fi.Size()
+		total += fi.Size()
+	}
+	cut := rng.Int63n(total + 1)
+	if cut == total {
+		return true
+	}
+	for i, s := range segs {
+		if cut >= sizes[i] {
+			cut -= sizes[i]
+			continue
+		}
+		if err := os.Truncate(s, cut); err != nil {
+			t.Fatal(err)
+		}
+		for _, later := range segs[i+1:] {
+			if err := os.Remove(later); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// CrashConfigs returns the seeded crash-injection matrix; iters scales
+// the number of random cuts per shape (the nightly soak raises it).
+func CrashConfigs(iters int) []CrashConfig {
+	var cfgs []CrashConfig
+	shapes := []CrashConfig{
+		// Small segments: cuts land mid-rotation; frequent checkpoints.
+		{Batches: 30, BatchOps: 4, DocSize: 90, PageSize: 16, Fill: 0.7, SegmentBytes: 512, CheckpointEvery: 7},
+		// One big segment: cuts always tear the active tail.
+		{Batches: 20, BatchOps: 3, DocSize: 60, PageSize: 32, Fill: 0.8, SegmentBytes: wal.DefaultSegmentBytes},
+		// Tiny segments, no mid-run checkpoints: long replay chains.
+		{Batches: 25, BatchOps: 5, DocSize: 120, PageSize: 16, Fill: 0.75, SegmentBytes: 256},
+	}
+	for i := 0; i < iters; i++ {
+		for j, s := range shapes {
+			s.Seed = int64(1000*i + j)
+			cfgs = append(cfgs, s)
+		}
+	}
+	return cfgs
+}
+
+// crashName labels one config for subtest naming.
+func crashName(c CrashConfig) string {
+	return fmt.Sprintf("seed=%d/seg=%d/ckpt=%d", c.Seed, c.SegmentBytes, c.CheckpointEvery)
+}

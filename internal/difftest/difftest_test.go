@@ -122,3 +122,33 @@ func TestConcurrentSnapshotQueriesTinyPages(t *testing.T) {
 		PageSize: 16, Fill: 1.0,
 	})
 }
+
+// crashIters returns def unless MXQ_CRASH_ITERS overrides it — the
+// nightly crash-recovery soak raises the number of random cuts far
+// beyond what per-PR CI can spend.
+func crashIters(def int) int {
+	if s := os.Getenv("MXQ_CRASH_ITERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// TestCrashRecovery is the crash-injection mode: a seeded transactional
+// workload runs over a segmented WAL with online checkpoints, the WAL is
+// cut at a random byte offset (mid-record, mid-segment, mid-rotation),
+// and the recovered store must match the naive oracle replayed to the
+// durable LSN — recovery must be a clean prefix, never an error and
+// never silent loss.
+func TestCrashRecovery(t *testing.T) {
+	iters := crashIters(4)
+	if testing.Short() {
+		iters = crashIters(2)
+	}
+	for _, cfg := range CrashConfigs(iters) {
+		t.Run(crashName(cfg), func(t *testing.T) {
+			RunCrash(t, cfg)
+		})
+	}
+}

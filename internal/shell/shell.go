@@ -126,6 +126,10 @@ func (s *Shell) Execute(line string) (quit bool) {
 		st := doc.Stats()
 		fmt.Fprintf(s.out, "live nodes: %d\ntuples:     %d (%d pages × %d)\nfill:       %.1f%%\ncommits:    %d (aborts %d)\n",
 			st.LiveNodes, st.Tuples, st.Pages, st.PageSize, 100*st.Fill, st.Commits, st.Aborts)
+		if st.WALBytes > 0 || st.WALRecords > 0 || st.Checkpoints > 0 {
+			fmt.Fprintf(s.out, "wal tail:   %d bytes, %d records (checkpoints this session: %d)\n",
+				st.WALBytes, st.WALRecords, st.Checkpoints)
+		}
 	case "checkpoint":
 		doc := s.doc(arg(1))
 		if doc == nil {
@@ -134,7 +138,8 @@ func (s *Shell) Execute(line string) (quit bool) {
 		if err := doc.Checkpoint(); err != nil {
 			s.errorf("%v", err)
 		} else {
-			fmt.Fprintln(s.out, "ok")
+			// Online checkpoint: commits kept landing while it streamed.
+			fmt.Fprintln(s.out, "ok (online)")
 		}
 	default:
 		fmt.Fprintf(s.out, "unknown command %q (try 'help')\n", cmd)

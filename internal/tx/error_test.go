@@ -57,7 +57,7 @@ func TestRecoverErrors(t *testing.T) {
 	}
 	// Valid header, corrupt snapshot.
 	var buf bytes.Buffer
-	writeHeader(&buf, 3)
+	WriteSnapshotHeader(&buf, 3)
 	buf.WriteString("not a gob snapshot")
 	if _, err := Recover(bytes.NewReader(buf.Bytes()), nil); err == nil {
 		t.Fatal("corrupt snapshot accepted")
@@ -68,7 +68,7 @@ func TestRecoverWithoutLog(t *testing.T) {
 	s := buildStore(t, doc, 16)
 	m := NewManager(s, nil)
 	var ck bytes.Buffer
-	if err := m.Checkpoint(&ck); err != nil {
+	if _, err := m.Checkpoint(&ck); err != nil {
 		t.Fatal(err)
 	}
 	got, err := Recover(bytes.NewReader(ck.Bytes()), nil)

@@ -34,6 +34,10 @@ var ErrSnapshotClosed = errors.New("tx: snapshot is closed")
 type Snapshot struct {
 	rs     *readSnap
 	closed atomic.Bool
+	// stack is the call stack captured at Snapshot() time when
+	// SetSnapshotDebug(true) is active; the leak handler receives it so a
+	// leaked handle can be attributed to the call site that opened it.
+	stack []byte
 }
 
 // Snapshot returns a handle on the snapshot of the current committed
@@ -43,9 +47,24 @@ type Snapshot struct {
 // at the same version all pin the same chunks once.
 func (m *Manager) Snapshot() *Snapshot {
 	s := &Snapshot{rs: m.acquireSnap()}
+	if snapshotDebug.Load() {
+		buf := make([]byte, 16<<10)
+		s.stack = buf[:runtime.Stack(buf, false)]
+	}
 	runtime.SetFinalizer(s, (*Snapshot).finalize)
 	return s
 }
+
+// snapshotDebug gates call-stack capture at Snapshot() time.
+var snapshotDebug atomic.Bool
+
+// SetSnapshotDebug toggles leak attribution: when on, every Snapshot
+// handle records the call stack of its creation (one runtime.Stack per
+// handle — cheap enough for tests and staging, not free), and a handle
+// that is garbage-collected unclosed hands that stack to the leak
+// handler, which can then report *where* the leaked handle was opened
+// rather than only that one existed.
+func SetSnapshotDebug(on bool) { snapshotDebug.Store(on) }
 
 // View returns the immutable document view. The view must not be used
 // after Close, and must not be retained beyond the handle's lifetime.
@@ -83,17 +102,18 @@ func (s *Snapshot) Close() {
 	}
 }
 
-// leakHandler is called with the snapshot's version when an unclosed
-// Snapshot is garbage-collected. Nil means the default (a warning on
-// stderr).
-var leakHandler atomic.Pointer[func(version uint64)]
+// leakHandler is called when an unclosed Snapshot is garbage-collected.
+// Nil means the default (a warning on stderr).
+var leakHandler atomic.Pointer[func(version uint64, stack []byte)]
 
 // SetSnapshotLeakHandler replaces the hook invoked when an unclosed
 // Snapshot handle is reclaimed by the garbage collector (after its
-// reference has been released). Passing nil restores the default, which
-// writes a warning to stderr. Intended for tests and embedders that
+// reference has been released). stack is the call stack captured when
+// the leaked handle was opened — non-nil only while SetSnapshotDebug is
+// on. Passing nil restores the default, which writes a warning (plus the
+// stack, when captured) to stderr. Intended for tests and embedders that
 // route diagnostics elsewhere.
-func SetSnapshotLeakHandler(fn func(version uint64)) {
+func SetSnapshotLeakHandler(fn func(version uint64, stack []byte)) {
 	if fn == nil {
 		leakHandler.Store(nil)
 		return
@@ -105,11 +125,14 @@ func (s *Snapshot) finalize() {
 	if s.closed.CompareAndSwap(false, true) {
 		s.rs.release()
 		if fn := leakHandler.Load(); fn != nil {
-			(*fn)(s.rs.version)
+			(*fn)(s.rs.version, s.stack)
 			return
 		}
 		fmt.Fprintf(os.Stderr,
 			"mxq/internal/tx: Snapshot of version %d was garbage-collected without Close; "+
 				"the base store paid copy-on-write for its chunks until now\n", s.rs.version)
+		if s.stack != nil {
+			fmt.Fprintf(os.Stderr, "opened at:\n%s\n", s.stack)
+		}
 	}
 }

@@ -186,7 +186,7 @@ func TestSnapshotFinalizerWarnsAndReleases(t *testing.T) {
 	total := s.DirtyPages()
 
 	warned := make(chan uint64, 1)
-	SetSnapshotLeakHandler(func(v uint64) {
+	SetSnapshotLeakHandler(func(v uint64, _ []byte) {
 		select {
 		case warned <- v:
 		default:
@@ -295,4 +295,57 @@ func TestRacingFirstReadersBuildInParallel(t *testing.T) {
 	if got := s.DirtyPages(); got != total {
 		t.Fatalf("base owns %d/%d chunks after the race; a losing build leaked its references", got, total)
 	}
+}
+
+// TestSnapshotLeakStackAttribution: with SetSnapshotDebug on, a leaked
+// handle's report must carry the call stack of the site that opened it,
+// so the leak handler can say *where* the handle came from.
+func TestSnapshotLeakStackAttribution(t *testing.T) {
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, nil)
+
+	SetSnapshotDebug(true)
+	defer SetSnapshotDebug(false)
+	type leak struct {
+		version uint64
+		stack   []byte
+	}
+	leaks := make(chan leak, 1)
+	SetSnapshotLeakHandler(func(v uint64, stack []byte) {
+		select {
+		case leaks <- leak{v, stack}:
+		default:
+		}
+	})
+	defer SetSnapshotLeakHandler(nil)
+
+	leakySnapshotOpener(m)
+	setBook(t, m, 0, "supersede-leaked-version")
+
+	deadline := time.After(10 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case l := <-leaks:
+			if len(l.stack) == 0 {
+				t.Fatal("leak reported without a captured stack despite debug mode")
+			}
+			if !strings.Contains(string(l.stack), "leakySnapshotOpener") {
+				t.Fatalf("stack does not attribute the leak to its opener:\n%s", l.stack)
+			}
+			return
+		case <-deadline:
+			t.Fatal("finalizer never fired for the leaked snapshot")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// leakySnapshotOpener exists to have a recognizable frame in the
+// captured stack.
+//
+//go:noinline
+func leakySnapshotOpener(m *Manager) {
+	snap := m.Snapshot() // deliberately never closed
+	_ = snap.Version()
 }

@@ -51,6 +51,14 @@ var ErrConflict = errors.New("tx: page lock conflict")
 // ErrDone reports use of a finished transaction.
 var ErrDone = errors.New("tx: transaction already committed or aborted")
 
+// ErrNotDurable reports that a commit was APPLIED — its effects are in
+// the base store and visible to readers — but the group-commit fsync
+// failed, so the record may not survive a crash. This is not a clean
+// failure: the caller must NOT retry the transaction (that would apply
+// it twice); treat it like any other lost-disk condition (surface it,
+// stop accepting writes, or fall back to a fresh checkpoint).
+var ErrNotDurable = errors.New("tx: commit applied but not durable")
+
 // Validator checks document consistency before commit ("run XML document
 // validation (if there is a schema)"). A non-nil error aborts the commit.
 type Validator func(v xenc.DocView) error
@@ -335,26 +343,50 @@ func (m *Manager) CompactDictionaries() (namesDropped, propsDropped int) {
 	return m.store.CompactDictionaries()
 }
 
-// Checkpoint writes an LSN-stamped snapshot of the current base store;
-// a subsequent Recover needs only WAL records after that LSN.
-func (m *Manager) Checkpoint(w io.Writer) error {
+// Checkpoint writes an LSN-stamped snapshot of the current base store
+// under the full write lock (the stop-the-world legacy path; the online
+// path pins a snapshot with PinCheckpoint and streams it outside the
+// lock — see internal/ckpt). It returns the LSN the image covers: a
+// subsequent Recover needs only WAL records after that LSN, and the
+// caller must discard WAL records only up to that LSN (wal.Log.Prune) —
+// never the whole log, or a commit racing the checkpoint would be lost.
+func (m *Manager) Checkpoint(w io.Writer) (uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	lsn := uint64(0)
 	if m.log != nil {
 		lsn = m.log.LastLSN()
 	}
-	if err := writeHeader(w, lsn); err != nil {
-		return err
+	if err := WriteSnapshotHeader(w, lsn); err != nil {
+		return 0, err
 	}
-	return m.store.Save(w)
+	return lsn, m.store.Save(w)
+}
+
+// PinCheckpoint captures a copy-on-write snapshot of the base store
+// together with the LSN of the last record it covers, atomically with
+// respect to commits (commits append to the WAL and apply to the base
+// inside the write-lock critical section, so under the shared read lock
+// the pair cannot tear). The snapshot costs O(pages) refcount bumps; the
+// caller streams core.Store.Save from it outside any lock — commits
+// proceed at full speed during the O(document) write — and must Release
+// it when done.
+func (m *Manager) PinCheckpoint() (*core.Store, uint64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	snap := m.store.Snapshot()
+	var lsn uint64
+	if m.log != nil {
+		lsn = m.log.LastLSN()
+	}
+	return snap, lsn
 }
 
 // Recover rebuilds a store from a checkpoint and a WAL, replaying every
 // committed record the checkpoint predates ("during recovery an
 // up-to-date version of the database can be restored").
 func Recover(snapshot io.Reader, log *wal.Log) (*core.Store, error) {
-	lsn, err := readHeader(snapshot)
+	lsn, err := ReadSnapshotHeader(snapshot)
 	if err != nil {
 		return nil, err
 	}
@@ -382,7 +414,9 @@ func Recover(snapshot io.Reader, log *wal.Log) (*core.Store, error) {
 	return store, nil
 }
 
-func writeHeader(w io.Writer, lsn uint64) error {
+// WriteSnapshotHeader prefixes a checkpoint image with the LSN it
+// covers (8 bytes, little endian). internal/ckpt shares the format.
+func WriteSnapshotHeader(w io.Writer, lsn uint64) error {
 	var b [8]byte
 	for i := 0; i < 8; i++ {
 		b[i] = byte(lsn >> (8 * i))
@@ -391,7 +425,8 @@ func writeHeader(w io.Writer, lsn uint64) error {
 	return err
 }
 
-func readHeader(r io.Reader) (uint64, error) {
+// ReadSnapshotHeader reads the LSN written by WriteSnapshotHeader.
+func ReadSnapshotHeader(r io.Reader) (uint64, error) {
 	var b [8]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
 		return 0, fmt.Errorf("tx: reading checkpoint header: %w", err)

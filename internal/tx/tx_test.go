@@ -314,7 +314,7 @@ func TestWALRecovery(t *testing.T) {
 	// Checkpoint the initial state, then run committed transactions with
 	// the WAL attached.
 	var checkpoint bytes.Buffer
-	if err := m.Checkpoint(&checkpoint); err != nil {
+	if _, err := m.Checkpoint(&checkpoint); err != nil {
 		t.Fatal(err)
 	}
 	m = NewManager(s, log)
@@ -385,13 +385,14 @@ func TestRecoveryAfterCheckpointTruncate(t *testing.T) {
 		}
 	}
 
-	// Session 1: commit, checkpoint, truncate the now-redundant WAL.
+	// Session 1: commit, checkpoint, prune the now-redundant WAL records.
 	commitBook(m, "before-ckpt")
 	var checkpoint bytes.Buffer
-	if err := m.Checkpoint(&checkpoint); err != nil {
+	lsn, err := m.Checkpoint(&checkpoint)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := log.Truncate(); err != nil {
+	if err := log.Prune(lsn); err != nil {
 		t.Fatal(err)
 	}
 	log.Close()
@@ -433,7 +434,7 @@ func TestRecoveryWithTornTail(t *testing.T) {
 	s := buildStore(t, doc, 16)
 	m := NewManager(s, nil)
 	var checkpoint bytes.Buffer
-	if err := m.Checkpoint(&checkpoint); err != nil {
+	if _, err := m.Checkpoint(&checkpoint); err != nil {
 		t.Fatal(err)
 	}
 	m = NewManager(s, log)
@@ -449,8 +450,13 @@ func TestRecoveryWithTornTail(t *testing.T) {
 	}
 	log.Close()
 
-	// Corrupt the tail: append garbage simulating a crash mid-append.
-	f, err := os.OpenFile(logPath, os.O_APPEND|os.O_WRONLY, 0)
+	// Corrupt the tail of the active segment: append garbage simulating
+	// a crash mid-append.
+	segs, err := filepath.Glob(logPath + ".*")
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments: %v", err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -492,7 +498,7 @@ func TestCheckpointTruncatesRecoveryWork(t *testing.T) {
 		}
 	}
 	var checkpoint bytes.Buffer
-	if err := m.Checkpoint(&checkpoint); err != nil {
+	if _, err := m.Checkpoint(&checkpoint); err != nil {
 		t.Fatal(err)
 	}
 	// Recovery from this checkpoint replays nothing (LSNs all covered).
@@ -559,5 +565,184 @@ func TestInsertBeforeAndChildAtThroughTx(t *testing.T) {
 	want := `<lib><shelf id="s1"><book>A0</book><book>A</book><book>A2</book><book>B</book></shelf><shelf id="s2"><book>C</book><book>D</book></shelf></lib>`
 	if got != want {
 		t.Fatalf("document = %s\nwant %s", got, want)
+	}
+}
+
+// TestCommitRacingCheckpointSurvivesPrune is the regression test for the
+// lost-commit window in the legacy checkpoint path: the old flow wrote
+// the image under the lock but truncated the *whole* WAL afterwards, so
+// a commit landing between the image capture and the truncate vanished
+// from both the image and the log. The fixed contract: Checkpoint
+// returns the LSN its image covers, captured atomically with the image,
+// and the caller prunes only records <= that LSN.
+func TestCommitRacingCheckpointSurvivesPrune(t *testing.T) {
+	dir := t.TempDir()
+	log, err := wal.Open(filepath.Join(dir, "doc.wal"), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, log)
+
+	commitBook := func(name string) {
+		t.Helper()
+		txn := m.Begin()
+		shelf := mustSelect(t, txn, `//shelf[@id="s1"]`)
+		if _, err := txn.AppendChild(shelf, frag(t, `<book>`+name+`</book>`)); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	commitBook("covered")
+	var checkpoint bytes.Buffer
+	lsn, err := m.Checkpoint(&checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The racing commit: lands after the image was captured, before the
+	// caller gets around to discarding the covered WAL records.
+	commitBook("racing")
+	if err := log.Prune(lsn); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := Recover(bytes.NewReader(checkpoint.Bytes()), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := xpath.MustParse(`//book[text()="racing"]`).Select(recovered); len(n) != 1 {
+		t.Fatalf("commit racing the checkpoint was dropped by recovery (found %d)", len(n))
+	}
+	if n, _ := xpath.MustParse(`//book[text()="covered"]`).Select(recovered); len(n) != 1 {
+		t.Fatalf("checkpoint-covered commit lost (found %d)", len(n))
+	}
+}
+
+// TestPinCheckpointCapturesConsistentPair: the (snapshot, LSN) pair from
+// PinCheckpoint must agree — every commit with LSN <= the pinned LSN is
+// in the image, every later one is not — even with commits racing the
+// pin. Recovery from the pinned image plus the log must equal the final
+// base state.
+func TestPinCheckpointCapturesConsistentPair(t *testing.T) {
+	dir := t.TempDir()
+	log, err := wal.Open(filepath.Join(dir, "doc.wal"), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, log)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			txn := m.Begin()
+			shelf := mustSelect(t, txn, `//shelf[@id="s2"]`)
+			if _, err := txn.AppendChild(shelf, frag(t, fmt.Sprintf(`<book>P%d</book>`, i))); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := txn.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Pin and stream several checkpoints while the committer runs.
+	for i := 0; i < 5; i++ {
+		img, lsn := m.PinCheckpoint()
+		var buf bytes.Buffer
+		if err := WriteSnapshotHeader(&buf, lsn); err != nil {
+			t.Fatal(err)
+		}
+		if err := img.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		img.Release()
+		recovered, err := Recover(bytes.NewReader(buf.Bytes()), log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The recovered store must hold exactly the books of every commit
+		// the log has seen up to its replay point; comparing against the
+		// live base is racy, so check internal consistency instead: all
+		// LSNs <= lsn are in the image (no book duplicated after replay),
+		// and invariants hold.
+		if err := recovered.CheckInvariants(); err != nil {
+			t.Fatalf("pin %d: %v", i, err)
+		}
+		books, _ := xpath.MustParse(`//book`).Select(recovered)
+		seen := map[string]int{}
+		for _, n := range books {
+			seen[xpath.StringValue(recovered, n)]++
+		}
+		for name, count := range seen {
+			if count > 1 {
+				t.Fatalf("pin %d: book %q appears %d times — image and LSN disagree", i, name, count)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestCommitGroupDurability: with a sync'd log, every commit must be
+// durable when Commit returns, and concurrent committers must not issue
+// more fsyncs than commits (the group-commit door may batch them).
+func TestCommitGroupDurability(t *testing.T) {
+	dir := t.TempDir()
+	log, err := wal.Open(filepath.Join(dir, "doc.wal"), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	s := buildStore(t, doc, 16)
+	m := NewManager(s, log)
+
+	const committers = 8
+	var wg sync.WaitGroup
+	for c := 0; c < committers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				for {
+					txn := m.Begin()
+					shelf := mustSelect(t, txn, `//shelf[@id="s2"]`)
+					if _, err := txn.AppendChild(shelf, frag(t, fmt.Sprintf(`<book>G%d-%d</book>`, c, i))); err != nil {
+						txn.Abort()
+						continue // page conflict with a sibling committer: retry
+					}
+					if err := txn.Commit(); err != nil {
+						if errors.Is(err, ErrConflict) {
+							continue
+						}
+						t.Error(err)
+						return
+					}
+					break
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if log.DurableLSN() != log.LastLSN() {
+		t.Fatalf("durable %d != appended %d after all commits returned", log.DurableLSN(), log.LastLSN())
+	}
+	if log.SyncCount() > committers*4 {
+		t.Fatalf("%d fsyncs for %d commits", log.SyncCount(), committers*4)
 	}
 }

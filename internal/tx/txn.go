@@ -390,15 +390,22 @@ func (t *Tx) Commit() error {
 			return fmt.Errorf("tx: %w: op %d target %d vanished", ErrConflict, i, op.Target)
 		}
 	}
+	var lsn uint64
 	if m.log != nil {
-		if _, err := m.log.Append(t.ops); err != nil {
+		var err error
+		// Append inside the critical section (it assigns the LSN that
+		// orders this commit), but do NOT fsync here: durability is
+		// settled by the group-commit Sync below, outside the lock, so
+		// concurrent committers share one fsync instead of queueing N of
+		// them behind the global mutex.
+		if lsn, err = m.log.Append(t.ops); err != nil {
 			m.mu.Unlock()
 			t.Abort()
 			return err
 		}
 	}
 	if err := ApplyOps(m.store, t.ops); err != nil {
-		// The WAL record is already durable; an apply failure here is an
+		// The WAL record is already written; an apply failure here is an
 		// invariant violation, not a user error.
 		m.mu.Unlock()
 		t.Abort()
@@ -415,6 +422,18 @@ func (t *Tx) Commit() error {
 	// no snapshot shares them.
 	t.clone.Release()
 	t.clone = nil
+	if m.log != nil {
+		// Group commit: the transaction is visible to new readers already
+		// (early lock release), but Commit only returns once its record is
+		// on stable storage — the leader/follower door in wal.Log.Sync
+		// batches the fsyncs of every committer that raced through the
+		// critical section since the last one. A Sync failure is a
+		// half-state: applied and visible, durability unknown — reported
+		// as ErrNotDurable, which the caller must not answer by retrying.
+		if err := m.log.Sync(lsn); err != nil {
+			return fmt.Errorf("%w: %w", ErrNotDurable, err)
+		}
+	}
 	return nil
 }
 

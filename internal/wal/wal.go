@@ -9,6 +9,31 @@
 // (crash mid-append) is detected by length/checksum mismatch and
 // truncated away, which is exactly the atomicity guarantee the paper's
 // single-I/O commit gives.
+//
+// # Segments
+//
+// The log is not one file but a sequence of rotating, size-bounded
+// segment files ("<base>.00000001", "<base>.00000002", ...). Appends go
+// to the newest (active) segment; once it exceeds Options.SegmentBytes
+// it is sealed — fsynced one final time — and a fresh segment becomes
+// active. Sealing never splits a record. Segmentation is what makes
+// checkpoint truncation safe and cheap: instead of truncating a single
+// file (racing concurrent commits), the checkpointer calls Prune, which
+// deletes only whole sealed segments whose every record the checkpoint
+// already covers. A commit that lands while a checkpoint streams can at
+// worst share the active segment, which Prune never touches — so a
+// checkpoint can never delete a record it does not cover, by
+// construction.
+//
+// # Group commit
+//
+// Append writes a record but does not make it durable; Sync(lsn) does,
+// through a batching door: the first committer through the door becomes
+// the leader and issues one fsync covering every record appended so far,
+// while committers arriving during that fsync wait at the door and
+// usually find their record already durable when they get through —
+// turning N commit fsyncs into ~1 under load. SyncCount exposes how many
+// physical fsyncs the door actually issued.
 package wal
 
 import (
@@ -19,6 +44,11 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"mxq/internal/xenc"
 )
@@ -68,52 +98,317 @@ type Record struct {
 	Ops []Op
 }
 
-// Log is an append-only write-ahead log backed by a file.
+// DefaultSegmentBytes is the rotation threshold when Options leaves
+// SegmentBytes zero.
+const DefaultSegmentBytes = 1 << 20
+
+// segWidth is the zero-padded width of the numeric segment suffix
+// (lexicographic order == numeric order for any realistic count).
+const segWidth = 8
+
+// segment is one on-disk log file. Only the last (active) segment holds
+// an open file handle; sealed segments are immutable and reopened
+// read-only when replay or recovery needs them.
+type segment struct {
+	seq      uint64
+	path     string
+	f        *os.File // non-nil only for the active segment
+	firstLSN uint64   // 0 when the segment holds no records
+	lastLSN  uint64
+	size     int64
+	records  int
+}
+
+// SegmentInfo describes one segment for observability and tests.
+type SegmentInfo struct {
+	Path     string
+	Seq      uint64
+	FirstLSN uint64
+	LastLSN  uint64
+	Size     int64
+	Records  int
+}
+
+// Log is an append-only, segmented write-ahead log.
 type Log struct {
-	f    *os.File
-	path string
-	lsn  uint64
-	sync bool
+	mu       sync.Mutex // segment list, active file, lsn, tail counters
+	dir      string
+	base     string // segment name prefix (e.g. "doc.wal")
+	segs     []*segment
+	lsn      uint64
+	sync     bool
+	segBytes int64
+
+	// durable is the highest LSN known to have reached stable storage;
+	// it only ever advances. syncMu is the group-commit door: the leader
+	// holds it across one fsync while followers queue behind it.
+	durable   atomic.Uint64
+	syncMu    sync.Mutex
+	syncCount atomic.Uint64
 }
 
 // Options configure a log.
 type Options struct {
-	// NoSync skips fsync on append (for tests and benchmarks that do not
-	// measure durability).
+	// NoSync skips fsync entirely (for tests and benchmarks that do not
+	// measure durability); Sync becomes a no-op that reports every
+	// appended record as durable.
 	NoSync bool
+	// SegmentBytes is the rotation threshold: once the active segment
+	// reaches it, the segment is sealed and a new one started. Zero means
+	// DefaultSegmentBytes.
+	SegmentBytes int64
 }
 
-// Open opens or creates the log at path and scans it to find the last
-// valid LSN, truncating any torn tail.
+// Open opens or creates the segmented log rooted at path (segments live
+// at path.00000001, path.00000002, ...). It scans all segments in order
+// to find the last valid LSN, truncating a torn tail and discarding any
+// segments beyond a cut (a crash — or crash injection — that severed the
+// log mid-stream). A legacy single-file log at path itself is migrated
+// to the first segment.
 func Open(path string, opts Options) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("wal: %w", err)
+	l := &Log{
+		dir:      filepath.Dir(path),
+		base:     filepath.Base(path),
+		sync:     !opts.NoSync,
+		segBytes: opts.SegmentBytes,
 	}
-	l := &Log{f: f, path: path, sync: !opts.NoSync}
-	valid, last, err := l.scan(nil)
-	if err != nil {
-		f.Close()
+	if l.segBytes <= 0 {
+		l.segBytes = DefaultSegmentBytes
+	}
+	if err := l.migrateLegacy(path); err != nil {
 		return nil, err
 	}
-	if err := f.Truncate(valid); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+	if err := l.loadSegments(); err != nil {
+		return nil, err
 	}
-	if _, err := f.Seek(valid, io.SeekStart); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("wal: %w", err)
+	if err := l.scanAll(); err != nil {
+		return nil, err
 	}
-	l.lsn = last
+	if len(l.segs) == 0 {
+		if _, err := l.addSegment(1); err != nil {
+			return nil, err
+		}
+	}
+	// Open the active (last) segment for appending — unless addSegment
+	// just created it with an open handle of its own.
+	active := l.segs[len(l.segs)-1]
+	if active.f == nil {
+		f, err := os.OpenFile(active.path, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if _, err := f.Seek(active.size, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		active.f = f
+	}
+	l.durable.Store(l.lsn) // whatever survived on disk is as durable as it gets
 	return l, nil
 }
 
-// LastLSN returns the LSN of the last committed record (0 if none).
-func (l *Log) LastLSN() uint64 { return l.lsn }
+// migrateLegacy renames a pre-segmentation single-file log at path to
+// the first segment, so old durability directories keep recovering.
+func (l *Log) migrateLegacy(path string) error {
+	fi, err := os.Stat(path)
+	if err != nil || fi.IsDir() {
+		return nil
+	}
+	dst := l.segPath(1)
+	if _, err := os.Stat(dst); err == nil {
+		return fmt.Errorf("wal: both legacy log %s and segment %s exist", path, dst)
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return fmt.Errorf("wal: migrating legacy log: %w", err)
+	}
+	return nil
+}
 
-// Append writes one record and makes it durable. It assigns and returns
-// the record's LSN.
+func (l *Log) segPath(seq uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s.%0*d", l.base, segWidth, seq))
+}
+
+// loadSegments globs and orders the on-disk segment files.
+func (l *Log) loadSegments() error {
+	pattern := filepath.Join(l.dir, l.base+".*")
+	matches, err := filepath.Glob(pattern)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for _, m := range matches {
+		if !isSegmentName(l.base, filepath.Base(m)) {
+			continue // not a segment (e.g. a foreign ".tmp")
+		}
+		seq, err := strconv.ParseUint(m[len(m)-segWidth:], 10, 64)
+		if err != nil || seq == 0 {
+			continue
+		}
+		l.segs = append(l.segs, &segment{seq: seq, path: m})
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].seq < l.segs[j].seq })
+	return nil
+}
+
+// scanAll walks every segment in order, truncating the first torn record
+// and discarding all segments after it: a crash only ever tears the
+// active tail, so anything beyond a tear is the far side of a cut and
+// must not be replayed (its records would be non-contiguous with the
+// recovered prefix).
+func (l *Log) scanAll() error {
+	changed := false
+	for i, seg := range l.segs {
+		meta, err := scanFile(seg.path, nil)
+		if err != nil {
+			return err
+		}
+		seg.firstLSN, seg.lastLSN = meta.firstLSN, meta.lastLSN
+		seg.records, seg.size = meta.records, meta.size
+		torn := meta.validEnd < meta.size
+		if torn {
+			if err := os.Truncate(seg.path, meta.validEnd); err != nil {
+				return fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, err)
+			}
+			seg.size = meta.validEnd
+			changed = true
+		}
+		if seg.lastLSN > l.lsn {
+			l.lsn = seg.lastLSN
+		}
+		if torn && i < len(l.segs)-1 {
+			for _, later := range l.segs[i+1:] {
+				if err := os.Remove(later.path); err != nil {
+					return fmt.Errorf("wal: removing cut segment %s: %w", later.path, err)
+				}
+			}
+			l.segs = l.segs[:i+1]
+			break
+		}
+	}
+	if changed && l.sync {
+		// Make the truncation/removals durable now: a crash after this
+		// recovery must not resurrect post-cut segments whose records are
+		// non-contiguous with the truncated prefix.
+		return l.syncDir()
+	}
+	return nil
+}
+
+// segMeta is what one pass over a segment file learns.
+type segMeta struct {
+	validEnd int64 // offset just past the last valid record
+	size     int64 // file size (>= validEnd when the tail is torn)
+	firstLSN uint64
+	lastLSN  uint64
+	records  int
+}
+
+// scanFile reads one segment file start to finish, calling fn (if
+// non-nil) per valid record. It is a pure read — no *segment state is
+// touched — so Replay can run concurrently with Append without racing
+// the segment accounting Append maintains under l.mu.
+func scanFile(path string, fn func(*Record) error) (segMeta, error) {
+	var meta segMeta
+	f, err := os.Open(path)
+	if err != nil {
+		return meta, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return meta, fmt.Errorf("wal: %w", err)
+	}
+	meta.size = fi.Size()
+	r := io.Reader(f)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return meta, nil // clean EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > 1<<30 {
+			return meta, nil // absurd length: torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return meta, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return meta, nil // corrupt tail
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return meta, nil
+		}
+		if fn != nil {
+			if err := fn(&rec); err != nil {
+				return meta, err
+			}
+		}
+		meta.validEnd += int64(8 + int(n))
+		if meta.firstLSN == 0 {
+			meta.firstLSN = rec.LSN
+		}
+		meta.lastLSN = rec.LSN
+		meta.records++
+	}
+}
+
+// addSegment creates and registers an empty segment file. On failure
+// nothing is registered, so the caller's segment list stays usable.
+func (l *Log) addSegment(seq uint64) (*segment, error) {
+	seg := &segment{seq: seq, path: l.segPath(seq)}
+	f, err := os.OpenFile(seg.path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: creating segment: %w", err)
+	}
+	seg.f = f
+	if l.sync {
+		if err := l.syncDir(); err != nil {
+			f.Close()
+			os.Remove(seg.path)
+			return nil, err
+		}
+	}
+	l.segs = append(l.segs, seg)
+	return seg, nil
+}
+
+// syncDir makes directory-level changes (segment create/delete) durable.
+func (l *Log) syncDir() error {
+	d, err := os.Open(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing dir: %w", err)
+	}
+	return nil
+}
+
+// LastLSN returns the LSN of the last appended record (0 if none).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lsn
+}
+
+// DurableLSN returns the highest LSN known to be on stable storage.
+func (l *Log) DurableLSN() uint64 { return l.durable.Load() }
+
+// SyncCount returns how many physical fsyncs the group-commit door has
+// issued (a measure of batching: N commits sharing one fsync raise it
+// by 1).
+func (l *Log) SyncCount() uint64 { return l.syncCount.Load() }
+
+// Append writes one record to the active segment and assigns its LSN.
+// The record is NOT durable until Sync(lsn) returns: Append is the part
+// of the commit that runs inside the critical section, Sync the part
+// that runs outside it, shared with other committers.
 func (l *Log) Append(ops []Op) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	rec := Record{LSN: l.lsn + 1, Ops: ops}
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(&rec); err != nil {
@@ -122,101 +417,322 @@ func (l *Log) Append(ops []Op) (uint64, error) {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
-	if _, err := l.f.Write(hdr[:]); err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
+	active := l.segs[len(l.segs)-1]
+	if active.f == nil {
+		return 0, fmt.Errorf("wal: log is closed")
 	}
-	if _, err := l.f.Write(payload.Bytes()); err != nil {
+	// One Write for header+payload: a failure (even a short write) is
+	// repaired by rolling the file back to the last record boundary, so
+	// no garbage can sit between this record's slot and a later append —
+	// recovery's scan would stop at the garbage and silently drop every
+	// durable record behind it otherwise.
+	record := append(hdr[:], payload.Bytes()...)
+	if _, err := active.f.Write(record); err != nil {
+		l.repairActive(active)
 		return 0, fmt.Errorf("wal: %w", err)
-	}
-	if l.sync {
-		if err := l.f.Sync(); err != nil {
-			return 0, fmt.Errorf("wal: sync: %w", err)
-		}
 	}
 	l.lsn = rec.LSN
+	if active.firstLSN == 0 {
+		active.firstLSN = rec.LSN
+	}
+	active.lastLSN = rec.LSN
+	active.size += int64(len(record))
+	active.records++
+	if !l.sync {
+		// Without fsync every append is "durable" the moment it is
+		// written; keeping the marker current keeps Sync a no-op.
+		advance(&l.durable, rec.LSN)
+	}
+	if active.size >= l.segBytes {
+		// Rotation is best-effort: the record above is fully written and
+		// will be made durable by Sync against this (still-active)
+		// segment, so a failed seal or segment creation must NOT fail the
+		// append — a WAL record that persists for a commit reported as
+		// failed would resurrect at recovery. The oversized segment stays
+		// active and rotation is retried on the next append.
+		l.tryRotate(active)
+	}
 	return rec.LSN, nil
 }
 
-// Replay calls fn for every valid record with LSN > after, in order.
-func (l *Log) Replay(after uint64, fn func(*Record) error) error {
-	_, _, err := l.scan(func(r *Record) error {
-		if r.LSN <= after {
-			return nil
+// repairActive rolls the active segment back to the last record
+// boundary after a failed write. If even the rollback fails, the
+// segment is closed so further appends error loudly instead of landing
+// beyond unscanned garbage.
+func (l *Log) repairActive(active *segment) {
+	if _, err := active.f.Seek(active.size, io.SeekStart); err == nil {
+		if err := active.f.Truncate(active.size); err == nil {
+			return
 		}
-		return fn(r)
-	})
-	// Restore the append position even when fn failed — a later Append
-	// must never land mid-file.
-	if _, serr := l.f.Seek(0, io.SeekEnd); serr != nil && err == nil {
-		err = serr
 	}
-	return err
+	active.f.Close()
+	active.f = nil
 }
 
-// scan walks the log from the start, calling fn (if non-nil) per valid
-// record. It returns the offset after the last valid record and its LSN.
-func (l *Log) scan(fn func(*Record) error) (validEnd int64, lastLSN uint64, err error) {
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return 0, 0, fmt.Errorf("wal: %w", err)
+// tryRotate seals the active segment and starts a new one. The seal
+// fsync makes every record in the sealed segment durable, so Sync never
+// needs to revisit anything but the active file; the old file is closed
+// only after the new segment exists, so any failure leaves the old
+// segment active and writable (rotation retries later). Called with
+// l.mu held.
+func (l *Log) tryRotate(active *segment) {
+	if l.sync {
+		if err := active.f.Sync(); err != nil {
+			return // seal not durable: keep appending here, retry later
+		}
+		advance(&l.durable, active.lastLSN)
 	}
-	r := io.Reader(l.f)
-	off := int64(0)
+	if _, err := l.addSegment(active.seq + 1); err != nil {
+		return // could not start a new segment: old one stays active
+	}
+	active.f.Close() // sealed and never written again; close error is moot
+	active.f = nil
+}
+
+// advance raises a monotonic atomic watermark to at least v.
+func advance(a *atomic.Uint64, v uint64) {
 	for {
-		var hdr [8]byte
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return off, lastLSN, nil // clean EOF or torn header
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
 		}
-		n := binary.LittleEndian.Uint32(hdr[0:4])
-		sum := binary.LittleEndian.Uint32(hdr[4:8])
-		if n > 1<<30 {
-			return off, lastLSN, nil // absurd length: torn tail
-		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			return off, lastLSN, nil // torn payload
-		}
-		if crc32.ChecksumIEEE(payload) != sum {
-			return off, lastLSN, nil // corrupt tail
-		}
-		var rec Record
-		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-			return off, lastLSN, nil
-		}
-		if fn != nil {
-			if err := fn(&rec); err != nil {
-				return off, lastLSN, err
-			}
-		}
-		off += int64(8 + int(n))
-		lastLSN = rec.LSN
 	}
+}
+
+// Sync makes every record with LSN <= lsn durable. It is the
+// group-commit door: safe for any number of concurrent callers, the
+// first through becomes the leader and fsyncs once for everyone queued
+// behind it. A no-op when the log runs with NoSync.
+func (l *Log) Sync(lsn uint64) error {
+	if !l.sync || l.durable.Load() >= lsn {
+		return nil
+	}
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.durable.Load() >= lsn {
+		return nil // the previous leader's fsync covered us
+	}
+	// Capture the active file and the highest appended LSN: the fsync
+	// below covers every record appended before the capture (records in
+	// earlier segments were made durable when those segments were
+	// sealed).
+	l.mu.Lock()
+	f := l.segs[len(l.segs)-1].f
+	target := l.lsn
+	l.mu.Unlock()
+	if f == nil {
+		return fmt.Errorf("wal: log is closed")
+	}
+	l.syncCount.Add(1)
+	if err := f.Sync(); err != nil {
+		// A rotation racing this door may have sealed — fsynced — and
+		// closed the captured file after we let go of l.mu; the caller's
+		// record is durable then (the seal covered everything in the
+		// segment), so only report an error the durability watermark does
+		// not contradict.
+		if l.durable.Load() >= lsn {
+			return nil
+		}
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	advance(&l.durable, target)
+	return nil
+}
+
+// Replay calls fn for every valid record with LSN > after, in segment
+// order. It reads the segment files through fresh read-only handles and
+// never touches the log's segment accounting, so it may run while
+// another goroutine appends (it observes some prefix of the racing
+// appends).
+func (l *Log) Replay(after uint64, fn func(*Record) error) error {
+	l.mu.Lock()
+	paths := make([]string, len(l.segs))
+	for i, seg := range l.segs {
+		paths[i] = seg.path
+	}
+	l.mu.Unlock()
+	for _, path := range paths {
+		_, err := scanFile(path, func(r *Record) error {
+			if r.LSN <= after {
+				return nil
+			}
+			return fn(r)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // EnsureLSN raises the log's LSN counter to at least lsn. Recovery calls
-// it with the checkpoint's LSN: after Truncate empties the log, a
+// it with the checkpoint's LSN: after pruning empties the log, a
 // reopened Log would otherwise restart numbering at 1 and hand out LSNs
 // the checkpoint already covers — and Replay, which skips records with
 // LSN <= the checkpoint LSN, would silently drop those commits on the
 // next recovery.
 func (l *Log) EnsureLSN(lsn uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.lsn < lsn {
 		l.lsn = lsn
 	}
 }
 
-// Truncate discards all records (after a checkpoint made them redundant).
-func (l *Log) Truncate() error {
-	if err := l.f.Truncate(0); err != nil {
-		return fmt.Errorf("wal: %w", err)
+// Prune deletes sealed segments whose every record has LSN <= upTo (a
+// checkpoint at upTo made them redundant). The active segment is never
+// deleted, so a record appended while the caller was checkpointing can
+// never be lost — the checkpoint's LSN pin can only cover sealed
+// history or a prefix of the active segment, and partial segments are
+// kept whole.
+func (l *Log) Prune(upTo uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cut := 0
+	for i, seg := range l.segs {
+		if i == len(l.segs)-1 {
+			break // never the active segment
+		}
+		if seg.records > 0 && seg.lastLSN > upTo {
+			break
+		}
+		cut = i + 1
 	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("wal: %w", err)
+	if cut == 0 {
+		return nil
+	}
+	for _, seg := range l.segs[:cut] {
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("wal: pruning segment: %w", err)
+		}
+	}
+	l.segs = append(l.segs[:0], l.segs[cut:]...)
+	if l.sync {
+		return l.syncDir()
 	}
 	return nil
 }
 
-// Close closes the underlying file.
-func (l *Log) Close() error { return l.f.Close() }
+// TailStats reports the un-pruned log tail: total bytes and record count
+// across all live segments. The auto-checkpoint policy reads it to
+// decide when the WAL has grown enough to warrant a new checkpoint.
+func (l *Log) TailStats() (bytes int64, records int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, seg := range l.segs {
+		bytes += seg.size
+		records += seg.records
+	}
+	return bytes, records
+}
 
-// Path returns the log's file path.
-func (l *Log) Path() string { return l.path }
+// TailStatsAbove reports the log tail *beyond* lsn: how many records
+// with LSN > lsn the live segments hold, and (approximately, prorating
+// the segment that straddles the boundary) how many bytes they span.
+// Unlike TailStats it excludes checkpoint-covered records parked in the
+// active segment that Prune cannot delete, so the auto-checkpoint
+// policy does not re-trigger on work a checkpoint already absorbed.
+func (l *Log) TailStatsAbove(lsn uint64) (bytes int64, records int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, seg := range l.segs {
+		if seg.records == 0 || seg.lastLSN <= lsn {
+			continue
+		}
+		if seg.firstLSN > lsn {
+			bytes += seg.size
+			records += seg.records
+			continue
+		}
+		above := int(seg.lastLSN - lsn) // LSNs are contiguous within a segment
+		records += above
+		bytes += seg.size * int64(above) / int64(seg.records)
+	}
+	return bytes, records
+}
+
+// isSegmentName reports whether file (a bare name) is a segment of the
+// log with base name base.
+func isSegmentName(base, file string) bool {
+	if len(file) != len(base)+1+segWidth || file[:len(base)] != base || file[len(base)] != '.' {
+		return false
+	}
+	for _, c := range file[len(base)+1:] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// SegmentPaths lists the on-disk segment files of the log rooted at
+// path, in segment order, without opening the log. Tooling (e.g. the
+// crash-injection harness) shares this matcher so it can never disagree
+// with Open about what a segment is.
+func SegmentPaths(path string) ([]string, error) {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if isSegmentName(base, e.Name()) {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out) // fixed-width numeric suffix: lexicographic == segment order
+	return out, nil
+}
+
+// RemoveSegments deletes every segment file of the log rooted at path,
+// plus a legacy single-file log at path itself (Drop uses it; matching
+// is exact, so another document whose name shares a prefix is never
+// touched).
+func RemoveSegments(path string) {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if isSegmentName(base, e.Name()) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	os.Remove(path)
+}
+
+// Segments describes the live segments in order (observability, tests).
+func (l *Log) Segments() []SegmentInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SegmentInfo, len(l.segs))
+	for i, seg := range l.segs {
+		out[i] = SegmentInfo{
+			Path: seg.path, Seq: seg.seq,
+			FirstLSN: seg.firstLSN, LastLSN: seg.lastLSN,
+			Size: seg.size, Records: seg.records,
+		}
+	}
+	return out
+}
+
+// Close closes the active segment file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 {
+		return nil
+	}
+	active := l.segs[len(l.segs)-1]
+	if active.f == nil {
+		return nil
+	}
+	err := active.f.Close()
+	active.f = nil
+	return err
+}
+
+// Path returns the log's base path (segments live at Path().NNNNNNNN).
+func (l *Log) Path() string { return filepath.Join(l.dir, l.base) }

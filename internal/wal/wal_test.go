@@ -1,8 +1,10 @@
 package wal
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -14,6 +16,22 @@ func openTemp(t *testing.T) (*Log, string) {
 		t.Fatal(err)
 	}
 	return l, path
+}
+
+// segFiles lists the on-disk segment files for a base path, in order.
+func segFiles(t *testing.T, path string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(path + ".*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, m := range matches {
+		if len(m) == len(path)+1+segWidth {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 func TestAppendAssignsLSNs(t *testing.T) {
@@ -79,7 +97,8 @@ func TestTornTailTruncated(t *testing.T) {
 	l, path := openTemp(t)
 	l.Append([]Op{{Kind: OpSetValue, Target: 9, Value: "x"}})
 	l.Close()
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	segs := segFiles(t, path)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,13 +122,14 @@ func TestTornTailTruncated(t *testing.T) {
 func TestCorruptPayloadDropped(t *testing.T) {
 	l, path := openTemp(t)
 	l.Append([]Op{{Kind: OpDelete, Target: 1}})
-	off, _ := l.f.Seek(0, 2)
+	off := l.Segments()[0].Size
 	l.Append([]Op{{Kind: OpDelete, Target: 2}})
 	l.Close()
 	// Flip a byte in the second record's payload.
-	data, _ := os.ReadFile(path)
+	seg := segFiles(t, path)[0]
+	data, _ := os.ReadFile(seg)
 	data[off+10] ^= 0xFF
-	os.WriteFile(path, data, 0o644)
+	os.WriteFile(seg, data, 0o644)
 	l2, err := Open(path, Options{NoSync: true})
 	if err != nil {
 		t.Fatal(err)
@@ -117,24 +137,6 @@ func TestCorruptPayloadDropped(t *testing.T) {
 	defer l2.Close()
 	if l2.LastLSN() != 1 {
 		t.Fatalf("LastLSN = %d, want 1 (corrupt record dropped)", l2.LastLSN())
-	}
-}
-
-func TestTruncate(t *testing.T) {
-	l, _ := openTemp(t)
-	defer l.Close()
-	l.Append([]Op{{Kind: OpDelete, Target: 1}})
-	if err := l.Truncate(); err != nil {
-		t.Fatal(err)
-	}
-	count := 0
-	l.Replay(0, func(*Record) error { count++; return nil })
-	if count != 0 {
-		t.Fatalf("records after truncate = %d", count)
-	}
-	// LSNs keep increasing (no reuse after truncation).
-	if lsn, _ := l.Append(nil); lsn != 2 {
-		t.Fatalf("lsn after truncate = %d, want 2", lsn)
 	}
 }
 
@@ -209,32 +211,479 @@ func TestSyncedAppend(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	if _, err := l.Append([]Op{{Kind: OpRename, Target: 1, Name: "n"}}); err != nil {
+	lsn, err := l.Append([]Op{{Kind: OpRename, Target: 1, Name: "n"}})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if l.LastLSN() != 1 {
-		t.Fatalf("LastLSN = %d", l.LastLSN())
+	if l.DurableLSN() != 0 {
+		t.Fatalf("record durable before Sync: %d", l.DurableLSN())
+	}
+	if err := l.Sync(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if l.DurableLSN() != 1 || l.SyncCount() != 1 {
+		t.Fatalf("durable=%d syncs=%d, want 1/1", l.DurableLSN(), l.SyncCount())
 	}
 }
 
-// TestAppendPositionAfterFailedReplay pins the fix for a corruption bug:
-// a replay aborted by its callback must not leave the write position
-// mid-file, or the next Append overwrites existing records.
-func TestAppendPositionAfterFailedReplay(t *testing.T) {
-	l, path := openTemp(t)
-	l.Append([]Op{{Kind: OpDelete, Target: 1}})
-	l.Append([]Op{{Kind: OpDelete, Target: 2}})
-	l.Replay(0, func(*Record) error { return os.ErrInvalid })
-	l.Append([]Op{{Kind: OpDelete, Target: 3}})
+// TestGroupCommitSharesFsync: one leader fsync covers every record
+// appended before it, so the followers' Sync calls are free.
+func TestGroupCommitSharesFsync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "group.wal")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var lsns []uint64
+	for i := 0; i < 5; i++ {
+		lsn, err := l.Append([]Op{{Kind: OpDelete, Target: int32(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := l.Sync(lsns[4]); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.SyncCount(); got != 1 {
+		t.Fatalf("leader fsyncs = %d, want 1", got)
+	}
+	// Followers whose LSNs the leader covered pay nothing.
+	for _, lsn := range lsns[:4] {
+		if err := l.Sync(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.SyncCount(); got != 1 {
+		t.Fatalf("fsyncs after follower Syncs = %d, want 1", got)
+	}
+}
+
+// TestGroupCommitConcurrent drives the door from many goroutines; every
+// record must come out durable with (usually far) fewer fsyncs than
+// appends. The hard assertion is only <=: the batching ratio is timing-
+// dependent, but correctness (durable >= each lsn) is not.
+func TestGroupCommitConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "group2.wal")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn, err := l.Append([]Op{{Kind: OpDelete, Target: int32(i)}})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := l.Sync(lsn); err != nil {
+				errs <- err
+				return
+			}
+			if l.DurableLSN() < lsn {
+				errs <- fmt.Errorf("lsn %d not durable after Sync", lsn)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if l.SyncCount() > n {
+		t.Fatalf("fsyncs = %d > %d appends", l.SyncCount(), n)
+	}
+}
+
+func TestRotationAndPrune(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rot.wal")
+	l, err := Open(path, Options{NoSync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 40; i++ {
+		if _, err := l.Append([]Op{{Kind: OpSetValue, Target: int32(i), Value: "some filler text to grow the record"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := l.Segments()
+	if len(segs) < 3 {
+		t.Fatalf("only %d segments after 40 oversized appends", len(segs))
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Seq != segs[i-1].Seq+1 {
+			t.Fatalf("segment seqs not consecutive: %+v", segs)
+		}
+		if segs[i-1].Records > 0 && segs[i].Records > 0 && segs[i].FirstLSN != segs[i-1].LastLSN+1 {
+			t.Fatalf("segment LSNs not contiguous: %+v", segs)
+		}
+	}
+	// Prune up to the end of the second segment: exactly the first two go.
+	upTo := segs[1].LastLSN
+	if err := l.Prune(upTo); err != nil {
+		t.Fatal(err)
+	}
+	left := l.Segments()
+	if len(left) != len(segs)-2 || left[0].Seq != segs[2].Seq {
+		t.Fatalf("prune(%d) left %+v", upTo, left)
+	}
+	// A replay from upTo sees exactly the remaining records, in order.
+	want := upTo + 1
+	if err := l.Replay(upTo, func(r *Record) error {
+		if r.LSN != want {
+			return fmt.Errorf("replayed LSN %d, want %d", r.LSN, want)
+		}
+		want++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want != 41 {
+		t.Fatalf("replay stopped at %d", want-1)
+	}
+	// Reopen: same records, same LastLSN.
 	l.Close()
+	l2, err := Open(path, Options{NoSync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != 40 {
+		t.Fatalf("LastLSN after reopen = %d", l2.LastLSN())
+	}
+}
+
+// TestPruneNeverTouchesActiveSegment: records above the prune LSN that
+// share the active segment with covered records survive.
+func TestPruneNeverTouchesActiveSegment(t *testing.T) {
+	l, _ := openTemp(t) // huge segment bytes: everything stays in segment 1
+	defer l.Close()
+	for i := 0; i < 4; i++ {
+		l.Append([]Op{{Kind: OpDelete, Target: int32(i)}})
+	}
+	if err := l.Prune(2); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	l.Replay(0, func(*Record) error { count++; return nil })
+	if count != 4 {
+		t.Fatalf("prune of active segment dropped records: %d of 4 left", count)
+	}
+}
+
+// TestCutAtRecordBoundaryKeepsAllBelow pins the exact-boundary case: a
+// crash that cuts the log at the very end of record k must recover
+// exactly k records — an off-by-one here is silent data loss.
+func TestCutAtRecordBoundaryKeepsAllBelow(t *testing.T) {
+	l, path := openTemp(t)
+	var ends []int64
+	for i := 0; i < 3; i++ {
+		l.Append([]Op{{Kind: OpSetValue, Target: int32(i), Value: "v"}})
+		ends = append(ends, l.Segments()[0].Size)
+	}
+	l.Close()
+	seg := segFiles(t, path)[0]
+	if err := os.Truncate(seg, ends[1]); err != nil {
+		t.Fatal(err)
+	}
 	l2, err := Open(path, Options{NoSync: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer l2.Close()
-	var lsns []uint64
-	l2.Replay(0, func(r *Record) error { lsns = append(lsns, r.LSN); return nil })
-	if len(lsns) != 3 || lsns[0] != 1 || lsns[2] != 3 {
-		t.Fatalf("log corrupted by post-replay append: %v", lsns)
+	if l2.LastLSN() != 2 {
+		t.Fatalf("LastLSN after boundary cut = %d, want 2", l2.LastLSN())
+	}
+}
+
+// TestCutMidSegmentDiscardsLaterSegments: a cut that tears a middle
+// segment must drop every later segment too, or replay would produce a
+// non-contiguous record stream.
+func TestCutMidSegmentDiscardsLaterSegments(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cut.wal")
+	l, err := Open(path, Options{NoSync: true, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		l.Append([]Op{{Kind: OpSetValue, Target: int32(i), Value: "padding padding padding"}})
+	}
+	segs := l.Segments()
+	if len(segs) < 3 {
+		t.Fatalf("need >=3 segments, got %d", len(segs))
+	}
+	l.Close()
+	// Tear the second segment in half.
+	if err := os.Truncate(segs[1].Path, segs[1].Size/2); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path, Options{NoSync: true, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := len(l2.Segments()); got != 2 {
+		t.Fatalf("segments after mid-cut = %d, want 2 (later segments discarded)", got)
+	}
+	prev := uint64(0)
+	if err := l2.Replay(0, func(r *Record) error {
+		if r.LSN != prev+1 {
+			return fmt.Errorf("non-contiguous replay: %d after %d", r.LSN, prev)
+		}
+		prev = r.LSN
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if prev == 0 || prev >= 20 {
+		t.Fatalf("replayed through LSN %d, want a strict prefix", prev)
+	}
+}
+
+// TestEmptyTailSegmentIsHarmless: a crash between sealing a segment and
+// writing the first record of the next one leaves a zero-byte tail; the
+// log must open and keep appending.
+func TestEmptyTailSegmentIsHarmless(t *testing.T) {
+	l, path := openTemp(t)
+	l.Append([]Op{{Kind: OpDelete, Target: 1}})
+	l.Close()
+	empty := fmt.Sprintf("%s.%0*d", path, segWidth, 2)
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != 1 {
+		t.Fatalf("LastLSN = %d, want 1", l2.LastLSN())
+	}
+	if lsn, err := l2.Append(nil); err != nil || lsn != 2 {
+		t.Fatalf("append into empty tail: %d, %v", lsn, err)
+	}
+}
+
+// TestLegacySingleFileMigrated: a pre-segmentation log (one file at the
+// base path) is renamed to segment 1 on open and replays as before.
+func TestLegacySingleFileMigrated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "old.wal")
+
+	// Fabricate a legacy log by writing a segment and renaming it down.
+	l, err := Open(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append([]Op{{Kind: OpRename, Target: 7, Name: "x"}})
+	l.Close()
+	seg := segFiles(t, path)[0]
+	if err := os.Rename(seg, path); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != 1 {
+		t.Fatalf("LastLSN after migration = %d", l2.LastLSN())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("legacy file still present: %v", err)
+	}
+}
+
+func TestEnsureLSN(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	l.EnsureLSN(9)
+	if lsn, _ := l.Append(nil); lsn != 10 {
+		t.Fatalf("lsn after EnsureLSN(9) = %d, want 10", lsn)
+	}
+	l.EnsureLSN(3) // never lowers
+	if lsn, _ := l.Append(nil); lsn != 11 {
+		t.Fatalf("lsn = %d, want 11", lsn)
+	}
+}
+
+func TestTailStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tail.wal")
+	l, err := Open(path, Options{NoSync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		l.Append([]Op{{Kind: OpSetValue, Target: int32(i), Value: "some value text for bytes"}})
+	}
+	bytes, records := l.TailStats()
+	if records != 10 || bytes <= 0 {
+		t.Fatalf("tail = %d bytes / %d records", bytes, records)
+	}
+	segs := l.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, got %d segments", len(segs))
+	}
+	if err := l.Prune(segs[0].LastLSN); err != nil {
+		t.Fatal(err)
+	}
+	bytes2, records2 := l.TailStats()
+	if records2 >= records || bytes2 >= bytes {
+		t.Fatalf("prune did not shrink tail: %d/%d -> %d/%d", bytes, records, bytes2, records2)
+	}
+}
+
+func TestAppendAfterCloseErrors(t *testing.T) {
+	l, _ := openTemp(t)
+	l.Append([]Op{{Kind: OpDelete, Target: 1}})
+	l.Close()
+	if _, err := l.Append(nil); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	if err := l.Sync(1); err != nil {
+		t.Fatalf("Sync of an already-durable LSN after Close: %v", err)
+	}
+}
+
+func TestTailStatsAbove(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "above.wal")
+	l, err := Open(path, Options{NoSync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		l.Append([]Op{{Kind: OpSetValue, Target: int32(i), Value: "some value text for byte volume"}})
+	}
+	if _, records := l.TailStatsAbove(0); records != 10 {
+		t.Fatalf("records above 0 = %d, want 10", records)
+	}
+	bytes, records := l.TailStatsAbove(7)
+	if records != 3 {
+		t.Fatalf("records above 7 = %d, want 3", records)
+	}
+	total, _ := l.TailStats()
+	if bytes <= 0 || bytes >= total {
+		t.Fatalf("bytes above 7 = %d, want in (0, %d)", bytes, total)
+	}
+	if b, r := l.TailStatsAbove(10); b != 0 || r != 0 {
+		t.Fatalf("tail above the last LSN = %d/%d, want 0/0", b, r)
+	}
+}
+
+// TestRemoveSegmentsExactMatch: removing one log's segments must not
+// touch a sibling log whose base name shares a prefix.
+func TestRemoveSegmentsExactMatch(t *testing.T) {
+	dir := t.TempDir()
+	short, err := Open(filepath.Join(dir, "a.wal"), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short.Append([]Op{{Kind: OpDelete, Target: 1}})
+	short.Close()
+	long, err := Open(filepath.Join(dir, "a.wal.extra.wal"), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long.Append([]Op{{Kind: OpDelete, Target: 2}})
+	long.Close()
+
+	RemoveSegments(filepath.Join(dir, "a.wal"))
+	if files := segFiles(t, filepath.Join(dir, "a.wal")); len(files) != 0 {
+		t.Fatalf("own segments survived: %v", files)
+	}
+	reopened, err := Open(filepath.Join(dir, "a.wal.extra.wal"), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.LastLSN() != 1 {
+		t.Fatalf("sibling log damaged: LastLSN = %d, want 1", reopened.LastLSN())
+	}
+}
+
+// TestSyncToleratesRotateRace: a Sync whose captured file handle is
+// sealed and closed by a concurrent rotation must not report an error —
+// the seal fsync made the record durable.
+func TestSyncToleratesRotateRace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rotrace.wal")
+	l, err := Open(path, Options{SegmentBytes: 64}) // sync on, tiny segments
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				lsn, err := l.Append([]Op{{Kind: OpSetValue, Target: int32(i), Value: "rotate every append"}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := l.Sync(lsn); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if l.DurableLSN() != l.LastLSN() {
+		t.Fatalf("durable %d != appended %d", l.DurableLSN(), l.LastLSN())
+	}
+}
+
+// TestReplayRacesAppend: Replay is a pure read over fresh handles and
+// must be safe to run while another goroutine appends (run under -race;
+// this pins the fix for scanSegment mutating shared segment state).
+func TestReplayRacesAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "replayrace.wal")
+	l, err := Open(path, Options{NoSync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.Append([]Op{{Kind: OpDelete, Target: 0}})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i < 40; i++ {
+			l.Append([]Op{{Kind: OpSetValue, Target: int32(i), Value: "concurrent append payload"}})
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		prev := uint64(0)
+		if err := l.Replay(0, func(r *Record) error {
+			if r.LSN != prev+1 {
+				return fmt.Errorf("replay gap: %d after %d", r.LSN, prev)
+			}
+			prev = r.LSN
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	bytes, records := l.TailStats()
+	if records != 40 || bytes <= 0 {
+		t.Fatalf("accounting corrupted by concurrent replay: %d bytes / %d records", bytes, records)
 	}
 }

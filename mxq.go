@@ -49,6 +49,32 @@
 // until the collector runs — always pair Snapshot with a deferred
 // Close.
 //
+// # Durability: online checkpoints, segmented WAL, group commit
+//
+// With Options.Dir set, every commit writes exactly one record to a
+// segmented write-ahead log (the paper's single-I/O commit), and
+// concurrent committers share the fsync through a leader/follower door
+// (group commit): under load, N commits cost ~1 physical flush, so
+// commit throughput rises with concurrency instead of serializing on
+// the disk. Checkpoints are *online*: Document.Checkpoint pins a
+// (snapshot, LSN) pair inside the commit critical section — an O(pages)
+// refcount sweep, the same copy-on-write machinery the read path uses —
+// then streams the O(document) image from that immutable snapshot
+// outside any lock, so commits never stall behind a checkpoint no
+// matter how large the document. Completion is published atomically
+// (tmp+rename+fsync of an LSN-stamped image, then of a manifest), and
+// only WAL segments wholly below the pinned LSN are deleted — a commit
+// racing the checkpoint lives in a segment the prune keeps, so it can
+// never be lost, by construction. Options.CheckpointEvery runs this
+// automatically in a per-document background goroutine once the WAL
+// tail *beyond the last checkpoint* exceeds the policy (bytes and/or
+// records; Stats.WALBytes and Stats.WALRecords expose that tail,
+// Stats.Checkpoints the completions);
+// Database.Close drains it. Recovery loads the manifest's image and
+// replays the segments above its LSN, degrading to the previous image
+// over torn artifacts (leftover *.tmp, missing or torn image, corrupt
+// manifest) — never to silent loss: replay insists on gap-free LSNs.
+//
 // # Dictionary compaction
 //
 // The qualified-name pool and attribute-value dictionary are shared,
@@ -82,12 +108,32 @@ import (
 	"strings"
 	"sync"
 
+	"mxq/internal/ckpt"
 	"mxq/internal/core"
 	"mxq/internal/shred"
 	"mxq/internal/tx"
 	"mxq/internal/validate"
 	"mxq/internal/wal"
 )
+
+// CheckpointPolicy decides when a document's background checkpointer
+// runs: after the un-checkpointed WAL tail exceeds Bytes, or Records
+// committed records, whichever triggers first. A zero field disables
+// that trigger; a fully zero policy disables automatic checkpointing.
+type CheckpointPolicy struct {
+	// Bytes triggers a checkpoint once the live WAL segments hold at
+	// least this many bytes.
+	Bytes int64
+	// Records triggers a checkpoint once the live WAL segments hold at
+	// least this many committed records.
+	Records int
+}
+
+func (p CheckpointPolicy) enabled() bool { return p.Bytes > 0 || p.Records > 0 }
+
+func (p CheckpointPolicy) exceeded(bytes int64, records int) bool {
+	return (p.Bytes > 0 && bytes >= p.Bytes) || (p.Records > 0 && records >= p.Records)
+}
 
 // Options configure a Database.
 type Options struct {
@@ -99,11 +145,23 @@ type Options struct {
 	// corresponds to 0.8).
 	FillFactor float64
 	// Dir, when non-empty, enables durability: each document gets a
-	// write-ahead log <name>.wal and checkpoints <name>.ckpt in Dir, and
-	// Open recovers any checkpointed documents found there.
+	// segmented write-ahead log (<name>.wal.NNNNNNNN), LSN-stamped
+	// checkpoint images (<name>-<lsn>.ckpt) and a crash-safe manifest
+	// (<name>.manifest) in Dir, and Open recovers every checkpointed
+	// document found there (manifest first, degrading to older images
+	// over torn artifacts).
 	Dir string
 	// NoSync skips fsync on WAL appends (faster, test-friendly).
 	NoSync bool
+	// WALSegmentBytes bounds each WAL segment file; the log rotates to a
+	// fresh segment beyond it and checkpoints delete only whole covered
+	// segments. Zero means wal.DefaultSegmentBytes.
+	WALSegmentBytes int64
+	// CheckpointEvery, when enabled, starts a per-document background
+	// goroutine that writes an *online* checkpoint whenever the WAL tail
+	// exceeds the policy — commits keep landing at full speed while the
+	// image streams (see Document.Checkpoint). Close drains it.
+	CheckpointEvery CheckpointPolicy
 	// PreserveWhitespace keeps whitespace-only text nodes when shredding.
 	PreserveWhitespace bool
 }
@@ -116,7 +174,9 @@ type Database struct {
 }
 
 // Open creates a database. With Options.Dir set, previously checkpointed
-// documents are recovered (checkpoint + WAL replay).
+// documents are recovered (best checkpoint image + segmented WAL
+// replay; see internal/ckpt for the degradation order over torn
+// artifacts).
 func Open(opts Options) (*Database, error) {
 	db := &Database{docs: make(map[string]*Document), opts: opts}
 	if opts.Dir == "" {
@@ -125,12 +185,7 @@ func Open(opts Options) (*Database, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("mxq: %w", err)
 	}
-	ckpts, err := filepath.Glob(filepath.Join(opts.Dir, "*.ckpt"))
-	if err != nil {
-		return nil, fmt.Errorf("mxq: %w", err)
-	}
-	for _, ck := range ckpts {
-		name := strings.TrimSuffix(filepath.Base(ck), ".ckpt")
+	for _, name := range checkpointedDocs(opts.Dir) {
 		if err := db.recoverDoc(name); err != nil {
 			return nil, fmt.Errorf("mxq: recovering %q: %w", name, err)
 		}
@@ -138,29 +193,83 @@ func Open(opts Options) (*Database, error) {
 	return db, nil
 }
 
+// checkpointedDocs lists document names with recovery artifacts in dir:
+// a manifest, an LSN-stamped image, or a legacy unversioned image.
+func checkpointedDocs(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var names []string
+	add := func(n string) {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, e := range entries {
+		if name, ok := ckpt.DocumentOfArtifact(e.Name()); ok {
+			add(name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (db *Database) walOptions() wal.Options {
+	return wal.Options{NoSync: db.opts.NoSync, SegmentBytes: db.opts.WALSegmentBytes}
+}
+
 func (db *Database) recoverDoc(name string) error {
-	f, err := os.Open(filepath.Join(db.opts.Dir, name+".ckpt"))
+	log, err := wal.Open(filepath.Join(db.opts.Dir, name+".wal"), db.walOptions())
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	log, err := wal.Open(filepath.Join(db.opts.Dir, name+".wal"), wal.Options{NoSync: db.opts.NoSync})
-	if err != nil {
-		return err
-	}
-	store, err := tx.Recover(f, log)
+	store, _, err := ckpt.Recover(db.opts.Dir, name, log)
 	if err != nil {
 		log.Close()
 		return err
 	}
-	db.docs[name] = &Document{
+	doc := &Document{
 		name:  name,
 		db:    db,
 		store: store,
 		log:   log,
 		mgr:   tx.NewManager(store, log),
 	}
+	doc.attachDurability()
+	db.docs[name] = doc
 	return nil
+}
+
+// attachDurability wires the online checkpointer and, when the policy
+// asks for it, the background auto-checkpoint goroutine.
+func (d *Document) attachDurability() {
+	if d.log == nil {
+		return
+	}
+	d.ckpter = ckpt.New(d.db.opts.Dir, d.name, d.log, d.mgr.PinCheckpoint)
+	// The policy measures the WAL tail beyond the last checkpoint; start
+	// from the manifest's LSN so records a previous session already
+	// checkpointed (but whose segment is not yet prunable) don't count.
+	d.lastCkptLSN.Store(ckpt.CurrentLSN(d.db.opts.Dir, d.name))
+	if !d.db.opts.CheckpointEvery.enabled() {
+		return
+	}
+	d.autoC = make(chan struct{}, 1)
+	d.stopC = make(chan struct{})
+	d.wg.Add(1)
+	go d.autoCheckpointLoop()
+}
+
+// stopAuto drains the auto-checkpointer: after it returns no further
+// background checkpoint can start.
+func (d *Document) stopAuto() {
+	if d.stopC != nil {
+		d.stopOnce.Do(func() { close(d.stopC) })
+		d.wg.Wait()
+	}
 }
 
 // LoadXML shreds and stores a document under the given name.
@@ -177,23 +286,25 @@ func (db *Database) LoadXML(name string, r io.Reader) (*Document, error) {
 		return nil, err
 	}
 	doc := &Document{name: name, db: db, store: store}
+
+	// The duplicate-name check must precede opening the WAL: wal.Open
+	// runs a recovery scan that truncates what it takes for a torn tail,
+	// and pointing a second scan at the live document's segments could
+	// destroy records the running log is mid-append on.
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.docs[name]; dup {
+		return nil, fmt.Errorf("mxq: document %q already exists", name)
+	}
 	if db.opts.Dir != "" {
-		log, err := wal.Open(filepath.Join(db.opts.Dir, name+".wal"), wal.Options{NoSync: db.opts.NoSync})
+		log, err := wal.Open(filepath.Join(db.opts.Dir, name+".wal"), db.walOptions())
 		if err != nil {
 			return nil, err
 		}
 		doc.log = log
 	}
 	doc.mgr = tx.NewManager(store, doc.log)
-
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, dup := db.docs[name]; dup {
-		if doc.log != nil {
-			doc.log.Close()
-		}
-		return nil, fmt.Errorf("mxq: document %q already exists", name)
-	}
+	doc.attachDurability()
 	db.docs[name] = doc
 	return doc, nil
 }
@@ -233,19 +344,24 @@ func (db *Database) Drop(name string) error {
 		return fmt.Errorf("mxq: no document %q", name)
 	}
 	if doc.log != nil {
+		doc.stopAuto()
 		doc.log.Close()
-		os.Remove(filepath.Join(db.opts.Dir, name+".wal"))
-		os.Remove(filepath.Join(db.opts.Dir, name+".ckpt"))
+		// Exact-boundary removal: a document whose name is a prefix of
+		// another ("a" vs "a-b") must never take the other's artifacts.
+		wal.RemoveSegments(filepath.Join(db.opts.Dir, name+".wal"))
+		ckpt.RemoveArtifacts(db.opts.Dir, name)
 	}
 	return nil
 }
 
-// Close closes all documents' logs.
+// Close drains every document's auto-checkpointer (a checkpoint in
+// flight finishes; no new one starts) and closes the WAL segments.
 func (db *Database) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	var first error
 	for _, d := range db.docs {
+		d.stopAuto()
 		if d.log != nil {
 			if err := d.log.Close(); err != nil && first == nil {
 				first = err

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"mxq/internal/tx"
 	"mxq/internal/validate"
@@ -314,5 +315,194 @@ func TestPreparedQueries(t *testing.T) {
 	}
 	if _, err := doc.Prepare(`bad[`); err == nil {
 		t.Fatal("bad query prepared")
+	}
+}
+
+// TestAutoCheckpointPolicy: with Options.CheckpointEvery set, the
+// background goroutine must checkpoint once the WAL tail exceeds the
+// policy, prune covered segments, and leave a recoverable manifest;
+// Close must drain it cleanly.
+func TestAutoCheckpointPolicy(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{
+		Dir: dir, NoSync: true, WALSegmentBytes: 512,
+		CheckpointEvery: CheckpointPolicy{Records: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := db.LoadXMLString("lib", libDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := doc.Update(wrapMods(`<xupdate:append select="/lib/shelf"><book>auto</book></xupdate:append>`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for doc.Stats().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("auto-checkpointer never ran; stats = %+v", doc.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	want, _ := doc.XML()
+	db.Close() // drains the auto goroutine
+
+	if _, err := os.Stat(filepath.Join(dir, "lib.manifest")); err != nil {
+		t.Fatalf("no manifest after auto checkpoint: %v", err)
+	}
+	db2, err := Open(Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	doc2, ok := db2.Document("lib")
+	if !ok {
+		t.Fatalf("document not recovered; dir: %v", ls(t, dir))
+	}
+	if got, _ := doc2.XML(); got != want {
+		t.Fatalf("recovered state differs:\nwant %s\ngot  %s", want, got)
+	}
+	if n, _ := doc2.Count(`//book[text()="auto"]`); n != 12 {
+		t.Fatalf("auto-checkpointed commits lost: %d of 12", n)
+	}
+}
+
+// TestCheckpointOnlineKeepsCommitsDurable: commits landing after an
+// explicit checkpoint stay in the (pruned) WAL and survive reopen —
+// the root-API view of the lost-commit regression.
+func TestCheckpointOnlineKeepsCommitsDurable(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir, NoSync: true, WALSegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := db.LoadXMLString("lib", libDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := doc.Update(wrapMods(`<xupdate:append select="/lib/shelf"><book>pre</book></xupdate:append>`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := doc.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Racing-commit shape: land right after the checkpoint published.
+	if _, err := doc.Update(wrapMods(`<xupdate:append select="/lib/shelf"><book>racing</book></xupdate:append>`)); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := doc.XML()
+	db.Close()
+
+	db2, err := Open(Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	doc2, _ := db2.Document("lib")
+	if got, _ := doc2.XML(); got != want {
+		t.Fatalf("post-checkpoint commit lost:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+// TestDropSparesDashSiblingDocuments: dropping "a" must not delete the
+// durability artifacts of "a-b" (whose name "a" prefixes).
+func TestDropSparesDashSiblingDocuments(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docA, err := db.LoadXMLString("a", libDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docAB, err := db.LoadXMLString("a-b", libDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*Document{docA, docAB} {
+		if _, err := d.Update(wrapMods(`<xupdate:append select="/lib/shelf"><book>sib</book></xupdate:append>`)); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, _ := docAB.XML()
+	if err := db.Drop("a"); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Open(Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, ok := db2.Document("a"); ok {
+		t.Fatal(`dropped document "a" came back`)
+	}
+	doc2, ok := db2.Document("a-b")
+	if !ok {
+		t.Fatalf(`dropping "a" destroyed "a-b"; dir: %v`, ls(t, dir))
+	}
+	if got, _ := doc2.XML(); got != want {
+		t.Fatalf(`"a-b" damaged by Drop("a"):\nwant %s\ngot  %s`, want, got)
+	}
+}
+
+// TestAutoCheckpointMeasuresBeyondLastCheckpoint: covered records parked
+// in the never-pruned active segment must not re-trigger checkpoints —
+// the policy measures the tail beyond the last checkpoint's LSN.
+func TestAutoCheckpointMeasuresBeyondLastCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	// Huge segments: nothing ever rotates, so every covered record stays
+	// in the active segment and TailStats (total) keeps exceeding the
+	// policy forever — only the beyond-checkpoint measure quiesces.
+	db, err := Open(Options{
+		Dir: dir, NoSync: true,
+		CheckpointEvery: CheckpointPolicy{Records: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := db.LoadXMLString("lib", libDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := doc.Update(wrapMods(`<xupdate:append select="/lib/shelf"><book>q</book></xupdate:append>`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for doc.Stats().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("auto-checkpointer never ran")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Two more commits: beyond-checkpoint tail is 1-2 records, far under
+	// the policy — no new checkpoint may trigger even though the active
+	// segment still physically holds all 7 records.
+	for i := 0; i < 2; i++ {
+		if _, err := doc.Update(wrapMods(`<xupdate:append select="/lib/shelf"><book>r</book></xupdate:append>`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settled := doc.Stats().Checkpoints
+	time.Sleep(150 * time.Millisecond)
+	st := doc.Stats()
+	if st.Checkpoints != settled {
+		t.Fatalf("checkpoints kept firing on covered records: %d -> %d", settled, st.Checkpoints)
+	}
+	if st.WALRecords >= 4 {
+		t.Fatalf("beyond-checkpoint tail = %d records, policy would re-trigger", st.WALRecords)
 	}
 }
