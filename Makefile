@@ -51,11 +51,14 @@ lint:
 		echo "staticcheck not installed; skipped (CI runs it)"; \
 	fi
 
-# Native fuzz smoke over the two text-input surfaces (the XPath compiler
-# and the XUpdate parser). Go allows one -fuzz target per invocation;
+# Native fuzz smoke over the text-input surfaces (the XPath compiler and
+# the XUpdate parser) plus the evaluation-side differential fuzzer
+# (compiled sequence-at-a-time pipeline vs node-at-a-time interpreter vs
+# the naive dense oracle). Go allows one -fuzz target per invocation;
 # -fuzzminimizetime=1x keeps short runs fuzzing instead of minimizing.
 # Raise FUZZTIME for a real session.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzXPathParse -fuzztime $(FUZZTIME) -fuzzminimizetime=1x ./internal/xpath
+	$(GO) test -run xxx -fuzz FuzzXPathEval -fuzztime $(FUZZTIME) -fuzzminimizetime=1x ./internal/xpath
 	$(GO) test -run xxx -fuzz FuzzXUpdateParse -fuzztime $(FUZZTIME) -fuzzminimizetime=1x ./internal/xupdate

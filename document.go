@@ -160,6 +160,15 @@ func (p *Prepared) Run(vars map[string]string) (Result, error) {
 // Source returns the query text.
 func (p *Prepared) Source() string { return p.expr.Source() }
 
+// Explain renders the compiled evaluation plan: one line per location
+// step showing whether it runs as a sequence-level staircase scan
+// ("seq", with context pruning and no per-step sort), a scan with a
+// fused early-exit positional counter ("seq, early-exit pos=n"), or the
+// node-at-a-time fallback ("per-node", kept for predicate shapes whose
+// semantics need per-context numbering, like last() and positions on
+// reverse axes). Collapsed descendant shorthands are marked "fused //".
+func (p *Prepared) Explain() string { return p.expr.Explain() }
+
 // QueryValue runs a query and returns its single string value.
 func (d *Document) QueryValue(q string) (string, error) {
 	res, err := d.Query(q)

@@ -48,6 +48,18 @@ var concurrentQueries = []string{
 	`/site/open_auctions/open_auction/initial/text()`,
 	`count(/site//text())`,
 	`string(/site/catgraph)`,
+	// Multi-step descendant paths over large overlapping context sets
+	// (the sequence-at-a-time pipeline's pruned staircase scans) and
+	// positional predicates (fused early-exit counters and the per-node
+	// last() fallback), exercised while commits land concurrently.
+	`/site//open_auction//increase/text()`,
+	`//description//keyword/text()`,
+	`//listitem//text()`,
+	`/site/regions//item[1]/name/text()`,
+	`//person[2]/name/text()`,
+	`//open_auction/bidder[last()]/increase/text()`,
+	`count(//parlist//listitem)`,
+	`//item[description//keyword]/name/text()`,
 }
 
 // queryFingerprint renders a query result into a comparable form that

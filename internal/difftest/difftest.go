@@ -31,7 +31,30 @@ import (
 	"mxq/internal/shred"
 	"mxq/internal/tx"
 	"mxq/internal/xenc"
+	"mxq/internal/xpath"
 )
+
+// diffQueries cross-check the query engine over both stores at every
+// agreement point, on top of the serialized-document comparison. The
+// shapes target the sequence-at-a-time pipeline: multi-step descendant
+// paths whose context sets overlap (pruned staircase scans), positional
+// predicates (fused early-exit counters), boolean predicates over merged
+// sequences, and reverse-axis positions (the per-node fallback). Element
+// and attribute names follow what randomDoc/randFrag generate.
+var diffQueries = []*xpath.Expr{
+	xpath.MustParse(`count(//node())`),
+	xpath.MustParse(`//e0//leaf/text()`),
+	xpath.MustParse(`//e1//g1/text()`),
+	xpath.MustParse(`//f0//text()`),
+	xpath.MustParse(`/root//leaf[1]/text()`),
+	xpath.MustParse(`//leaf[2]`),
+	xpath.MustParse(`//*[@i]//leaf`),
+	xpath.MustParse(`//e0[.//leaf]/..`),
+	xpath.MustParse(`//e1/ancestor::*[last()]`),
+	xpath.MustParse(`//f1/preceding-sibling::node()[1]`),
+	xpath.MustParse(`count(//*[@a0] | //*[@a1])`),
+	xpath.MustParse(`//e2[leaf]/leaf[last()]/text()`),
+}
 
 // Config describes one differential workload.
 type Config struct {
@@ -286,6 +309,18 @@ func checkAgree(t *testing.T, cfg Config, step int, paged *core.Store, oracle *n
 	if paged.LiveNodes() != oracle.LiveNodes() {
 		t.Fatalf("seed %d step %d: live-node counts diverged: paged %d, oracle %d",
 			cfg.Seed, step, paged.LiveNodes(), oracle.LiveNodes())
+	}
+	for _, e := range diffQueries {
+		got, err1 := queryFingerprint(paged, e)
+		want, err2 := queryFingerprint(oracle, e)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed %d step %d: query %q: paged err %v, oracle err %v",
+				cfg.Seed, step, e.Source(), err1, err2)
+		}
+		if got != want {
+			t.Fatalf("seed %d step %d: query %q diverged after %v\npaged:  %.300s\noracle: %.300s",
+				cfg.Seed, step, e.Source(), tail(history), got, want)
+		}
 	}
 }
 

@@ -63,7 +63,7 @@ func (s *Shell) Execute(line string) (quit bool) {
 	case "quit", "exit":
 		return true
 	case "help":
-		fmt.Fprintln(s.out, "commands: load <name> <file> | docs | q <name> <xpath> | u <name> <file.xu> | xml <name> | stats <name> | checkpoint <name> | quit")
+		fmt.Fprintln(s.out, "commands: load <name> <file> | docs | q <name> <xpath> | explain <name> <xpath> | u <name> <file.xu> | xml <name> | stats <name> | checkpoint <name> | quit")
 	case "docs":
 		for _, n := range s.db.Documents() {
 			fmt.Fprintln(s.out, " ", n)
@@ -94,6 +94,18 @@ func (s *Shell) Execute(line string) (quit bool) {
 			}
 		}
 		fmt.Fprintf(s.out, "(%d items)\n", len(res))
+	case "explain":
+		// Render the compiled sequence-at-a-time plan without running it.
+		doc := s.doc(arg(1))
+		if doc == nil {
+			return false
+		}
+		prep, err := doc.Prepare(rest(2))
+		if err != nil {
+			s.errorf("%v", err)
+			return false
+		}
+		fmt.Fprint(s.out, prep.Explain())
 	case "u":
 		doc := s.doc(arg(1))
 		if doc == nil {

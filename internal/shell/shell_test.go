@@ -78,6 +78,32 @@ func TestUpdateAndXML(t *testing.T) {
 	}
 }
 
+func TestExplain(t *testing.T) {
+	sh, out, _ := newShell(t)
+	dir := t.TempDir()
+	doc := writeFile(t, dir, "z.xml",
+		`<zoo><cage><animal>tiger</animal></cage><cage><animal>crane</animal></cage></zoo>`)
+	sh.Execute("load zoo " + doc)
+	out.Reset()
+	sh.Execute("explain zoo //cage//animal")
+	got := out.String()
+	for _, want := range []string{"descendant::cage", "descendant::animal", "seq (fused //)"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, got)
+		}
+	}
+	out.Reset()
+	sh.Execute("explain zoo //animal[last()]")
+	if !strings.Contains(out.String(), "per-node") {
+		t.Fatalf("explain output missing per-node fallback: %q", out.String())
+	}
+	out.Reset()
+	sh.Execute("explain zoo //[bad")
+	if !strings.Contains(out.String(), "error:") {
+		t.Fatalf("explain parse-error output: %q", out.String())
+	}
+}
+
 func TestErrorsAndUnknown(t *testing.T) {
 	sh, out, _ := newShell(t)
 	sh.Execute("q ghost //x")

@@ -14,8 +14,19 @@
 //   - free-space skipping: unused tuples are hopped over in O(1) per run
 //     using the free-run lengths in their size column.
 //
-// Context sequences are ascending pre ranks without duplicates (document
-// order); results are returned the same way.
+// The operators are *sequence-at-a-time*: every axis takes the whole
+// context sequence and returns the whole result sequence, which is what
+// lets the pruning fire at all — a caller that loops over single-node
+// contexts re-scans every overlapping region once per context node and
+// pays an O(n log n) merge per step on top. The contract on both sides
+// is the same: context sequences are ascending pre ranks without
+// duplicates (document order), and results are returned the same way,
+// already merged — callers never sort or dedupe behind these operators.
+// EvalAxis dispatches a sequence over any of the eleven tree axes; Scan
+// enumerates a forward axis from a single context node with early exit
+// (the hook positional predicates fuse into). The twelfth XPath axis
+// (attribute) reads the side table, not the pre/size/level plane, and
+// lives in the xpath layer.
 package staircase
 
 import (
@@ -23,6 +34,115 @@ import (
 
 	"mxq/internal/xenc"
 )
+
+// Axis identifies one of the eleven tree axes EvalAxis dispatches over.
+type Axis int
+
+// The tree axes. (attribute is not a tree axis: it reads the attribute
+// side table and is handled by the caller.)
+const (
+	AxisSelf Axis = iota
+	AxisChild
+	AxisDescendant
+	AxisDescendantOrSelf
+	AxisParent
+	AxisAncestor
+	AxisAncestorOrSelf
+	AxisFollowing
+	AxisFollowingSibling
+	AxisPreceding
+	AxisPrecedingSibling
+)
+
+// EvalAxis applies one axis step to the whole context sequence: ctx is
+// ascending pre ranks without duplicates, and the result is the same —
+// document order, duplicate-free, with the paper's context pruning
+// applied wherever the axis admits it.
+func EvalAxis(v xenc.DocView, ctx []xenc.Pre, ax Axis, t Test) []xenc.Pre {
+	switch ax {
+	case AxisSelf:
+		return Self(v, ctx, t)
+	case AxisChild:
+		return Child(v, ctx, t)
+	case AxisDescendant:
+		return Descendant(v, ctx, t)
+	case AxisDescendantOrSelf:
+		return DescendantOrSelf(v, ctx, t)
+	case AxisParent:
+		return Parent(v, ctx, t)
+	case AxisAncestor:
+		return Ancestor(v, ctx, t)
+	case AxisAncestorOrSelf:
+		return AncestorOrSelf(v, ctx, t)
+	case AxisFollowing:
+		return Following(v, ctx, t)
+	case AxisFollowingSibling:
+		return FollowingSibling(v, ctx, t)
+	case AxisPreceding:
+		return Preceding(v, ctx, t)
+	case AxisPrecedingSibling:
+		return PrecedingSibling(v, ctx, t)
+	}
+	return nil
+}
+
+// Scan enumerates a *forward* axis from a single context node in
+// document order, calling fn for every node matching the test until fn
+// returns false. It exists for fused positional predicates ([1], [n]):
+// the caller counts matches and stops the scan at the n-th, so a
+// first-child probe over a huge subtree inspects one tuple instead of
+// the whole region. Supported axes: self, child, descendant,
+// descendant-or-self, following-sibling, following; reverse axes
+// enumerate against document order and are not scannable this way.
+func Scan(v xenc.DocView, c xenc.Pre, ax Axis, t Test, fn func(xenc.Pre) bool) {
+	n := v.Len()
+	switch ax {
+	case AxisSelf:
+		if t.Matches(v, c) {
+			fn(c)
+		}
+	case AxisChild:
+		lvl := v.Level(c)
+		for p := xenc.SkipFree(v, c+1); p < n && v.Level(p) > lvl; p = xenc.SkipFree(v, p+v.Size(p)+1) {
+			if v.Level(p) == lvl+1 && t.Matches(v, p) && !fn(p) {
+				return
+			}
+		}
+	case AxisDescendant, AxisDescendantOrSelf:
+		if ax == AxisDescendantOrSelf && t.Matches(v, c) && !fn(c) {
+			return
+		}
+		remaining := v.Size(c)
+		lvl := v.Level(c)
+		p := c
+		for remaining > 0 {
+			p = xenc.SkipFree(v, p+1)
+			if v.Level(p) <= lvl {
+				break
+			}
+			if t.Matches(v, p) && !fn(p) {
+				return
+			}
+			remaining--
+		}
+	case AxisFollowingSibling:
+		lvl := v.Level(c)
+		if lvl == 0 {
+			return
+		}
+		for p := xenc.SkipFree(v, c+v.Size(c)+1); p < n && v.Level(p) >= lvl; p = xenc.SkipFree(v, p+v.Size(p)+1) {
+			if v.Level(p) == lvl && t.Matches(v, p) && !fn(p) {
+				return
+			}
+		}
+	case AxisFollowing:
+		for p := xenc.SkipFree(v, regionEnd(v, c)+1); p < n; p = xenc.SkipFree(v, p+1) {
+			if t.Matches(v, p) && !fn(p) {
+				return
+			}
+		}
+	}
+}
 
 // Test is a node test: an optional kind filter and an optional name
 // filter (interned qname id).
@@ -166,17 +286,34 @@ func Child(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
 	return out
 }
 
-// Parent returns the distinct parents of the context sequence.
+// Parent returns the distinct parents of the context sequence. Runs of
+// sibling context nodes share a parent, so consecutive repeats are
+// collapsed during the walk; the merge sort only fires when parents of
+// later context nodes actually land out of order (cousin sequences).
 func Parent(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
 	var out []xenc.Pre
+	lastPar := xenc.NoPre
+	sorted := true
+	last := xenc.Pre(-1)
 	for _, c := range ctx {
 		p := parentOf(v, c)
+		if p == lastPar {
+			continue // sibling run: same parent as the previous context node
+		}
+		lastPar = p
 		if p != xenc.NoPre && t.Matches(v, p) {
+			if p <= last {
+				sorted = false
+			}
+			last = p
 			out = append(out, p)
 		}
 	}
-	sortPres(out)
-	return dedupe(out)
+	if !sorted {
+		sortPres(out)
+		out = dedupe(out)
+	}
+	return out
 }
 
 // Ancestor returns the distinct ancestors of the context sequence.
@@ -206,30 +343,51 @@ func AncestorOrSelf(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
 	return dedupe(out)
 }
 
-// FollowingSibling returns the matching following siblings.
+// FollowingSibling returns the matching following siblings. Sibling-run
+// pruning: once one context node's sibling run is scanned, every later
+// context node inside that run at the same level is itself a following
+// sibling of the first — its results are a suffix of what was already
+// emitted — so it is skipped without touching a tuple.
 func FollowingSibling(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
 	var out []xenc.Pre
 	n := v.Len()
+	sorted := true
+	last := xenc.Pre(-1)
+	runHigh := xenc.Pre(-1) // last pre examined by the previous sibling scan
+	runLvl := xenc.Level(-2)
 	for _, c := range ctx {
 		lvl := v.Level(c)
 		if lvl == 0 {
 			continue // the root has no siblings
 		}
+		if c <= runHigh && lvl == runLvl {
+			continue // pruned: c is a sibling inside the run scanned before
+		}
 		p := xenc.SkipFree(v, c+v.Size(c)+1)
 		for p < n && v.Level(p) >= lvl {
 			if v.Level(p) == lvl && t.Matches(v, p) {
+				if p <= last {
+					sorted = false
+				}
+				last = p
 				out = append(out, p)
 			}
 			p = xenc.SkipFree(v, p+v.Size(p)+1)
 		}
+		runHigh, runLvl = p-1, lvl
 	}
-	sortPres(out)
-	return dedupe(out)
+	if !sorted {
+		sortPres(out)
+		out = dedupe(out)
+	}
+	return out
 }
 
 // PrecedingSibling returns the matching preceding siblings.
 func PrecedingSibling(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
 	var out []xenc.Pre
+	sorted := true
+	last := xenc.Pre(-1)
 	for _, c := range ctx {
 		par := parentOf(v, c)
 		if par == xenc.NoPre {
@@ -239,13 +397,20 @@ func PrecedingSibling(v xenc.DocView, ctx []xenc.Pre, t Test) []xenc.Pre {
 		p := xenc.SkipFree(v, par+1)
 		for p < c {
 			if v.Level(p) == lvl && t.Matches(v, p) {
+				if p <= last {
+					sorted = false
+				}
+				last = p
 				out = append(out, p)
 			}
 			p = xenc.SkipFree(v, p+v.Size(p)+1)
 		}
 	}
-	sortPres(out)
-	return dedupe(out)
+	if !sorted {
+		sortPres(out)
+		out = dedupe(out)
+	}
+	return out
 }
 
 // Following returns everything after the context regions. The staircase

@@ -126,6 +126,26 @@ var axisFuncs = map[string]func(xenc.DocView, []xenc.Pre, Test) []xenc.Pre{
 	"preceding":          Preceding,
 }
 
+var axisIDs = map[string]Axis{
+	"self":               AxisSelf,
+	"child":              AxisChild,
+	"parent":             AxisParent,
+	"descendant":         AxisDescendant,
+	"descendant-or-self": AxisDescendantOrSelf,
+	"ancestor":           AxisAncestor,
+	"ancestor-or-self":   AxisAncestorOrSelf,
+	"following-sibling":  AxisFollowingSibling,
+	"preceding-sibling":  AxisPrecedingSibling,
+	"following":          AxisFollowing,
+	"preceding":          AxisPreceding,
+}
+
+// forwardScanAxes are the axes Scan supports.
+var forwardScanAxes = []string{
+	"self", "child", "descendant", "descendant-or-self",
+	"following-sibling", "following",
+}
+
 func checkAllAxes(t *testing.T, v xenc.DocView, label string) {
 	t.Helper()
 	o := newOracle(v)
@@ -157,6 +177,37 @@ func checkAllAxes(t *testing.T, v xenc.DocView, label string) {
 			}
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("%s: %s(%v) = %v, want %v", label, name, ctx, got, want)
+			}
+			// The sequence-level dispatcher must agree with the direct
+			// operator call.
+			if viaEval := EvalAxis(v, ctx, axisIDs[name], AnyNode()); !reflect.DeepEqual(viaEval, got) {
+				t.Fatalf("%s: EvalAxis(%s, %v) = %v, want %v", label, name, ctx, viaEval, got)
+			}
+		}
+	}
+	// Scan must enumerate forward axes in document order and honor the
+	// early-exit: stopping after k matches yields the k-prefix.
+	for _, name := range forwardScanAxes {
+		ax := axisIDs[name]
+		for _, p := range o.pres {
+			full := o.axis(name, []xenc.Pre{p})
+			var scanned []xenc.Pre
+			Scan(v, p, ax, AnyNode(), func(q xenc.Pre) bool {
+				scanned = append(scanned, q)
+				return true
+			})
+			if !reflect.DeepEqual(scanned, full) && (len(scanned) != 0 || len(full) != 0) {
+				t.Fatalf("%s: Scan(%s, %d) = %v, want %v", label, name, p, scanned, full)
+			}
+			for k := 1; k <= 2 && k <= len(full); k++ {
+				var prefix []xenc.Pre
+				Scan(v, p, ax, AnyNode(), func(q xenc.Pre) bool {
+					prefix = append(prefix, q)
+					return len(prefix) < k
+				})
+				if !reflect.DeepEqual(prefix, full[:k]) {
+					t.Fatalf("%s: Scan(%s, %d) early-exit %d = %v, want %v", label, name, p, k, prefix, full[:k])
+				}
 			}
 		}
 	}

@@ -115,6 +115,11 @@ type pathExpr struct {
 	absolute bool // starts at the document node
 	start    expr // nil for pure location paths
 	steps    []step
+
+	// plan is the compiled sequence-at-a-time pipeline for the steps,
+	// attached by compilePlans after parsing (see compile.go). It is
+	// immutable after Parse and shared by concurrent evaluations.
+	plan *pathPlan
 }
 
 func (p *pathExpr) String() string {

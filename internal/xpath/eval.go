@@ -190,6 +190,9 @@ func (p *pathExpr) eval(c *context) (Value, error) {
 	default:
 		ctx = NodeSet{c.node}
 	}
+	if p.plan != nil && planEnabled.Load() {
+		return p.plan.run(c, ctx)
+	}
 	var err error
 	for i := range p.steps {
 		ctx, err = applyStep(c, ctx, &p.steps[i])
@@ -203,17 +206,23 @@ func (p *pathExpr) eval(c *context) (Value, error) {
 	return ctx, nil
 }
 
-// applyStep evaluates one location step over the whole context sequence.
-// Predicates are applied per context node over the axis-ordered candidate
-// list, which is what gives position() its XPath semantics; the per-node
-// results are then merged into document order.
+// applyStep evaluates one location step node-at-a-time. Predicates are
+// applied per context node over the axis-ordered candidate list, which
+// is what gives position() its XPath semantics; the per-node results are
+// then merged into document order. The compiled pipeline (plan.go) only
+// routes steps here whose predicate shapes need per-context numbering
+// (position() on reverse axes, last(), untypable predicates), plus
+// document-node and attribute-node contexts.
 func applyStep(c *context, ctx NodeSet, st *step) (NodeSet, error) {
 	var out NodeSet
-	needSort := len(ctx) > 1
+	// Reversal exists only so predicates number against axis order; the
+	// candidates come back from the staircase in document order, so a
+	// predicate-free step needs neither the reversal nor the restoring
+	// sort.
+	reversed := st.axis.Reverse() && len(st.preds) > 0
 	for _, node := range ctx {
 		cands := axisCandidates(c.view, node, st)
-		// Predicates see the axis order (reverse axes number backwards).
-		if st.axis.Reverse() {
+		if reversed {
 			for i, j := 0, len(cands)-1; i < j; i, j = i+1, j-1 {
 				cands[i], cands[j] = cands[j], cands[i]
 			}
@@ -227,7 +236,7 @@ func applyStep(c *context, ctx NodeSet, st *step) (NodeSet, error) {
 		}
 		out = append(out, cands...)
 	}
-	if needSort || st.axis.Reverse() {
+	if len(ctx) > 1 || reversed {
 		out = sortDedupe(out)
 	}
 	return out, nil
@@ -333,34 +342,10 @@ func axisCandidates(v xenc.DocView, n Node, st *step) NodeSet {
 		}
 	}
 
-	// Regular tree axes via staircase join.
+	// Regular tree axes via staircase join (the same dispatcher the
+	// sequence pipeline uses, on a singleton context).
 	test := treeTest(v, st)
-	ctx := []xenc.Pre{n.Pre}
-	var pres []xenc.Pre
-	switch st.axis {
-	case AxisSelf:
-		pres = staircase.Self(v, ctx, test)
-	case AxisChild:
-		pres = staircase.Child(v, ctx, test)
-	case AxisDescendant:
-		pres = staircase.Descendant(v, ctx, test)
-	case AxisDescendantOrSelf:
-		pres = staircase.DescendantOrSelf(v, ctx, test)
-	case AxisParent:
-		pres = staircase.Parent(v, ctx, test)
-	case AxisAncestor:
-		pres = staircase.Ancestor(v, ctx, test)
-	case AxisAncestorOrSelf:
-		pres = staircase.AncestorOrSelf(v, ctx, test)
-	case AxisFollowing:
-		pres = staircase.Following(v, ctx, test)
-	case AxisFollowingSibling:
-		pres = staircase.FollowingSibling(v, ctx, test)
-	case AxisPreceding:
-		pres = staircase.Preceding(v, ctx, test)
-	case AxisPrecedingSibling:
-		pres = staircase.PrecedingSibling(v, ctx, test)
-	}
+	pres := staircase.EvalAxis(v, []xenc.Pre{n.Pre}, seqAxis(st.axis), test)
 	out := make(NodeSet, 0, len(pres))
 	for _, p := range pres {
 		out = append(out, ElemNode(p))

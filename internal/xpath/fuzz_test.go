@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"mxq/internal/core"
+	"mxq/internal/naive"
 	"mxq/internal/rostore"
 	"mxq/internal/shred"
 	"mxq/internal/xenc"
@@ -76,6 +78,112 @@ func FuzzXPathParse(f *testing.F) {
 		vars := map[string]Value{"who": String("w"), "x": Number(1)}
 		_, _ = expr.EvalVars(doc, vars)
 	})
+}
+
+// FuzzXPathEval is the evaluation-side differential fuzzer: every query
+// that parses is evaluated three ways — through the compiled
+// sequence-at-a-time pipeline on the paged store (free tuples
+// interleaved), through the node-at-a-time interpreter on the same
+// store, and through the interpreter on the naive dense oracle — and all
+// three must agree on error-ness and, modulo physical pre ranks, on the
+// result. This crosses both dimensions at once: plan vs. interpreter
+// (the compiler's predicate classification and // fusion) and paged vs.
+// dense storage (free-run skipping in the staircase operators).
+func FuzzXPathEval(f *testing.F) {
+	seeds := []string{
+		// Shapes the compiler rewrites: descendant fusion, sequence
+		// predicates, fused positional counters.
+		`//kw`, `//item//kw`, `//listitem//kw/text()`, `/site//name`,
+		`//person[income]/name/text()`, `//item[desc//kw]/@id`,
+		`//bidder[1]/increase/text()`, `//person[position() = 2]`,
+		`//watch[2]`, `//item[1]//kw`, `(//kw)[2]`, `//desc/kw[last()]`,
+		// Shapes that stay per-node: reverse-axis numbering.
+		`//kw/ancestor::*[1]`, `//kw/ancestor::node()[last()]`,
+		`//bidder/preceding-sibling::*[1]`, `//f/preceding::*[2]`,
+		// Attribute axis, unions, functions, operators, variables.
+		`//@id`, `//person/@id[1]`, `//name | //kw`, `count(//kw)`,
+		`sum(//income)`, `//person[@id = $who]/name`,
+		`//person[name = "cy"]`, `string(//item[1])`, `//node()`,
+		`//text()`, `//comment()`, `//processing-instruction()`,
+		`//person/descendant-or-self::*`, `//item/following::kw`,
+		`//watch/..`, `.//kw`, `1 + count(//item//kw) * 2`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	tr, err := shred.Parse(strings.NewReader(fuzzEvalDoc), shred.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	oracle, err := naive.Build(tr)
+	if err != nil {
+		f.Fatal(err)
+	}
+	paged, err := core.Build(tr, core.Options{PageSize: 8, FillFactor: 0.7})
+	if err != nil {
+		f.Fatal(err)
+	}
+	vars := map[string]Value{"who": String("p1"), "x": Number(2)}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 2048 {
+			t.Skip()
+		}
+		expr, err := Parse(src)
+		if err != nil {
+			return
+		}
+		planned, errPlan := fuzzFingerprint(paged, expr, vars)
+		prev := SetPlanEnabled(false)
+		perNode, errPer := fuzzFingerprint(paged, expr, vars)
+		dense, errNaive := fuzzFingerprint(oracle, expr, vars)
+		SetPlanEnabled(prev)
+		if (errPlan == nil) != (errPer == nil) || (errPlan == nil) != (errNaive == nil) {
+			t.Fatalf("%q: error disagreement: plan=%v per-node=%v naive=%v",
+				src, errPlan, errPer, errNaive)
+		}
+		if errPlan != nil {
+			return
+		}
+		if planned != perNode {
+			t.Fatalf("%q: plan diverged from per-node\nplan:     %s\nper-node: %s",
+				src, planned, perNode)
+		}
+		if planned != dense {
+			t.Fatalf("%q: paged diverged from naive oracle\npaged: %s\nnaive: %s",
+				src, planned, dense)
+		}
+	})
+}
+
+// fuzzEvalDoc nests elements deeply (overlapping descendant regions, the
+// pruning's home turf) and carries every node kind.
+const fuzzEvalDoc = `<site><people>` +
+	`<person id="p0"><name>ada</name><income>42</income>` +
+	`<watches><watch/><watch/><watch/></watches></person>` +
+	`<person id="p1"><name>bob gold</name></person>` +
+	`<person id="p2"><name>cy</name><income>7</income></person></people>` +
+	`<regions><europe><item id="i0"><name>clock</name>` +
+	`<desc><parlist><listitem><parlist><listitem><kw>deep</kw></listitem>` +
+	`</parlist><kw>mid</kw></listitem></parlist><kw>top</kw></desc></item>` +
+	`<item id="i1"><name>vase</name><desc><kw>only</kw></desc></item></europe>` +
+	`<asia><item id="i2"><name>gong</name></item></asia></regions>` +
+	`<open_auctions><open_auction><bidder><increase>10</increase></bidder>` +
+	`<bidder><increase>25</increase></bidder></open_auction>` +
+	`<open_auction><bidder><increase>5</increase></bidder></open_auction>` +
+	`</open_auctions><e/><f/><!--c--><?tgt data?></site>`
+
+// fuzzFingerprint renders a result in a form independent of physical pre
+// ranks, so the paged store (with free tuples) and the dense oracle
+// compare equal when they agree logically (the rendering is resultKey
+// from plan_test.go).
+func fuzzFingerprint(v xenc.DocView, e *Expr, vars map[string]Value) (string, error) {
+	val, err := e.EvalVars(v, vars)
+	if err != nil {
+		return "", err
+	}
+	return resultKey(v, val), nil
 }
 
 func buildFuzzDoc(f *testing.F) xenc.DocView {

@@ -32,6 +32,10 @@ func Parse(src string) (*Expr, error) {
 	if p.peek().kind != tokEOF {
 		return nil, fmt.Errorf("xpath: trailing input at %v (in %q)", p.peek(), src)
 	}
+	// Lower every location path into its sequence-at-a-time plan (see
+	// compile.go); the compiled form is immutable and safe to share, so
+	// Prepared queries pay for compilation exactly once.
+	compilePlans(root)
 	return &Expr{root: root, src: src}, nil
 }
 

@@ -1,0 +1,290 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mxq/internal/core"
+	"mxq/internal/rostore"
+	"mxq/internal/shred"
+	"mxq/internal/xenc"
+)
+
+// planDoc nests elements deeply enough that descendant steps from
+// multi-node contexts overlap (the shape the pruning exists for), and
+// carries attributes, text, comments and a PI so every node test fires.
+const planDoc = `<site>
+  <people>
+    <person id="p0"><name>ada</name><income>42</income>
+      <watches><watch/><watch/><watch/></watches></person>
+    <person id="p1"><name>bob gold</name></person>
+    <person id="p2"><name>cy</name><income>7</income></person>
+  </people>
+  <regions>
+    <europe>
+      <item id="i0"><name>clock</name>
+        <desc><parlist><listitem><parlist><listitem><kw>deep</kw></listitem></parlist>
+          <kw>mid</kw></listitem></parlist><kw>top</kw></desc></item>
+      <item id="i1"><name>vase</name><desc><kw>only</kw></desc></item>
+    </europe>
+    <asia><item id="i2"><name>gong</name></item></asia>
+  </regions>
+  <open_auctions>
+    <open_auction><bidder><increase>10</increase></bidder>
+      <bidder><increase>25</increase></bidder></open_auction>
+    <open_auction><bidder><increase>5</increase></bidder></open_auction>
+  </open_auctions>
+  <!--note-->
+  <?pi data?>
+</site>`
+
+// planQueries covers every execution strategy the compiler emits: pure
+// sequence steps, fused //, fused positional counters, sequence
+// predicates, per-node fallbacks (last(), reverse-axis positions), the
+// attribute axis, unions, filters and variables.
+var planQueries = []string{
+	`//kw`,
+	`//kw/text()`,
+	`//item//kw`,
+	`//listitem//kw`,
+	`//parlist//parlist//kw`,
+	`/site/regions//item/name/text()`,
+	`/site//name`,
+	`//node()`,
+	`//text()`,
+	`//comment()`,
+	`//processing-instruction()`,
+	`//person[1]`,
+	`//person[2]/name/text()`,
+	`//bidder[1]/increase/text()`,
+	`//bidder[position() = 2]/increase/text()`,
+	`//item[1]`,
+	`//watch[3]`,
+	`//watch[4]`,
+	`//person[last()]/name/text()`,
+	`//person[income]/name/text()`,
+	`//person[income > 10]/@id`,
+	`//item[desc//kw]/name/text()`,
+	`//item[not(desc)]`,
+	`//person[@id="p1"]/name/text()`,
+	`//@id`,
+	`//person/@id`,
+	`//item/@id[1]`,
+	`//person/attribute::node()`,
+	`//kw/ancestor::item/name/text()`,
+	`//kw/ancestor::*[1]`,
+	`//kw/ancestor::*[last()]`,
+	`//kw/ancestor-or-self::node()`,
+	`//watch/parent::watches`,
+	`//watch/..`,
+	`//item/following::kw`,
+	`//item/preceding::name/text()`,
+	`//bidder/following-sibling::bidder`,
+	`//bidder/preceding-sibling::*[1]`,
+	`//person/descendant-or-self::*`,
+	`//person/descendant::node()`,
+	`//name | //kw`,
+	`(//kw)[2]/text()`,
+	`count(//kw)`,
+	`count(//item//kw) + count(//person)`,
+	`sum(//income)`,
+	`//person[watches/watch[2]]/@id`,
+	`//person[name = "cy"]/income/text()`,
+	`/site/regions/europe/item[2]/desc/kw/text()`,
+	`//desc/kw[last()]`,
+	`string(//person[1]/name)`,
+	`//person[position() = 2 or @id = "p0"]`,
+	`.//kw`,
+	`//europe//item[1]/name/text()`,
+}
+
+// buildPlanStores shreds planDoc into the read-only store and a paged
+// store with interleaved free tuples (PageSize 8, fill 0.7), so the
+// sequence operators also cross free runs.
+func buildPlanStores(tb testing.TB) (xenc.DocView, xenc.DocView) {
+	tb.Helper()
+	tr, err := shred.Parse(strings.NewReader(planDoc), shred.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ro, err := rostore.Build(tr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	up, err := core.Build(tr, core.Options{PageSize: 8, FillFactor: 0.7})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ro, up
+}
+
+// resultKey renders a value into a store-independent comparable form.
+func resultKey(v xenc.DocView, val Value) string {
+	switch x := val.(type) {
+	case NodeSet:
+		var b strings.Builder
+		fmt.Fprintf(&b, "nodes:%d\n", len(x))
+		for _, n := range x {
+			kind := "document"
+			if n.Attr != NoAttr {
+				kind = "attribute"
+			} else if n.Pre != DocNodePre {
+				kind = v.Kind(n.Pre).String()
+			}
+			fmt.Fprintf(&b, "%s|%s|%s\n", kind, nodeName(v, n), StringValue(v, n))
+		}
+		return b.String()
+	case Number:
+		return "num:" + FormatNumber(float64(x))
+	case String:
+		return "str:" + string(x)
+	case Boolean:
+		return fmt.Sprintf("bool:%v", bool(x))
+	}
+	return fmt.Sprintf("?%T", val)
+}
+
+// TestPlanMatchesPerNode is the engine-level differential: every query
+// must produce bit-identical results through the compiled pipeline and
+// through the node-at-a-time interpreter, on both storage schemas.
+func TestPlanMatchesPerNode(t *testing.T) {
+	ro, up := buildPlanStores(t)
+	vars := map[string]Value{"who": String("p1")}
+	for _, q := range planQueries {
+		e, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		for _, view := range []struct {
+			name string
+			v    xenc.DocView
+		}{{"ro", ro}, {"up", up}} {
+			seqVal, seqErr := e.EvalVars(view.v, vars)
+			prev := SetPlanEnabled(false)
+			perVal, perErr := e.EvalVars(view.v, vars)
+			SetPlanEnabled(prev)
+			if (seqErr == nil) != (perErr == nil) {
+				t.Fatalf("%s on %s: plan err %v, per-node err %v", q, view.name, seqErr, perErr)
+			}
+			if seqErr != nil {
+				continue
+			}
+			got, want := resultKey(view.v, seqVal), resultKey(view.v, perVal)
+			if got != want {
+				t.Errorf("%s on %s diverged\nplan:     %s\nper-node: %s", q, view.name, got, want)
+			}
+		}
+	}
+}
+
+// TestPlanMatchesAcrossStores pins that the pipeline gives the same
+// answers on the dense read-only schema and the free-space-interleaved
+// paged schema.
+func TestPlanMatchesAcrossStores(t *testing.T) {
+	ro, up := buildPlanStores(t)
+	for _, q := range planQueries {
+		e := MustParse(q)
+		a, err1 := e.EvalVars(ro, map[string]Value{"who": String("p1")})
+		b, err2 := e.EvalVars(up, map[string]Value{"who": String("p1")})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: ro err %v, up err %v", q, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if got, want := resultKey(ro, a), resultKey(up, b); got != want {
+			t.Errorf("%s: stores diverged\nro: %s\nup: %s", q, got, want)
+		}
+	}
+}
+
+// TestCompileClassification pins the lowering decisions the plan
+// contract documents.
+func TestCompileClassification(t *testing.T) {
+	cases := []struct {
+		q    string
+		want []stepKind
+	}{
+		{`/site/people/person`, []stepKind{opSeq, opSeq, opSeq}},
+		{`//kw`, []stepKind{opSeq}},              // fused into descendant::kw
+		{`//item//kw`, []stepKind{opSeq, opSeq}}, // both // fused
+		// A positional predicate blocks the // collapse (its numbering
+		// depends on the uncollapsed context), so the shorthand step
+		// survives as a sequence step and the counter fuses into the
+		// child step.
+		{`//bidder[1]`, []stepKind{opSeq, opFusedPos}},
+		{`//person[position() = 2]`, []stepKind{opSeq, opFusedPos}},
+		{`//person[last()]`, []stepKind{opSeq, opPerNode}},
+		{`//person[income]`, []stepKind{opSeq}}, // seq filter, fused
+		{`//kw/ancestor::*[1]`, []stepKind{opSeq, opPerNode}},
+		{`//watch[$n]`, []stepKind{opSeq, opPerNode}},     // untypable
+		{`//item[desc][2]`, []stepKind{opSeq, opPerNode}}, // [2] not leading
+		{`//item[2][desc]`, []stepKind{opSeq, opFusedPos}},
+	}
+	for _, tc := range cases {
+		e := MustParse(tc.q)
+		pe, ok := e.root.(*pathExpr)
+		if !ok {
+			t.Fatalf("%s: root is %T", tc.q, e.root)
+		}
+		var got []stepKind
+		for i := range pe.plan.steps {
+			got = append(got, pe.plan.steps[i].kind)
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: %d plan steps (%v), want %d", tc.q, len(got), got, len(tc.want))
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: step %d kind %d, want %d", tc.q, i+1, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestExplain pins the rendering the shell's explain command shows.
+func TestExplain(t *testing.T) {
+	out := MustParse(`//item//kw`).Explain()
+	for _, want := range []string{"query: ", "descendant::item", "descendant::kw", "seq (fused //)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain(//item//kw) missing %q:\n%s", want, out)
+		}
+	}
+	out = MustParse(`//bidder[1]/increase`).Explain()
+	if !strings.Contains(out, "early-exit pos=1") {
+		t.Errorf("Explain missing fused position:\n%s", out)
+	}
+	out = MustParse(`//person[last()]`).Explain()
+	if !strings.Contains(out, "per-node") {
+		t.Errorf("Explain missing per-node fallback:\n%s", out)
+	}
+}
+
+// TestPlanUnsortedVariableContext pins the staircase input contract: a
+// variable bound to an unordered node-set context must still evaluate
+// correctly (the plan sorts and dedupes before piping).
+func TestPlanUnsortedVariableContext(t *testing.T) {
+	ro, _ := buildPlanStores(t)
+	persons, err := MustParse(`//person`).Select(ro)
+	if err != nil || len(persons) != 3 {
+		t.Fatalf("persons: %v %v", persons, err)
+	}
+	// Reversed, with a duplicate.
+	unsorted := NodeSet{persons[2], persons[1], persons[0], persons[1]}
+	vars := map[string]Value{"ns": unsorted}
+	got, err := MustParse(`$ns/name/text()`).SelectVars(ro, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("$ns/name/text() = %d nodes, want 3", len(got))
+	}
+	want := []string{"ada", "bob gold", "cy"}
+	for i, n := range got {
+		if StringValue(ro, n) != want[i] {
+			t.Errorf("result %d = %q, want %q", i, StringValue(ro, n), want[i])
+		}
+	}
+}

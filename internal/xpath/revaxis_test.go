@@ -28,3 +28,63 @@ func TestReverseAxisPositions(t *testing.T) {
 		t.Fatalf("preceding-sibling::*[1] = %v", ns)
 	}
 }
+
+// TestReverseAxisNumbering pins position()/last() semantics on reverse
+// axes — they number *against* document order — so the sequence-at-a-time
+// pipeline (which keeps these shapes on the per-node path) can never
+// silently change them.
+func TestReverseAxisNumbering(t *testing.T) {
+	tr, _ := shred.Parse(strings.NewReader(`<a><b><c><d/></c></b><e/><f/></a>`), shred.Options{})
+	v, _ := rostore.Build(tr)
+	name := func(n Node) string {
+		if n.Pre == DocNodePre {
+			return "#doc"
+		}
+		return v.Names().Name(v.Name(n.Pre))
+	}
+	cases := []struct {
+		q    string
+		want []string
+	}{
+		// ancestors of d nearest-first: c, b, a.
+		{`//d/ancestor::*[2]`, []string{"b"}},
+		{`//d/ancestor::*[position() = 2]`, []string{"b"}},
+		{`//d/ancestor::*[last()]`, []string{"a"}},
+		// ancestor::node() additionally ends at the document node.
+		{`//d/ancestor::node()[last()]`, []string{"#doc"}},
+		{`//d/ancestor-or-self::*[1]`, []string{"d"}},
+		{`//d/ancestor-or-self::*[last()]`, []string{"a"}},
+		// preceding siblings of f nearest-first: e, b.
+		{`//f/preceding-sibling::*[2]`, []string{"b"}},
+		{`//f/preceding-sibling::*[last()]`, []string{"b"}},
+		// preceding of f nearest-first: e, d, c, b (ancestors excluded).
+		{`//f/preceding::*[1]`, []string{"e"}},
+		{`//f/preceding::*[3]`, []string{"c"}},
+		{`//f/preceding::*[last()]`, []string{"b"}},
+		{`//d/parent::node()[1]`, []string{"c"}},
+		// Predicate-free reverse axes come back in document order even
+		// for singleton contexts (the no-reversal fast path).
+		{`//d/ancestor::*`, []string{"a", "b", "c"}},
+		{`//f/preceding::*`, []string{"b", "c", "d", "e"}},
+	}
+	for _, tc := range cases {
+		ns, err := MustParse(tc.q).Select(v)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.q, err)
+		}
+		var got []string
+		for _, n := range ns {
+			got = append(got, name(n))
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%s = %v, want %v", tc.q, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s = %v, want %v", tc.q, got, tc.want)
+				break
+			}
+		}
+	}
+}

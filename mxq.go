@@ -75,6 +75,25 @@
 // over torn artifacts (leftover *.tmp, missing or torn image, corrupt
 // manifest) — never to silent loss: replay insists on gap-free LSNs.
 //
+// # Set-at-a-time query pipeline
+//
+// Queries execute the way MonetDB executes them: column-at-a-time, not
+// node-at-a-time. Parsing an XPath expression (Query, Prepare) also
+// compiles every location path into a plan of sequence-level operators —
+// each step maps the *whole* context sequence through one staircase
+// join over the pre/size/level columns, with the paper's context
+// pruning (a context node inside an already-scanned region is skipped,
+// so no tuple is inspected twice) and results emitted directly in
+// document order (no per-step sort or dedupe). The compiler pushes name
+// and kind tests into the scan, collapses the // shorthand into single
+// descendant steps, fuses leading positional predicates ([1], [n]) into
+// early-exit counters, and applies position-free boolean predicates
+// over the merged sequence with a reusable scratch context; only
+// predicate shapes whose semantics need per-context numbering (last(),
+// positions on reverse axes) keep the node-at-a-time path. Prepared
+// caches the compiled plan across runs, and Prepared.Explain (or the
+// mxqshell explain command) renders the chosen operators.
+//
 // # Dictionary compaction
 //
 // The qualified-name pool and attribute-value dictionary are shared,
