@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json lint fuzz
+.PHONY: check build vet test race bench bench-json lint fuzz server-smoke
 
 check: build vet race
 
@@ -50,6 +50,34 @@ lint:
 	else \
 		echo "staticcheck not installed; skipped (CI runs it)"; \
 	fi
+
+# server-smoke: end-to-end daemon check. Starts mxqd, drives it with
+# mxqload (SMOKE_SESSIONS concurrent sessions, SMOKE_DURATION, XMark SF
+# 0.01, 5% updates), requires zero request errors and zero overload
+# rejections, then SIGTERMs the daemon and requires a clean drain. The
+# load report (qps, p50_ms, p99_ms, ...) is appended as one JSON line to
+# BENCH_ci.json so the CI artifact carries the served-path numbers next
+# to the library benchmarks.
+SMOKE_SESSIONS ?= 200
+SMOKE_DURATION ?= 10s
+SMOKE_ADDR ?= 127.0.0.1:4479
+server-smoke:
+	$(GO) build -o /tmp/mxqd-smoke ./cmd/mxqd
+	$(GO) build -o /tmp/mxqload-smoke ./cmd/mxqload
+	@set -e; \
+	/tmp/mxqd-smoke -addr $(SMOKE_ADDR) -max-waiters 4096 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	sleep 1; \
+	if /tmp/mxqload-smoke -addr $(SMOKE_ADDR) -sessions $(SMOKE_SESSIONS) \
+		-duration $(SMOKE_DURATION) -sf 0.01 -name mxqd_smoke \
+		> /tmp/mxqload-smoke.json; then ok=1; else ok=0; fi; \
+	cat /tmp/mxqload-smoke.json; \
+	cat /tmp/mxqload-smoke.json >> BENCH_ci.json; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	trap - EXIT; \
+	test $$ok -eq 1
 
 # Native fuzz smoke over the text-input surfaces (the XPath compiler and
 # the XUpdate parser) plus the evaluation-side differential fuzzer

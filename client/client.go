@@ -1,0 +1,245 @@
+// Package client is the Go client for mxqd, the mxq network daemon. A
+// Client wraps one connection — one server session — and issues
+// requests strictly in order (it is safe for concurrent use; calls
+// serialize on the connection). Concurrency against the server comes
+// from opening many clients: the server's versioned read path is built
+// for thousands of concurrent sessions.
+//
+// Session state lives server-side: the session caches compiled query
+// plans per (document, query text), and BeginRead…EndRead pins a
+// snapshot so every query between them — across any number of requests
+// — observes one committed version.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mxq/internal/server"
+)
+
+// Sentinel errors mapped from server status codes.
+var (
+	// ErrOverloaded: the server's admission control rejected the request
+	// (concurrency bound and wait queue both full). Back off and retry.
+	ErrOverloaded = errors.New("mxqd: overloaded")
+	// ErrShuttingDown: the server is draining.
+	ErrShuttingDown = errors.New("mxqd: shutting down")
+	// ErrNoDocument: the named document does not exist.
+	ErrNoDocument = errors.New("mxqd: no such document")
+)
+
+// Item is one query result item.
+type Item struct {
+	// Kind is "element", "text", "comment", "processing-instruction",
+	// "attribute", "document", "number", "string" or "boolean".
+	Kind string
+	// Value is the item's string value.
+	Value string
+	// XML is the serialized form for element items ("" otherwise).
+	XML string
+}
+
+// UpdateResult reports what an update applied.
+type UpdateResult struct {
+	Ops      int // commands executed
+	Affected int // nodes the commands were applied to
+}
+
+// Client is one mxqd session.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint64
+}
+
+// Dial connects to an mxqd server.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout connects with a dial timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the session; the server releases its prepared cache and
+// any still-pinned reads.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// roundTrip sends one request and reads its response.
+func (c *Client) roundTrip(op byte, payload []byte) (*server.PayloadReader, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	id := c.nextID
+	if err := server.WriteFrame(c.conn, server.Frame{ID: id, Op: op, Payload: payload}); err != nil {
+		return nil, fmt.Errorf("mxqd: send: %w", err)
+	}
+	f, err := server.ReadFrame(c.conn, 0)
+	if err != nil {
+		return nil, fmt.Errorf("mxqd: recv: %w", err)
+	}
+	if f.ID != id {
+		return nil, fmt.Errorf("mxqd: response id %d for request %d", f.ID, id)
+	}
+	if f.Op != server.StatusOK {
+		return nil, decodeError(f)
+	}
+	return server.NewPayloadReader(f.Payload), nil
+}
+
+// decodeError maps an error frame to a sentinel (possibly wrapped with
+// the server's message).
+func decodeError(f server.Frame) error {
+	msg := ""
+	if m, err := server.NewPayloadReader(f.Payload).String(); err == nil {
+		msg = m
+	}
+	switch f.Op {
+	case server.CodeOverloaded:
+		return ErrOverloaded
+	case server.CodeShuttingDown:
+		return ErrShuttingDown
+	case server.CodeNoDocument:
+		return fmt.Errorf("%w: %s", ErrNoDocument, msg)
+	}
+	return fmt.Errorf("mxqd: %s", msg)
+}
+
+// Ping round-trips an empty frame.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(server.OpPing, nil)
+	return err
+}
+
+// ListDocs returns the stored document names.
+func (c *Client) ListDocs() ([]string, error) {
+	r, err := c.roundTrip(server.OpListDocs, nil)
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, s)
+	}
+	return names, nil
+}
+
+// Load shreds and stores a document under the given name.
+func (c *Client) Load(name, xml string) error {
+	var p server.PayloadBuilder
+	p.String(name).String(xml)
+	_, err := c.roundTrip(server.OpLoad, p.Bytes())
+	return err
+}
+
+// Query runs an XPath query against the named document (vars may be
+// nil). Inside a BeginRead window for the document it observes the
+// pinned version; otherwise the version committed at execution time.
+func (c *Client) Query(doc, query string, vars map[string]string) ([]Item, error) {
+	var p server.PayloadBuilder
+	p.String(doc).String(query)
+	p.Uvarint(uint64(len(vars)))
+	for k, v := range vars {
+		p.String(k).String(v)
+	}
+	r, err := c.roundTrip(server.OpQuery, p.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	items := make([]Item, 0, n)
+	for i := uint64(0); i < n; i++ {
+		kind, err := r.Byte()
+		if err != nil {
+			return nil, err
+		}
+		value, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		xml, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, Item{Kind: server.KindName(kind), Value: value, XML: xml})
+	}
+	return items, nil
+}
+
+// Update applies an XUpdate modification list in one transaction.
+func (c *Client) Update(doc, mods string) (UpdateResult, error) {
+	var p server.PayloadBuilder
+	p.String(doc).String(mods)
+	r, err := c.roundTrip(server.OpUpdate, p.Bytes())
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	ops, err := r.Uvarint()
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	affected, err := r.Uvarint()
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	return UpdateResult{Ops: int(ops), Affected: int(affected)}, nil
+}
+
+// Explain returns the compiled evaluation plan for a query.
+func (c *Client) Explain(doc, query string) (string, error) {
+	var p server.PayloadBuilder
+	p.String(doc).String(query)
+	r, err := c.roundTrip(server.OpExplain, p.Bytes())
+	if err != nil {
+		return "", err
+	}
+	return r.String()
+}
+
+// BeginRead pins the document's current committed version for this
+// session: every Query on it until EndRead observes that version, no
+// matter what commits in between. It returns the pinned version.
+func (c *Client) BeginRead(doc string) (uint64, error) {
+	var p server.PayloadBuilder
+	p.String(doc)
+	r, err := c.roundTrip(server.OpBeginRead, p.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	return r.Uvarint()
+}
+
+// EndRead releases a pinned read.
+func (c *Client) EndRead(doc string) error {
+	var p server.PayloadBuilder
+	p.String(doc)
+	_, err := c.roundTrip(server.OpEndRead, p.Bytes())
+	return err
+}

@@ -1,0 +1,81 @@
+// Command mxqd serves an mxq database over TCP. See the internal/server
+// package documentation for the wire protocol and client/ for the Go
+// client. It drains gracefully on SIGINT/SIGTERM: in-flight requests
+// finish (under -drain-timeout), sessions release their snapshots, then
+// the database closes, flushing WAL segments and checkpointers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mxq"
+	"mxq/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4477", "listen address")
+	dir := flag.String("dir", "", "durability directory (segmented WAL + checkpoints); empty = in-memory")
+	lazy := flag.Bool("lazy", true, "with -dir: open documents on first use instead of recovering all at startup")
+	nosync := flag.Bool("nosync", false, "skip fsync on WAL appends")
+	ckptBytes := flag.Int64("ckpt-bytes", 0, "auto-checkpoint once the WAL tail exceeds this many bytes (0 = off)")
+	ckptRecords := flag.Int("ckpt-records", 0, "auto-checkpoint once the WAL tail exceeds this many records (0 = off)")
+	maxConcurrent := flag.Int64("max-concurrent", 64, "admission: weight units executing at once (queries 1, updates/loads 2)")
+	maxWaiters := flag.Int("max-waiters", 0, "admission: queued requests before overload rejection (0 = 4x max-concurrent)")
+	idleClose := flag.Duration("idle-close", 0, "with -dir: detach documents unreferenced this long (0 = never)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown: how long in-flight requests may finish")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "mxqd: ", log.LstdFlags)
+	if *idleClose > 0 && *dir == "" {
+		logger.Fatal("-idle-close requires -dir (detaching an in-memory document discards it)")
+	}
+
+	db, err := mxq.Open(mxq.Options{
+		Dir: *dir, NoSync: *nosync, LazyOpen: *lazy,
+		CheckpointEvery: mxq.CheckpointPolicy{Bytes: *ckptBytes, Records: *ckptRecords},
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	srv := server.New(server.Config{
+		DB:            db,
+		MaxConcurrent: *maxConcurrent,
+		MaxWaiters:    *maxWaiters,
+		IdleClose:     *idleClose,
+		Logf:          logger.Printf,
+	})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("listening on %s (dir=%q max-concurrent=%d)", l.Addr(), *dir, *maxConcurrent)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		logger.Printf("received %s, draining", sig)
+		if err := srv.Shutdown(*drainTimeout); err != nil {
+			logger.Print(err)
+		}
+	case err := <-errc:
+		if err != nil {
+			logger.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "mxqd: shut down cleanly")
+}

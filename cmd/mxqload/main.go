@@ -1,0 +1,182 @@
+// Command mxqload is a closed-loop load generator for mxqd: N
+// concurrent sessions (one connection each) issue a query/update mix
+// against an XMark document for a fixed duration, then it reports
+// throughput and latency percentiles as one JSON line — the format the
+// CI smoke job appends to BENCH_ci.json.
+//
+//	mxqload -addr 127.0.0.1:4477 -sessions 1000 -duration 10s -sf 0.01
+//
+// Exit status is non-zero if any request failed; overload rejections
+// (the server's admission control saying "not now") are counted
+// separately and only fail the run without -allow-overload.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mxq/client"
+	"mxq/internal/xmark"
+)
+
+// queries is the read mix: plain scans, a sequence filter, an
+// aggregation, and a variable binding — the shapes a session workload
+// exercises through the prepared-statement cache.
+var queries = []struct {
+	q    string
+	vars map[string]string
+}{
+	{q: `count(//person)`},
+	{q: `//open_auction/bidder/increase/text()`},
+	{q: `//item[payment]/@id`},
+	{q: `//person[watches]/name/text()`},
+	{q: `//person[@id = $id]/name/text()`, vars: map[string]string{"id": "person0"}},
+}
+
+// updateMod rewrites one person's name: constant-size, so a long run
+// does not grow the document.
+const updateMod = `<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">` +
+	`<xupdate:update select="/site/people/person[1]/name">loadgen</xupdate:update></xupdate:modifications>`
+
+type report struct {
+	Name       string  `json:"name"`
+	Sessions   int     `json:"sessions"`
+	DurationS  float64 `json:"duration_s"`
+	Requests   int64   `json:"requests"`
+	QPS        float64 `json:"qps"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	Errors     int64   `json:"errors"`
+	Overloaded int64   `json:"overloaded"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4477", "mxqd address")
+	sessions := flag.Int("sessions", 100, "concurrent sessions (connections)")
+	duration := flag.Duration("duration", 10*time.Second, "measurement duration")
+	docName := flag.String("doc", "xmark", "document name")
+	sf := flag.Float64("sf", 0.01, "XMark scale factor to generate and load (0 = use an existing document)")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	updateFrac := flag.Float64("update-frac", 0.05, "fraction of requests that are updates")
+	allowOverload := flag.Bool("allow-overload", false, "overload rejections do not fail the run")
+	name := flag.String("name", "mxqd_load", "benchmark name in the JSON report")
+	flag.Parse()
+
+	if *sf > 0 {
+		var b strings.Builder
+		if _, err := xmark.NewGenerator(*sf, *seed).WriteTo(&b); err != nil {
+			fatal(err)
+		}
+		c, err := client.Dial(*addr)
+		if err != nil {
+			fatal(fmt.Errorf("dial %s: %w", *addr, err))
+		}
+		if err := c.Load(*docName, b.String()); err != nil {
+			fatal(fmt.Errorf("load %q (%.2f MB): %w", *docName, float64(b.Len())/(1<<20), err))
+		}
+		c.Close()
+		fmt.Fprintf(os.Stderr, "mxqload: loaded %q, %.2f MB (sf %g)\n", *docName, float64(b.Len())/(1<<20), *sf)
+	}
+
+	var (
+		requests   atomic.Int64
+		errCount   atomic.Int64
+		overloaded atomic.Int64
+		mu         sync.Mutex
+		latencies  []time.Duration
+		firstErrs  = make(chan error, 8)
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := client.Dial(*addr)
+			if err != nil {
+				errCount.Add(1)
+				select {
+				case firstErrs <- fmt.Errorf("session %d dial: %w", i, err):
+				default:
+				}
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			local := make([]time.Duration, 0, 1024)
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				var err error
+				if rng.Float64() < *updateFrac {
+					_, err = c.Update(*docName, updateMod)
+				} else {
+					q := queries[rng.Intn(len(queries))]
+					_, err = c.Query(*docName, q.q, q.vars)
+				}
+				requests.Add(1)
+				switch {
+				case err == nil:
+					local = append(local, time.Since(start))
+				case errors.Is(err, client.ErrOverloaded):
+					overloaded.Add(1)
+					time.Sleep(time.Duration(1+rng.Intn(5)) * time.Millisecond)
+				default:
+					errCount.Add(1)
+					select {
+					case firstErrs <- fmt.Errorf("session %d: %w", i, err):
+					default:
+					}
+					return
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	close(firstErrs)
+
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	rep := report{
+		Name:       *name,
+		Sessions:   *sessions,
+		DurationS:  duration.Seconds(),
+		Requests:   requests.Load(),
+		QPS:        float64(len(latencies)) / duration.Seconds(),
+		P50Ms:      pctMs(latencies, 0.50),
+		P99Ms:      pctMs(latencies, 0.99),
+		Errors:     errCount.Load(),
+		Overloaded: overloaded.Load(),
+	}
+	out, _ := json.Marshal(rep)
+	fmt.Println(string(out))
+	for err := range firstErrs {
+		fmt.Fprintln(os.Stderr, "mxqload:", err)
+	}
+	if rep.Errors > 0 || (rep.Overloaded > 0 && !*allowOverload) {
+		os.Exit(1)
+	}
+}
+
+func pctMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mxqload:", err)
+	os.Exit(1)
+}

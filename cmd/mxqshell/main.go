@@ -47,25 +47,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mxqshell:", err)
 		os.Exit(1)
 	}
-	defer db.Close()
 
-	sh := shell.New(db, os.Stdout)
+	sh := shell.New(db, os.Stdout, os.Stderr)
 	for _, path := range flag.Args() {
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		if err := sh.LoadFile(name, path); err != nil {
 			fmt.Fprintln(os.Stderr, "mxqshell:", err)
+			db.Close()
 			os.Exit(1)
 		}
 		fmt.Printf("loaded %q from %s\n", name, path)
 	}
 
+	// Any failed command makes the whole run exit non-zero, so scripted
+	// use (mxqshell < commands.txt) can rely on the status.
+	failed := false
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("mxq> ")
 	for sc.Scan() {
-		if quit := sh.Execute(sc.Text()); quit {
-			return
+		quit, err := sh.Execute(sc.Text())
+		if err != nil {
+			failed = true
+		}
+		if quit {
+			break
 		}
 		fmt.Print("mxq> ")
+	}
+	db.Close()
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -1,6 +1,7 @@
 package mxq
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -141,20 +142,42 @@ func (d *Document) Prepare(q string) (*Prepared, error) {
 
 // Run executes the prepared query; vars may be nil.
 func (p *Prepared) Run(vars map[string]string) (Result, error) {
-	var bound map[string]xpath.Value
-	if len(vars) > 0 {
-		bound = make(map[string]xpath.Value, len(vars))
-		for k, v := range vars {
-			bound[k] = xpath.String(v)
-		}
-	}
 	var res Result
+	bound := bindVars(vars)
 	err := p.doc.read(func(v xenc.DocView) error {
 		var inner error
 		res, inner = materialize(v, p.expr, bound)
 		return inner
 	})
 	return res, err
+}
+
+// RunSnapshot executes the prepared query against a pinned snapshot
+// instead of the current committed version, so a cached plan and a held
+// read version compose (a session's multi-request snapshot read reuses
+// both). The snapshot should be of the document the query was prepared
+// against.
+func (p *Prepared) RunSnapshot(s *Snapshot, vars map[string]string) (Result, error) {
+	var res Result
+	bound := bindVars(vars)
+	err := s.read(func(v xenc.DocView) error {
+		var inner error
+		res, inner = materialize(v, p.expr, bound)
+		return inner
+	})
+	return res, err
+}
+
+// bindVars converts string bindings to XPath values (nil stays nil).
+func bindVars(vars map[string]string) map[string]xpath.Value {
+	if len(vars) == 0 {
+		return nil
+	}
+	bound := make(map[string]xpath.Value, len(vars))
+	for k, v := range vars {
+		bound[k] = xpath.String(v)
+	}
+	return bound
 }
 
 // Source returns the query text.
@@ -368,6 +391,34 @@ func (d *Document) maybeAutoCheckpoint() {
 	case d.autoC <- struct{}{}:
 	default:
 	}
+}
+
+// close shuts the document's durability machinery down in dependency
+// order: the auto-checkpoint goroutine is drained first (it may be
+// inside a Run; stopAuto waits it out without holding the checkpointer
+// mutex, so there is no deadlock), then the checkpointer is closed —
+// which waits out any in-flight *manual* Run, including its WAL prune —
+// and only then is the WAL released. finalCkpt additionally writes one
+// last checkpoint before closing, so a reopen recovers from the image
+// alone (and a never-checkpointed document is not lost when its segments
+// are detached).
+func (d *Document) close(finalCkpt bool) error {
+	d.stopAuto()
+	var first error
+	if d.ckpter != nil {
+		if finalCkpt {
+			if _, err := d.ckpter.Run(); err != nil && !errors.Is(err, ckpt.ErrClosed) {
+				first = err
+			}
+		}
+		d.ckpter.Close()
+	}
+	if d.log != nil {
+		if err := d.log.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 func (d *Document) autoCheckpointLoop() {

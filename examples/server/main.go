@@ -1,0 +1,110 @@
+// Server quickstart: everything a networked mxq client does — connect,
+// load, query (with a server-side cached plan), update, and a pinned
+// snapshot read that ignores a concurrent commit.
+//
+// It starts an in-process mxqd for convenience; against a real daemon,
+// drop the server block and point client.Dial at its address:
+//
+//	mxqd -addr :4477 -dir data/ &
+//	go run ./examples/server
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"mxq"
+	"mxq/client"
+	"mxq/internal/server"
+)
+
+const catalog = `<catalog>
+  <product sku="P-100"><name>Copper kettle</name><price>49.50</price></product>
+  <product sku="P-200"><name>Iron skillet</name><price>32.00</price></product>
+</catalog>`
+
+const addProduct = `<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:append select="/catalog"><product sku="P-300"><name>Gold ladle</name><price>180.00</price></product></xupdate:append>
+</xupdate:modifications>`
+
+func main() {
+	// An in-process daemon: mxqd does exactly this around a Database.
+	db, err := mxq.Open(mxq.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(server.Config{DB: db})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer func() {
+		srv.Shutdown(5 * time.Second)
+		db.Close()
+	}()
+
+	// One Client = one session: requests are sequential per connection,
+	// and concurrency comes from opening more clients.
+	c, err := client.Dial(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Load("catalog", catalog); err != nil {
+		log.Fatal(err)
+	}
+
+	// The session caches the compiled plan: the second run of the same
+	// query text skips the parse server-side.
+	names, err := c.Query("catalog", `/catalog/product/name/text()`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("products:")
+	for _, item := range names {
+		fmt.Println("  -", item.Value)
+	}
+
+	// Variables bind as strings on the wire.
+	one, err := c.Query("catalog", `//product[@sku = $sku]/price/text()`,
+		map[string]string{"sku": "P-200"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("P-200 price:", one[0].Value)
+
+	// A pinned read: every query until EndRead observes the version
+	// committed at BeginRead, no matter what lands in between.
+	version, err := c.BeginRead("catalog")
+	if err != nil {
+		log.Fatal(err)
+	}
+	writer, err := client.Dial(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer writer.Close()
+	if _, err := writer.Update("catalog", addProduct); err != nil {
+		log.Fatal(err)
+	}
+	pinned, _ := c.Query("catalog", `count(//product)`, nil)
+	fresh, _ := writer.Query("catalog", `count(//product)`, nil)
+	fmt.Printf("pinned at version %d sees %s products; unpinned sees %s\n",
+		version, pinned[0].Value, fresh[0].Value)
+	if err := c.EndRead("catalog"); err != nil {
+		log.Fatal(err)
+	}
+	after, _ := c.Query("catalog", `count(//product)`, nil)
+	fmt.Println("after EndRead:", after[0].Value)
+
+	// Explain renders the compiled plan the server executes.
+	plan, err := c.Explain("catalog", `//product[name]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("plan for //product[name]:\n", plan)
+}

@@ -68,6 +68,10 @@ var ErrWALGap = errors.New("ckpt: gap in WAL records")
 // document.
 var ErrNoCheckpoint = errors.New("ckpt: no usable checkpoint")
 
+// ErrClosed reports a Run on a closed checkpointer (a checkpoint racing
+// document close: the WAL and image directory are no longer writable).
+var ErrClosed = errors.New("ckpt: checkpointer is closed")
+
 // Pin captures a copy-on-write snapshot of the store together with the
 // LSN of the last WAL record the snapshot covers, atomically with
 // respect to commits. tx.Manager.PinCheckpoint is the canonical
@@ -93,8 +97,11 @@ type Checkpointer struct {
 	keep int
 
 	// mu serializes checkpoints: concurrent Run calls (auto + manual)
-	// queue rather than race on the manifest.
-	mu sync.Mutex
+	// queue rather than race on the manifest. Close takes it too, so
+	// closing waits out an in-flight checkpoint instead of yanking the
+	// WAL from under its prune.
+	mu     sync.Mutex
+	closed bool
 
 	// saveWrap, when non-nil, wraps the checkpoint image writer (testing
 	// hook: throttling it stretches the streaming phase to prove commits
@@ -221,6 +228,9 @@ func CurrentLSN(dir, name string) uint64 {
 func (c *Checkpointer) Run() (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return 0, ErrClosed
+	}
 
 	img, lsn := c.pin()
 	defer img.Release()
@@ -258,6 +268,17 @@ func (c *Checkpointer) Run() (uint64, error) {
 		}
 	}
 	return lsn, nil
+}
+
+// Close marks the checkpointer closed, first waiting out an in-flight
+// Run (including its WAL prune). After Close returns, no checkpoint will
+// ever touch the document's WAL or artifacts again — the guarantee the
+// document close path needs before it closes the log. Subsequent Runs
+// fail with ErrClosed; Close is idempotent.
+func (c *Checkpointer) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
 }
 
 const manifestSuffix = ".manifest"

@@ -54,6 +54,13 @@ var diffQueries = []*xpath.Expr{
 	xpath.MustParse(`//f1/preceding-sibling::node()[1]`),
 	xpath.MustParse(`count(//*[@a0] | //*[@a1])`),
 	xpath.MustParse(`//e2[leaf]/leaf[last()]/text()`),
+	// Filter expressions: predicates numbered against the base sequence,
+	// filtered in place over both stores' physically different layouts.
+	xpath.MustParse(`(//leaf)[2]/text()`),
+	xpath.MustParse(`(//e0 | //e1)[leaf]`),
+	xpath.MustParse(`(//e0//leaf)[.//text()][1]`),
+	xpath.MustParse(`count((//*[@i])[g1])`),
+	xpath.MustParse(`//e0[leaf][.//g1]`),
 }
 
 // Config describes one differential workload.

@@ -1,0 +1,194 @@
+// Package server is the mxqd network daemon: a TCP server exposing a
+// Database over a length-prefixed binary frame protocol, with
+// per-session state (prepared-statement cache, pinned read versions), a
+// refcounted lazily-opened document catalog, admission control (a
+// weighted semaphore over executing requests with a bounded wait queue —
+// overflow is answered with a fast ErrOverloaded frame instead of
+// unbounded memory), and graceful drain (stop accepting, finish
+// in-flight requests under a deadline, close documents so the
+// auto-checkpointer and WAL flush cleanly).
+//
+// # Wire protocol
+//
+// Every frame — request and response — is
+//
+//	uint32  length of everything after this field (big-endian)
+//	uint64  request id (echoed verbatim in the response)
+//	byte    request: opcode; response: status (0 = OK, else error code)
+//	...     payload
+//
+// Strings inside payloads are uvarint-length-prefixed bytes. A request
+// payload starts with the document name (empty for document-independent
+// ops), followed by per-opcode fields. Sessions are strictly
+// sequential: a client sends one request per connection at a time and
+// reads one response; concurrency comes from opening many connections,
+// which is what the versioned read path was built for.
+//
+// # Session lifetime
+//
+// A connection is a session. Its prepared-statement cache keys compiled
+// plans by (document instance, query text), so repeated queries skip the
+// parse; its pinned reads (OpBeginRead … OpEndRead) hold a closeable
+// snapshot per document, giving multi-request reads one consistent
+// version. Everything a session holds — snapshots, catalog references —
+// is released when the connection closes, however it closes.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Request opcodes.
+const (
+	OpPing      byte = 1 // -> OK, empty
+	OpListDocs  byte = 2 // -> uvarint n, then n names
+	OpLoad      byte = 3 // name, xml -> OK
+	OpQuery     byte = 4 // name, query, uvarint nvars, (k, v)* -> result items
+	OpUpdate    byte = 5 // name, xupdate xml -> uvarint applied count
+	OpExplain   byte = 6 // name, query -> plan text
+	OpBeginRead byte = 7 // name -> uvarint pinned version
+	OpEndRead   byte = 8 // name -> OK
+)
+
+// Response status codes (0 is OK).
+const (
+	StatusOK          byte = 0
+	CodeBadRequest    byte = 1 // malformed frame or unknown opcode
+	CodeNoDocument    byte = 2 // unknown document name
+	CodeQuery         byte = 3 // compile/evaluation/update error (message in payload)
+	CodeOverloaded    byte = 4 // admission control rejected the request
+	CodeShuttingDown  byte = 5 // server is draining
+	CodeInternal      byte = 6
+	CodeReadNotPinned byte = 7 // OpEndRead without a matching OpBeginRead
+)
+
+// Sentinel errors for the status codes a client program branches on.
+var (
+	ErrOverloaded   = errors.New("server: overloaded")
+	ErrShuttingDown = errors.New("server: shutting down")
+	ErrNoDocument   = errors.New("server: no such document")
+)
+
+// MaxFrame is the default cap on a frame's length field; a peer
+// announcing more is cut off rather than allocated for.
+const MaxFrame = 64 << 20
+
+// Frame is one decoded frame: id, op (opcode or status), payload.
+type Frame struct {
+	ID      uint64
+	Op      byte
+	Payload []byte
+}
+
+// ReadFrame reads one frame, rejecting lengths beyond max (0 means
+// MaxFrame).
+func ReadFrame(r io.Reader, max uint32) (Frame, error) {
+	if max == 0 {
+		max = MaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 9 {
+		return Frame{}, fmt.Errorf("server: frame too short (%d)", n)
+	}
+	if n > max {
+		return Frame{}, fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, max)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, err
+	}
+	return Frame{
+		ID:      binary.BigEndian.Uint64(body[:8]),
+		Op:      body[8],
+		Payload: body[9:],
+	}, nil
+}
+
+// WriteFrame writes one frame. The payload is assembled by the caller
+// (see PayloadBuilder); a single Write keeps frames intact under
+// concurrent connection teardown.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf := make([]byte, 4+8+1+len(f.Payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(8+1+len(f.Payload)))
+	binary.BigEndian.PutUint64(buf[4:12], f.ID)
+	buf[12] = f.Op
+	copy(buf[13:], f.Payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// PayloadBuilder assembles a payload of uvarints and length-prefixed
+// strings.
+type PayloadBuilder struct{ b []byte }
+
+// Uvarint appends a uvarint.
+func (p *PayloadBuilder) Uvarint(v uint64) *PayloadBuilder {
+	p.b = binary.AppendUvarint(p.b, v)
+	return p
+}
+
+// String appends a length-prefixed string.
+func (p *PayloadBuilder) String(s string) *PayloadBuilder {
+	p.b = binary.AppendUvarint(p.b, uint64(len(s)))
+	p.b = append(p.b, s...)
+	return p
+}
+
+// Byte appends one raw byte.
+func (p *PayloadBuilder) Byte(c byte) *PayloadBuilder {
+	p.b = append(p.b, c)
+	return p
+}
+
+// Bytes returns the assembled payload.
+func (p *PayloadBuilder) Bytes() []byte { return p.b }
+
+// PayloadReader decodes a payload assembled by PayloadBuilder.
+type PayloadReader struct{ b []byte }
+
+// NewPayloadReader wraps a payload.
+func NewPayloadReader(b []byte) *PayloadReader { return &PayloadReader{b: b} }
+
+// Uvarint reads a uvarint.
+func (p *PayloadReader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.b)
+	if n <= 0 {
+		return 0, errors.New("server: truncated uvarint")
+	}
+	p.b = p.b[n:]
+	return v, nil
+}
+
+// String reads a length-prefixed string.
+func (p *PayloadReader) String() (string, error) {
+	n, err := p.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(p.b)) {
+		return "", errors.New("server: truncated string")
+	}
+	s := string(p.b[:n])
+	p.b = p.b[n:]
+	return s, nil
+}
+
+// Byte reads one raw byte.
+func (p *PayloadReader) Byte() (byte, error) {
+	if len(p.b) == 0 {
+		return 0, errors.New("server: truncated byte")
+	}
+	c := p.b[0]
+	p.b = p.b[1:]
+	return c, nil
+}
+
+// Remaining reports the unread byte count.
+func (p *PayloadReader) Remaining() int { return len(p.b) }

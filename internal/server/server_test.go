@@ -1,0 +1,328 @@
+package server_test
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mxq"
+	"mxq/client"
+	"mxq/internal/server"
+)
+
+const libDoc = `<lib><shelf id="s1"><book year="1999">Alpha</book><book year="2003">Beta</book></shelf></lib>`
+
+const modsWrap = `<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">%BODY%</xupdate:modifications>`
+
+func wrapMods(body string) string { return strings.Replace(modsWrap, "%BODY%", body, 1) }
+
+// startServer brings up a server on a loopback port and tears it down
+// with the test.
+func startServer(t *testing.T, cfg server.Config) (addr string, db *mxq.Database) {
+	t.Helper()
+	if cfg.DB == nil {
+		var err error
+		cfg.DB, err = mxq.Open(mxq.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	db = cfg.DB
+	srv := server.New(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() {
+		srv.Shutdown(5 * time.Second)
+		db.Close()
+	})
+	return l.Addr().String(), db
+}
+
+func dial(t *testing.T, addr string) *client.Client {
+	t.Helper()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClientBasic(t *testing.T) {
+	addr, _ := startServer(t, server.Config{})
+	c := dial(t, addr)
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if err := c.Load("lib", libDoc); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	docs, err := c.ListDocs()
+	if err != nil || len(docs) != 1 || docs[0] != "lib" {
+		t.Fatalf("docs = %v, %v", docs, err)
+	}
+	items, err := c.Query("lib", "//book", nil)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(items) != 2 || items[0].Kind != "element" || items[0].Value != "Alpha" {
+		t.Fatalf("items = %+v", items)
+	}
+	if !strings.Contains(items[1].XML, `<book year="2003">Beta</book>`) {
+		t.Fatalf("item xml = %q", items[1].XML)
+	}
+	items, err = c.Query("lib", "count(//book)", nil)
+	if err != nil || len(items) != 1 || items[0].Kind != "number" || items[0].Value != "2" {
+		t.Fatalf("count = %+v, %v", items, err)
+	}
+	items, err = c.Query("lib", "//book[. = $v]/@year", map[string]string{"v": "Beta"})
+	if err != nil || len(items) != 1 || items[0].Kind != "attribute" || items[0].Value != "2003" {
+		t.Fatalf("var query = %+v, %v", items, err)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	addr, _ := startServer(t, server.Config{})
+	c := dial(t, addr)
+	if _, err := c.Query("nope", "//x", nil); !errors.Is(err, client.ErrNoDocument) {
+		t.Fatalf("unknown doc = %v, want ErrNoDocument", err)
+	}
+	if err := c.Load("lib", libDoc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("lib", "//book[", nil); err == nil {
+		t.Fatal("bad query should error")
+	}
+	if err := c.EndRead("lib"); err == nil {
+		t.Fatal("EndRead without BeginRead should error")
+	}
+	// The session must survive every error above.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after errors: %v", err)
+	}
+}
+
+func TestClientUpdate(t *testing.T) {
+	addr, _ := startServer(t, server.Config{})
+	c := dial(t, addr)
+	if err := c.Load("lib", libDoc); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Update("lib", wrapMods(`<xupdate:append select="/lib/shelf"><book year="2020">Gamma</book></xupdate:append>`))
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if res.Ops != 1 || res.Affected < 1 {
+		t.Fatalf("update result = %+v", res)
+	}
+	items, err := c.Query("lib", "count(//book)", nil)
+	if err != nil || items[0].Value != "3" {
+		t.Fatalf("count after update = %+v, %v", items, err)
+	}
+}
+
+func TestClientExplain(t *testing.T) {
+	addr, _ := startServer(t, server.Config{})
+	c := dial(t, addr)
+	if err := c.Load("lib", libDoc); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := c.Explain("lib", "//shelf[book]")
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if !strings.Contains(plan, "seq (fused //)") || !strings.Contains(plan, "seq filter") {
+		t.Fatalf("plan = %q, want fused sequence scan with in-place filter", plan)
+	}
+	if strings.Contains(plan, "per-node") {
+		t.Fatalf("plan = %q, want no per-node fallback", plan)
+	}
+}
+
+// TestClientSnapshotIsolation pins a read version and checks queries in
+// the window ignore a commit that lands mid-window.
+func TestClientSnapshotIsolation(t *testing.T) {
+	addr, _ := startServer(t, server.Config{})
+	reader := dial(t, addr)
+	writer := dial(t, addr)
+	if err := reader.Load("lib", libDoc); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := reader.BeginRead("lib")
+	if err != nil {
+		t.Fatalf("begin read: %v", err)
+	}
+	if _, err := writer.Update("lib", wrapMods(`<xupdate:append select="/lib/shelf"><book>New</book></xupdate:append>`)); err != nil {
+		t.Fatal(err)
+	}
+	items, err := reader.Query("lib", "count(//book)", nil)
+	if err != nil || items[0].Value != "2" {
+		t.Fatalf("pinned count = %+v, %v (version %d)", items, err, v1)
+	}
+	items, err = writer.Query("lib", "count(//book)", nil)
+	if err != nil || items[0].Value != "3" {
+		t.Fatalf("unpinned count = %+v, %v", items, err)
+	}
+	if err := reader.EndRead("lib"); err != nil {
+		t.Fatal(err)
+	}
+	items, err = reader.Query("lib", "count(//book)", nil)
+	if err != nil || items[0].Value != "3" {
+		t.Fatalf("count after EndRead = %+v, %v", items, err)
+	}
+	if _, err := reader.BeginRead("lib"); err != nil {
+		t.Fatalf("re-pin: %v", err)
+	}
+	if _, err := reader.BeginRead("lib"); err == nil {
+		t.Fatal("double BeginRead should error")
+	}
+}
+
+// TestIdleClose checks the catalog detaches an unreferenced durable
+// document and recovers it transparently on the next request.
+func TestIdleClose(t *testing.T) {
+	dir := t.TempDir()
+	db, err := mxq.Open(mxq.Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := startServer(t, server.Config{DB: db, IdleClose: 30 * time.Millisecond})
+	c := dial(t, addr)
+	if err := c.Load("lib", libDoc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("lib", "count(//book)", nil); err != nil {
+		t.Fatal(err)
+	}
+	// The idle timer detaches the document from the database.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, open := db.Document("lib"); !open {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("document not detached after idle close")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The next request recovers it from its checkpoint.
+	items, err := c.Query("lib", "count(//book)", nil)
+	if err != nil || items[0].Value != "2" {
+		t.Fatalf("query after idle close = %+v, %v", items, err)
+	}
+}
+
+// TestIdleCloseDoesNotDetachPinnedRead: a pinned read holds a catalog
+// reference, so the idle closer must leave the document attached.
+func TestIdleCloseDoesNotDetachPinnedRead(t *testing.T) {
+	dir := t.TempDir()
+	db, err := mxq.Open(mxq.Options{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := startServer(t, server.Config{DB: db, IdleClose: 20 * time.Millisecond})
+	c := dial(t, addr)
+	if err := c.Load("lib", libDoc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BeginRead("lib"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if _, open := db.Document("lib"); !open {
+		t.Fatal("pinned document was detached by the idle closer")
+	}
+	items, err := c.Query("lib", "count(//book)", nil)
+	if err != nil || items[0].Value != "2" {
+		t.Fatalf("pinned query = %+v, %v", items, err)
+	}
+}
+
+func TestShutdownDrains(t *testing.T) {
+	db, err := mxq.Open(mxq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{DB: db})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	c, err := client.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Load("lib", libDoc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BeginRead("lib"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The listener is closed; new connections fail.
+	if _, err := net.DialTimeout("tcp", l.Addr().String(), 200*time.Millisecond); err == nil {
+		t.Fatal("dial after shutdown should fail")
+	}
+	// The drained session released its pinned snapshot, so the database
+	// closes cleanly.
+	if err := c.Ping(); err == nil {
+		t.Fatal("request on drained session should fail")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("db close after drain: %v", err)
+	}
+}
+
+// TestManySessions exercises the server with a burst of concurrent
+// sessions mixing queries and updates; every request must succeed (the
+// default admission queue absorbs the burst — no overload responses).
+func TestManySessions(t *testing.T) {
+	addr, _ := startServer(t, server.Config{})
+	setup := dial(t, addr)
+	if err := setup.Load("lib", libDoc); err != nil {
+		t.Fatal(err)
+	}
+	const sessions = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 10; j++ {
+				if i%4 == 0 && j == 5 {
+					if _, err := c.Update("lib", wrapMods(`<xupdate:append select="/lib/shelf"><book>B</book></xupdate:append>`)); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				if _, err := c.Query("lib", "//book[. = $v]", map[string]string{"v": "Alpha"}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,396 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+
+	"mxq"
+)
+
+// Result item kind codes on the wire.
+const (
+	KindElement byte = 1
+	KindText    byte = 2
+	KindComment byte = 3
+	KindPI      byte = 4
+	KindAttr    byte = 5
+	KindDoc     byte = 6
+	KindNumber  byte = 7
+	KindString  byte = 8
+	KindBoolean byte = 9
+)
+
+var kindCodes = map[string]byte{
+	"element": KindElement, "text": KindText, "comment": KindComment,
+	"processing-instruction": KindPI, "attribute": KindAttr,
+	"document": KindDoc, "number": KindNumber, "string": KindString,
+	"boolean": KindBoolean,
+}
+
+// KindName maps a wire kind code back to mxq's item kind string.
+func KindName(c byte) string {
+	for n, k := range kindCodes {
+		if k == c {
+			return n
+		}
+	}
+	return fmt.Sprintf("kind(%d)", c)
+}
+
+// maxPrepared bounds the per-session prepared-statement cache.
+const maxPrepared = 256
+
+// prepKey keys compiled plans by document *instance*, not name: a
+// document detached by the idle closer and recovered again is a new
+// instance, so stale plans (bound to the old instance's store) can
+// never serve reads against the new one.
+type prepKey struct {
+	doc *mxq.Document
+	q   string
+}
+
+// pinnedRead is one BEGIN READ … END window: a closeable snapshot plus
+// the catalog reference that keeps its document attached.
+type pinnedRead struct {
+	doc  *mxq.Document
+	snap *mxq.Snapshot
+}
+
+// session serves one connection. Requests are handled strictly in
+// order; everything the session holds is released in closeSession.
+type session struct {
+	srv      *Server
+	conn     net.Conn
+	prepared map[prepKey]*mxq.Prepared
+	reads    map[string]*pinnedRead // doc name -> pinned snapshot
+}
+
+func newSession(srv *Server, conn net.Conn) *session {
+	return &session{
+		srv:      srv,
+		conn:     conn,
+		prepared: make(map[prepKey]*mxq.Prepared),
+		reads:    make(map[string]*pinnedRead),
+	}
+}
+
+// serve is the session's request loop.
+func (s *session) serve() {
+	defer s.closeSession()
+	for {
+		f, err := ReadFrame(s.conn, s.srv.cfg.MaxFrame)
+		if err != nil {
+			return // disconnect, malformed frame, or drain deadline
+		}
+		if s.srv.draining() {
+			s.respondErr(f.ID, CodeShuttingDown, "server is shutting down")
+			return
+		}
+		if !s.handle(f) {
+			return
+		}
+	}
+}
+
+// closeSession releases every held resource: pinned snapshots (and
+// their catalog references), then the connection. The prepared cache
+// needs no teardown (compiled plans hold no store references).
+func (s *session) closeSession() {
+	for name, pr := range s.reads {
+		pr.snap.Close()
+		s.srv.catalog.release(name)
+		delete(s.reads, name)
+	}
+	s.conn.Close()
+	s.srv.sessionDone(s)
+}
+
+// handle dispatches one request; it reports whether the session should
+// keep serving.
+func (s *session) handle(f Frame) bool {
+	switch f.Op {
+	case OpPing:
+		return s.respond(f.ID, StatusOK, nil)
+	case OpListDocs:
+		names := s.srv.cfg.DB.Documents()
+		var p PayloadBuilder
+		p.Uvarint(uint64(len(names)))
+		for _, n := range names {
+			p.String(n)
+		}
+		return s.respond(f.ID, StatusOK, p.Bytes())
+	case OpLoad:
+		return s.handleLoad(f)
+	case OpQuery:
+		return s.handleQuery(f)
+	case OpUpdate:
+		return s.handleUpdate(f)
+	case OpExplain:
+		return s.handleExplain(f)
+	case OpBeginRead:
+		return s.handleBeginRead(f)
+	case OpEndRead:
+		return s.handleEndRead(f)
+	}
+	return s.respondErr(f.ID, CodeBadRequest, fmt.Sprintf("unknown opcode %d", f.Op))
+}
+
+// admit wraps an execution in the admission semaphore, translating
+// rejection into the fast error frames overload control promises.
+func (s *session) admit(id uint64, weight int64, run func() bool) bool {
+	if err := s.srv.adm.acquire(weight); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			return s.respondErr(id, CodeOverloaded, "overloaded")
+		}
+		return s.respondErr(id, CodeShuttingDown, "server is shutting down")
+	}
+	defer s.srv.adm.release(weight)
+	return run()
+}
+
+func (s *session) handleLoad(f Frame) bool {
+	r := NewPayloadReader(f.Payload)
+	name, err := r.String()
+	if err != nil {
+		return s.respondErr(f.ID, CodeBadRequest, err.Error())
+	}
+	xml, err := r.String()
+	if err != nil {
+		return s.respondErr(f.ID, CodeBadRequest, err.Error())
+	}
+	return s.admit(f.ID, 2, func() bool {
+		doc, err := s.srv.cfg.DB.LoadXMLString(name, xml)
+		if err != nil {
+			return s.respondErr(f.ID, CodeQuery, err.Error())
+		}
+		s.srv.catalog.adopt(name, doc)
+		s.srv.catalog.release(name)
+		return s.respond(f.ID, StatusOK, nil)
+	})
+}
+
+func (s *session) handleQuery(f Frame) bool {
+	r := NewPayloadReader(f.Payload)
+	name, err := r.String()
+	if err != nil {
+		return s.respondErr(f.ID, CodeBadRequest, err.Error())
+	}
+	query, err := r.String()
+	if err != nil {
+		return s.respondErr(f.ID, CodeBadRequest, err.Error())
+	}
+	nvars, err := r.Uvarint()
+	if err != nil || nvars > 1024 {
+		return s.respondErr(f.ID, CodeBadRequest, "bad variable count")
+	}
+	var vars map[string]string
+	if nvars > 0 {
+		vars = make(map[string]string, nvars)
+		for i := uint64(0); i < nvars; i++ {
+			k, err := r.String()
+			if err != nil {
+				return s.respondErr(f.ID, CodeBadRequest, err.Error())
+			}
+			v, err := r.String()
+			if err != nil {
+				return s.respondErr(f.ID, CodeBadRequest, err.Error())
+			}
+			vars[k] = v
+		}
+	}
+	return s.admit(f.ID, 1, func() bool {
+		doc, pr, release, ok := s.docForRead(f.ID, name)
+		if !ok {
+			return true
+		}
+		defer release()
+		prep, err := s.prepare(doc, query)
+		if err != nil {
+			return s.respondErr(f.ID, CodeQuery, err.Error())
+		}
+		var res mxq.Result
+		if pr != nil {
+			res, err = prep.RunSnapshot(pr.snap, vars)
+		} else {
+			res, err = prep.Run(vars)
+		}
+		if err != nil {
+			return s.respondErr(f.ID, CodeQuery, err.Error())
+		}
+		return s.respond(f.ID, StatusOK, encodeResult(res))
+	})
+}
+
+func (s *session) handleUpdate(f Frame) bool {
+	r := NewPayloadReader(f.Payload)
+	name, err := r.String()
+	if err != nil {
+		return s.respondErr(f.ID, CodeBadRequest, err.Error())
+	}
+	mods, err := r.String()
+	if err != nil {
+		return s.respondErr(f.ID, CodeBadRequest, err.Error())
+	}
+	return s.admit(f.ID, 2, func() bool {
+		e, err := s.srv.catalog.acquireEntry(name)
+		if err != nil {
+			return s.respondNoDoc(f.ID, name, err)
+		}
+		defer s.srv.catalog.release(name)
+		// Serialize writers: the engine's optimistic page locks turn a
+		// racing update into tx.ErrConflict; queueing on the entry's
+		// write mutex gives the wire protocol first-come-first-served
+		// updates instead of surfacing the conflict to clients.
+		e.wmu.Lock()
+		defer e.wmu.Unlock()
+		res, err := e.doc.Update(mods)
+		if err != nil {
+			return s.respondErr(f.ID, CodeQuery, err.Error())
+		}
+		var p PayloadBuilder
+		p.Uvarint(uint64(res.Ops)).Uvarint(uint64(res.Affected))
+		return s.respond(f.ID, StatusOK, p.Bytes())
+	})
+}
+
+func (s *session) handleExplain(f Frame) bool {
+	r := NewPayloadReader(f.Payload)
+	name, err := r.String()
+	if err != nil {
+		return s.respondErr(f.ID, CodeBadRequest, err.Error())
+	}
+	query, err := r.String()
+	if err != nil {
+		return s.respondErr(f.ID, CodeBadRequest, err.Error())
+	}
+	return s.admit(f.ID, 1, func() bool {
+		doc, _, release, ok := s.docForRead(f.ID, name)
+		if !ok {
+			return true
+		}
+		defer release()
+		prep, err := s.prepare(doc, query)
+		if err != nil {
+			return s.respondErr(f.ID, CodeQuery, err.Error())
+		}
+		var p PayloadBuilder
+		p.String(prep.Explain())
+		return s.respond(f.ID, StatusOK, p.Bytes())
+	})
+}
+
+func (s *session) handleBeginRead(f Frame) bool {
+	r := NewPayloadReader(f.Payload)
+	name, err := r.String()
+	if err != nil {
+		return s.respondErr(f.ID, CodeBadRequest, err.Error())
+	}
+	if _, dup := s.reads[name]; dup {
+		return s.respondErr(f.ID, CodeBadRequest, fmt.Sprintf("read already pinned on %q", name))
+	}
+	doc, err := s.srv.catalog.acquire(name)
+	if err != nil {
+		return s.respondNoDoc(f.ID, name, err)
+	}
+	snap := doc.Snapshot()
+	s.reads[name] = &pinnedRead{doc: doc, snap: snap}
+	var p PayloadBuilder
+	p.Uvarint(snap.Version())
+	return s.respond(f.ID, StatusOK, p.Bytes())
+}
+
+func (s *session) handleEndRead(f Frame) bool {
+	r := NewPayloadReader(f.Payload)
+	name, err := r.String()
+	if err != nil {
+		return s.respondErr(f.ID, CodeBadRequest, err.Error())
+	}
+	pr, ok := s.reads[name]
+	if !ok {
+		return s.respondErr(f.ID, CodeReadNotPinned, fmt.Sprintf("no pinned read on %q", name))
+	}
+	delete(s.reads, name)
+	pr.snap.Close()
+	s.srv.catalog.release(name)
+	return s.respond(f.ID, StatusOK, nil)
+}
+
+// docForRead resolves the document a read request runs against: the
+// pinned read when the session holds one (no extra catalog traffic; the
+// pin's reference keeps the document attached), otherwise a fresh
+// catalog reference released after the request. ok=false means the
+// error response was already sent.
+func (s *session) docForRead(id uint64, name string) (doc *mxq.Document, pr *pinnedRead, release func(), ok bool) {
+	if pr := s.reads[name]; pr != nil {
+		return pr.doc, pr, func() {}, true
+	}
+	doc, err := s.srv.catalog.acquire(name)
+	if err != nil {
+		s.respondNoDoc(id, name, err)
+		return nil, nil, nil, false
+	}
+	return doc, nil, func() { s.srv.catalog.release(name) }, true
+}
+
+// prepare returns the session's cached compiled plan for (doc, query),
+// compiling and caching on miss.
+func (s *session) prepare(doc *mxq.Document, query string) (*mxq.Prepared, error) {
+	key := prepKey{doc: doc, q: query}
+	if p, ok := s.prepared[key]; ok {
+		return p, nil
+	}
+	p, err := doc.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.prepared) >= maxPrepared {
+		// Full: drop an arbitrary half. Sessions with a stable statement
+		// set never hit this; one cycling through thousands of distinct
+		// texts gets cache misses, not unbounded memory.
+		n := 0
+		for k := range s.prepared {
+			delete(s.prepared, k)
+			if n++; n >= maxPrepared/2 {
+				break
+			}
+		}
+	}
+	s.prepared[key] = p
+	return p, nil
+}
+
+// encodeResult renders a Result: uvarint count, then per item a kind
+// code, the string value, and the serialized XML ("" for non-elements).
+func encodeResult(res mxq.Result) []byte {
+	var p PayloadBuilder
+	p.Uvarint(uint64(len(res)))
+	for _, it := range res {
+		p.Byte(kindCodes[it.Kind])
+		p.String(it.Value)
+		p.String(it.XML)
+	}
+	return p.Bytes()
+}
+
+func (s *session) respond(id uint64, status byte, payload []byte) bool {
+	return WriteFrame(s.conn, Frame{ID: id, Op: status, Payload: payload}) == nil
+}
+
+func (s *session) respondErr(id uint64, code byte, msg string) bool {
+	var p PayloadBuilder
+	p.String(msg)
+	return s.respond(id, code, p.Bytes())
+}
+
+// respondNoDoc distinguishes "unknown document" from other open errors.
+func (s *session) respondNoDoc(id uint64, name string, err error) bool {
+	if errors.Is(err, mxq.ErrDatabaseClosed) {
+		return s.respondErr(id, CodeShuttingDown, "server is shutting down")
+	}
+	if strings.Contains(err.Error(), "no document") {
+		return s.respondErr(id, CodeNoDocument, fmt.Sprintf("no document %q", name))
+	}
+	return s.respondErr(id, CodeInternal, err.Error())
+}

@@ -15,13 +15,18 @@ import (
 
 // Shell interprets commands against a database.
 type Shell struct {
-	db  *mxq.Database
-	out io.Writer
+	db   *mxq.Database
+	out  io.Writer // command results
+	errw io.Writer // error messages ("error: ..." lines)
 }
 
-// New returns a shell writing its output to out.
-func New(db *mxq.Database, out io.Writer) *Shell {
-	return &Shell{db: db, out: out}
+// New returns a shell writing results to out and errors to errw (nil
+// means out — errors interleave with results, the old behavior).
+func New(db *mxq.Database, out, errw io.Writer) *Shell {
+	if errw == nil {
+		errw = out
+	}
+	return &Shell{db: db, out: out, errw: errw}
 }
 
 // LoadFile shreds the XML file at path into the database under name.
@@ -35,12 +40,14 @@ func (s *Shell) LoadFile(name, path string) error {
 	return err
 }
 
-// Execute interprets one command line and reports whether the shell
-// should exit.
-func (s *Shell) Execute(line string) (quit bool) {
+// Execute interprets one command line. quit reports whether the shell
+// should exit; err is non-nil when the command failed (after the error
+// message has already been printed to the error writer), so a driver
+// can turn any failure into a non-zero exit status.
+func (s *Shell) Execute(line string) (quit bool, err error) {
 	line = strings.TrimSpace(line)
 	if line == "" {
-		return false
+		return false, nil
 	}
 	fields := strings.Fields(line)
 	cmd := fields[0]
@@ -61,7 +68,7 @@ func (s *Shell) Execute(line string) (quit bool) {
 	}
 	switch cmd {
 	case "quit", "exit":
-		return true
+		return true, nil
 	case "help":
 		fmt.Fprintln(s.out, "commands: load <name> <file> | docs | q <name> <xpath> | explain <name> <xpath> | u <name> <file.xu> | xml <name> | stats <name> | checkpoint <name> | quit")
 	case "docs":
@@ -70,21 +77,19 @@ func (s *Shell) Execute(line string) (quit bool) {
 		}
 	case "load":
 		if arg(1) == "" || arg(2) == "" {
-			s.errorf("usage: load <name> <file>")
-			return false
+			return false, s.errorf("usage: load <name> <file>")
 		}
 		if err := s.LoadFile(arg(1), arg(2)); err != nil {
-			s.errorf("%v", err)
+			return false, s.errorf("%v", err)
 		}
 	case "q":
-		doc := s.doc(arg(1))
-		if doc == nil {
-			return false
+		doc, err := s.doc(arg(1))
+		if err != nil {
+			return false, err
 		}
 		res, err := doc.Query(rest(2))
 		if err != nil {
-			s.errorf("%v", err)
-			return false
+			return false, s.errorf("%v", err)
 		}
 		for i, item := range res {
 			if item.XML != "" {
@@ -96,44 +101,41 @@ func (s *Shell) Execute(line string) (quit bool) {
 		fmt.Fprintf(s.out, "(%d items)\n", len(res))
 	case "explain":
 		// Render the compiled sequence-at-a-time plan without running it.
-		doc := s.doc(arg(1))
-		if doc == nil {
-			return false
+		doc, err := s.doc(arg(1))
+		if err != nil {
+			return false, err
 		}
 		prep, err := doc.Prepare(rest(2))
 		if err != nil {
-			s.errorf("%v", err)
-			return false
+			return false, s.errorf("%v", err)
 		}
 		fmt.Fprint(s.out, prep.Explain())
 	case "u":
-		doc := s.doc(arg(1))
-		if doc == nil {
-			return false
+		doc, err := s.doc(arg(1))
+		if err != nil {
+			return false, err
 		}
 		data, err := os.ReadFile(arg(2))
 		if err != nil {
-			s.errorf("%v", err)
-			return false
+			return false, s.errorf("%v", err)
 		}
 		res, err := doc.Update(string(data))
 		if err != nil {
-			s.errorf("%v", err)
-			return false
+			return false, s.errorf("%v", err)
 		}
 		fmt.Fprintf(s.out, "ok: %d commands, %d nodes affected\n", res.Ops, res.Affected)
 	case "xml":
-		doc := s.doc(arg(1))
-		if doc == nil {
-			return false
+		doc, err := s.doc(arg(1))
+		if err != nil {
+			return false, err
 		}
 		if err := doc.SerializeTo(s.out, "  "); err != nil {
-			s.errorf("%v", err)
+			return false, s.errorf("%v", err)
 		}
 	case "stats":
-		doc := s.doc(arg(1))
-		if doc == nil {
-			return false
+		doc, err := s.doc(arg(1))
+		if err != nil {
+			return false, err
 		}
 		st := doc.Stats()
 		fmt.Fprintf(s.out, "live nodes: %d\ntuples:     %d (%d pages × %d)\nfill:       %.1f%%\ncommits:    %d (aborts %d)\n",
@@ -143,31 +145,33 @@ func (s *Shell) Execute(line string) (quit bool) {
 				st.WALBytes, st.WALRecords, st.Checkpoints)
 		}
 	case "checkpoint":
-		doc := s.doc(arg(1))
-		if doc == nil {
-			return false
+		doc, err := s.doc(arg(1))
+		if err != nil {
+			return false, err
 		}
 		if err := doc.Checkpoint(); err != nil {
-			s.errorf("%v", err)
-		} else {
-			// Online checkpoint: commits kept landing while it streamed.
-			fmt.Fprintln(s.out, "ok (online)")
+			return false, s.errorf("%v", err)
 		}
+		// Online checkpoint: commits kept landing while it streamed.
+		fmt.Fprintln(s.out, "ok (online)")
 	default:
-		fmt.Fprintf(s.out, "unknown command %q (try 'help')\n", cmd)
+		return false, s.errorf("unknown command %q (try 'help')", cmd)
 	}
-	return false
+	return false, nil
 }
 
-func (s *Shell) doc(name string) *mxq.Document {
+func (s *Shell) doc(name string) (*mxq.Document, error) {
 	d, ok := s.db.Document(name)
 	if !ok {
-		s.errorf("no document %q (try 'docs')", name)
-		return nil
+		return nil, s.errorf("no document %q (try 'docs')", name)
 	}
-	return d
+	return d, nil
 }
 
-func (s *Shell) errorf(format string, args ...any) {
-	fmt.Fprintf(s.out, "error: "+format+"\n", args...)
+// errorf prints one "error: ..." line to the error writer and returns
+// the same message as an error for the caller's exit status.
+func (s *Shell) errorf(format string, args ...any) error {
+	err := fmt.Errorf(format, args...)
+	fmt.Fprintf(s.errw, "error: %v\n", err)
+	return err
 }

@@ -9,14 +9,22 @@ import (
 	"mxq"
 )
 
-func newShell(t *testing.T) (*Shell, *strings.Builder, *mxq.Database) {
+func newShell(t *testing.T) (*Shell, *strings.Builder, *strings.Builder) {
 	t.Helper()
 	db, err := mxq.Open(mxq.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var out strings.Builder
-	return New(db, &out), &out, db
+	var out, errw strings.Builder
+	return New(db, &out, &errw), &out, &errw
+}
+
+// run executes a line that must succeed.
+func run(t *testing.T, sh *Shell, line string) {
+	t.Helper()
+	if _, err := sh.Execute(line); err != nil {
+		t.Fatalf("%q failed: %v", line, err)
+	}
 }
 
 func writeFile(t *testing.T, dir, name, content string) string {
@@ -33,25 +41,25 @@ func TestLoadQueryStats(t *testing.T) {
 	dir := t.TempDir()
 	path := writeFile(t, dir, "z.xml", `<zoo><animal>tiger</animal><animal>crane</animal></zoo>`)
 
-	if quit := sh.Execute("load zoo " + path); quit {
-		t.Fatal("load quit")
+	if quit, err := sh.Execute("load zoo " + path); quit || err != nil {
+		t.Fatalf("load: quit=%v err=%v", quit, err)
 	}
-	sh.Execute("docs")
+	run(t, sh, "docs")
 	if !strings.Contains(out.String(), "zoo") {
 		t.Fatalf("docs output: %q", out.String())
 	}
 	out.Reset()
-	sh.Execute("q zoo count(//animal)")
+	run(t, sh, "q zoo count(//animal)")
 	if !strings.Contains(out.String(), "[number] 2") {
 		t.Fatalf("query output: %q", out.String())
 	}
 	out.Reset()
-	sh.Execute("q zoo //animal[1]")
+	run(t, sh, "q zoo //animal[1]")
 	if !strings.Contains(out.String(), "<animal>tiger</animal>") {
 		t.Fatalf("element output: %q", out.String())
 	}
 	out.Reset()
-	sh.Execute("stats zoo")
+	run(t, sh, "stats zoo")
 	if !strings.Contains(out.String(), "live nodes: 5") {
 		t.Fatalf("stats output: %q", out.String())
 	}
@@ -65,14 +73,14 @@ func TestUpdateAndXML(t *testing.T) {
 		`<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
 		   <xupdate:append select="/zoo"><animal>heron</animal></xupdate:append>
 		 </xupdate:modifications>`)
-	sh.Execute("load zoo " + doc)
+	run(t, sh, "load zoo "+doc)
 	out.Reset()
-	sh.Execute("u zoo " + xu)
+	run(t, sh, "u zoo "+xu)
 	if !strings.Contains(out.String(), "ok: 1 commands, 1 nodes affected") {
 		t.Fatalf("update output: %q", out.String())
 	}
 	out.Reset()
-	sh.Execute("xml zoo")
+	run(t, sh, "xml zoo")
 	if !strings.Contains(out.String(), "heron") {
 		t.Fatalf("xml output: %q", out.String())
 	}
@@ -83,9 +91,9 @@ func TestExplain(t *testing.T) {
 	dir := t.TempDir()
 	doc := writeFile(t, dir, "z.xml",
 		`<zoo><cage><animal>tiger</animal></cage><cage><animal>crane</animal></cage></zoo>`)
-	sh.Execute("load zoo " + doc)
+	run(t, sh, "load zoo "+doc)
 	out.Reset()
-	sh.Execute("explain zoo //cage//animal")
+	run(t, sh, "explain zoo //cage//animal")
 	got := out.String()
 	for _, want := range []string{"descendant::cage", "descendant::animal", "seq (fused //)"} {
 		if !strings.Contains(got, want) {
@@ -93,63 +101,93 @@ func TestExplain(t *testing.T) {
 		}
 	}
 	out.Reset()
-	sh.Execute("explain zoo //animal[last()]")
+	run(t, sh, "explain zoo //animal[last()]")
 	if !strings.Contains(out.String(), "per-node") {
 		t.Fatalf("explain output missing per-node fallback: %q", out.String())
 	}
-	out.Reset()
-	sh.Execute("explain zoo //[bad")
-	if !strings.Contains(out.String(), "error:") {
-		t.Fatalf("explain parse-error output: %q", out.String())
+}
+
+// TestCommandFailures is the table test for the failure contract: every
+// failing command must return a non-nil error (the driver's exit
+// status) and print one "error:" line to the error writer, not stdout.
+func TestCommandFailures(t *testing.T) {
+	dir := t.TempDir()
+	doc := writeFile(t, dir, "z.xml", `<z/>`)
+	cases := []struct {
+		name    string
+		line    string
+		wantErr string // substring of the error / stderr line
+	}{
+		{"unknown command", "frobnicate", "unknown command"},
+		{"load usage", "load onlyname", "usage:"},
+		{"load missing file", "load x /nonexistent/file.xml", "no such file"},
+		{"query unknown doc", "q ghost //x", `no document "ghost"`},
+		{"query parse error", "q z //[bad", "xpath"},
+		{"explain parse error", "explain z //[bad", "xpath"},
+		{"update missing file", "u z /nonexistent/mods.xu", "no such file"},
+		{"checkpoint without dir", "checkpoint z", "error"},
+		{"stats unknown doc", "stats ghost", `no document "ghost"`},
+		{"xml unknown doc", "xml ghost", `no document "ghost"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sh, out, errw := newShell(t)
+			run(t, sh, "load z "+doc)
+			out.Reset()
+			quit, err := sh.Execute(tc.line)
+			if quit {
+				t.Fatal("failed command quit the shell")
+			}
+			if err == nil {
+				t.Fatalf("%q returned nil error", tc.line)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) && !strings.Contains(errw.String(), tc.wantErr) {
+				t.Fatalf("error %q / stderr %q missing %q", err, errw.String(), tc.wantErr)
+			}
+			if !strings.HasPrefix(errw.String(), "error: ") {
+				t.Fatalf("stderr = %q, want an error: line", errw.String())
+			}
+			if strings.Contains(out.String(), "error:") {
+				t.Fatalf("error leaked to stdout: %q", out.String())
+			}
+			// The shell keeps working after a failure.
+			out.Reset()
+			run(t, sh, "q z count(/z)")
+			if !strings.Contains(out.String(), "[number] 1") {
+				t.Fatalf("query after failure: %q", out.String())
+			}
+		})
 	}
 }
 
-func TestErrorsAndUnknown(t *testing.T) {
-	sh, out, _ := newShell(t)
-	sh.Execute("q ghost //x")
-	if !strings.Contains(out.String(), `no document "ghost"`) {
-		t.Fatalf("missing-doc output: %q", out.String())
+// TestErrorWriterDefaultsToOut keeps the old single-writer behavior for
+// callers passing nil.
+func TestErrorWriterDefaultsToOut(t *testing.T) {
+	db, err := mxq.Open(mxq.Options{})
+	if err != nil {
+		t.Fatal(err)
 	}
-	out.Reset()
-	sh.Execute("frobnicate")
-	if !strings.Contains(out.String(), "unknown command") {
-		t.Fatalf("unknown output: %q", out.String())
+	var out strings.Builder
+	sh := New(db, &out, nil)
+	if _, err := sh.Execute("frobnicate"); err == nil {
+		t.Fatal("want error")
 	}
-	out.Reset()
-	sh.Execute("load onlyname")
-	if !strings.Contains(out.String(), "usage:") {
-		t.Fatalf("usage output: %q", out.String())
-	}
-	out.Reset()
-	sh.Execute("load x /nonexistent/file.xml")
 	if !strings.Contains(out.String(), "error:") {
-		t.Fatalf("load error output: %q", out.String())
-	}
-	out.Reset()
-	dir := t.TempDir()
-	doc := writeFile(t, dir, "z.xml", `<z/>`)
-	sh.Execute("load z " + doc)
-	out.Reset()
-	sh.Execute("q z //[bad")
-	if !strings.Contains(out.String(), "error:") {
-		t.Fatalf("bad query output: %q", out.String())
-	}
-	out.Reset()
-	sh.Execute("checkpoint z") // no durability dir configured
-	if !strings.Contains(out.String(), "error:") {
-		t.Fatalf("checkpoint output: %q", out.String())
+		t.Fatalf("out = %q, want the error inline", out.String())
 	}
 }
 
 func TestQuitAndHelp(t *testing.T) {
 	sh, out, _ := newShell(t)
-	if !sh.Execute("quit") || !sh.Execute("exit") {
-		t.Fatal("quit/exit did not signal")
+	q1, err1 := sh.Execute("quit")
+	q2, err2 := sh.Execute("exit")
+	if !q1 || !q2 || err1 != nil || err2 != nil {
+		t.Fatal("quit/exit did not signal cleanly")
 	}
-	if sh.Execute("") {
-		t.Fatal("empty line quit")
+	if quit, err := sh.Execute(""); quit || err != nil {
+		t.Fatal("empty line should be a no-op")
 	}
-	sh.Execute("help")
+	run(t, sh, "help")
 	if !strings.Contains(out.String(), "commands:") {
 		t.Fatalf("help output: %q", out.String())
 	}

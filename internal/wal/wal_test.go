@@ -687,3 +687,169 @@ func TestReplayRacesAppend(t *testing.T) {
 		t.Fatalf("accounting corrupted by concurrent replay: %d bytes / %d records", bytes, records)
 	}
 }
+
+// recordSize measures the encoded size of one boundary-test record by
+// appending it to a throwaway log. The tests below derive SegmentBytes
+// from it, so they stay exact if the record encoding ever changes.
+func recordSize(t *testing.T) int64 {
+	t.Helper()
+	l, _ := openTemp(t)
+	defer l.Close()
+	if _, err := l.Append(boundaryOps()); err != nil {
+		t.Fatal(err)
+	}
+	return l.Segments()[0].Size
+}
+
+// boundaryOps builds the fixed op list the boundary tests append. The
+// LSN inside the record is gob-encoded, so identical ops produce
+// identical record sizes only while the LSN stays in gob's single-byte
+// range — the tests keep well under that.
+func boundaryOps() []Op {
+	return []Op{{Kind: OpSetValue, Target: 7, Value: "boundary filler"}}
+}
+
+// TestRotationExactBoundary: a record landing exactly at SegmentBytes
+// seals the segment with the record intact — never split across the
+// boundary — and the next record starts the new segment.
+func TestRotationExactBoundary(t *testing.T) {
+	s := recordSize(t)
+	path := filepath.Join(t.TempDir(), "exact.wal")
+	l, err := Open(path, Options{NoSync: true, SegmentBytes: 3 * s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(boundaryOps()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := l.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("segments after exact fill = %d, want sealed + fresh active", len(segs))
+	}
+	if segs[0].Size != 3*s || segs[0].Records != 3 || segs[0].LastLSN != 3 {
+		t.Fatalf("sealed segment = %+v, want exactly 3 records / %d bytes", segs[0], 3*s)
+	}
+	if segs[1].Records != 0 || segs[1].Size != 0 {
+		t.Fatalf("active segment not empty after rotation: %+v", segs[1])
+	}
+
+	// The next record lands wholly in the new segment: nothing of it in
+	// the sealed one, no split.
+	if _, err := l.Append(boundaryOps()); err != nil {
+		t.Fatal(err)
+	}
+	segs = l.Segments()
+	if segs[0].Size != 3*s {
+		t.Fatalf("sealed segment grew after rotation: %+v", segs[0])
+	}
+	if segs[1].Records != 1 || segs[1].FirstLSN != 4 || segs[1].Size != s {
+		t.Fatalf("record after boundary = %+v, want 1 record of %d bytes starting at LSN 4", segs[1], s)
+	}
+}
+
+// TestRotationOneByteShort: one byte under the threshold must NOT seal —
+// rotation fires only once the active segment has reached SegmentBytes.
+func TestRotationOneByteShort(t *testing.T) {
+	s := recordSize(t)
+	path := filepath.Join(t.TempDir(), "short.wal")
+	l, err := Open(path, Options{NoSync: true, SegmentBytes: 3*s + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(boundaryOps()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if segs := l.Segments(); len(segs) != 1 {
+		t.Fatalf("segments one byte short of threshold = %d, want 1", len(segs))
+	}
+	// The fourth append crosses the threshold and seals.
+	if _, err := l.Append(boundaryOps()); err != nil {
+		t.Fatal(err)
+	}
+	if segs := l.Segments(); len(segs) != 2 || segs[0].Records != 4 {
+		t.Fatalf("segments after crossing = %+v", segs)
+	}
+}
+
+// TestRotationBoundaryRecovery: a reopen across an exact-boundary seal
+// replays every record exactly once — no gap and no duplicate at the
+// segment seam.
+func TestRotationBoundaryRecovery(t *testing.T) {
+	s := recordSize(t)
+	path := filepath.Join(t.TempDir(), "recover.wal")
+	l, err := Open(path, Options{NoSync: true, SegmentBytes: 3 * s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 7 // 3 in the first sealed segment, 3 in the second, 1 active
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(boundaryOps()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(path, Options{NoSync: true, SegmentBytes: 3 * s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != n {
+		t.Fatalf("LastLSN after reopen = %d, want %d", l2.LastLSN(), n)
+	}
+	want := uint64(1)
+	if err := l2.Replay(0, func(r *Record) error {
+		if r.LSN != want {
+			return fmt.Errorf("replayed LSN %d, want %d", r.LSN, want)
+		}
+		want++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want != n+1 {
+		t.Fatalf("replay covered %d records, want %d", want-1, n)
+	}
+	// Appends continue seamlessly after the boundary recovery.
+	lsn, err := l2.Append(boundaryOps())
+	if err != nil || lsn != n+1 {
+		t.Fatalf("append after reopen = %d, %v", lsn, err)
+	}
+}
+
+// TestRotationBoundarySyncDurable: with fsync on, a Sync issued for the
+// record that triggered the seal still lands (the seal itself fsyncs the
+// sealed segment; Sync must not stall on a file that is already closed).
+func TestRotationBoundarySyncDurable(t *testing.T) {
+	s := recordSize(t)
+	path := filepath.Join(t.TempDir(), "sync.wal")
+	l, err := Open(path, Options{SegmentBytes: 3 * s}) // fsync enabled
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var last uint64
+	for i := 0; i < 3; i++ {
+		if last, err = l.Append(boundaryOps()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(last); err != nil {
+		t.Fatal(err)
+	}
+	if l.DurableLSN() < last {
+		t.Fatalf("durable = %d after Sync(%d) across a seal", l.DurableLSN(), last)
+	}
+	if segs := l.Segments(); len(segs) != 2 {
+		t.Fatalf("segments = %d, want seal to have happened", len(segs))
+	}
+}

@@ -185,6 +185,13 @@ func (f *funcCall) String() string {
 type filterExpr struct {
 	base  expr
 	preds []expr
+
+	// seq marks, per predicate, whether it is position-free and filters
+	// the base sequence in place; ownedBase whether the base's result
+	// may be mutated without a defensive copy. Both are attached by
+	// compilePlans (see classifyFilter in compile.go).
+	seq       []bool
+	ownedBase bool
 }
 
 func (f *filterExpr) String() string {

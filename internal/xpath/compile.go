@@ -49,6 +49,7 @@ func compilePlans(e expr) {
 		for _, p := range x.preds {
 			compilePlans(p)
 		}
+		classifyFilter(x)
 	case *binaryExpr:
 		compilePlans(x.l)
 		compilePlans(x.r)
@@ -111,7 +112,9 @@ func fuseDescendant(st *step, steps []step, i int) (Axis, bool) {
 	default:
 		return 0, false
 	}
-	if classifyStep(*next).kind != opSeq {
+	if cs := classifyStep(*next); cs.kind != opSeq || cs.dyn {
+		// A dyn predicate can turn out numeric at runtime, and numeric
+		// predicates number against the uncollapsed context set.
 		return 0, false
 	}
 	return ax, true
@@ -133,13 +136,65 @@ func classifyStep(st step) planStep {
 		ps.seqPreds = st.preds[1:]
 		return ps
 	}
-	if allSeqSafe(st.preds) {
+	if seq, dyn := classifyPreds(st.preds); seq {
 		ps.kind = opSeq
 		ps.seqPreds = st.preds
+		ps.dyn = dyn
 		return ps
 	}
 	ps.kind = opPerNode
 	return ps
+}
+
+// classifyPreds reports whether every predicate can be applied over the
+// merged result sequence. A statically typed predicate qualifies through
+// seqSafe; an *untypable* one (a bare variable, whose value only runtime
+// knows) qualifies when it is position-free, but makes the step dynamic:
+// if the value turns out to be a number after all, numeric predicates
+// select by per-context position and the runtime falls back to the
+// node-at-a-time path for that step (see errNumericPred).
+func classifyPreds(preds []expr) (seq, dyn bool) {
+	for _, p := range preds {
+		switch {
+		case seqSafe(p):
+		case positionFree(p) && typeOf(p) == tUnknown:
+			dyn = true
+		default:
+			return false, false
+		}
+	}
+	return true, dyn
+}
+
+// classifyFilter attaches the predicate classification to a filter
+// expression (primary[pred]...). Unlike a step — where each context node
+// numbers its own axis candidates — a filter's predicates number against
+// the whole base sequence, which is exactly the order the evaluator
+// holds it in. Every position-free predicate (typed or not) is therefore
+// filtered over the sequence in place, with a runtime number compared
+// against the sequence position (identical semantics, no fallback
+// needed); only predicates that consult position() or last() keep the
+// allocating per-node path, purely because their classification is what
+// Explain reports.
+func classifyFilter(f *filterExpr) {
+	f.seq = make([]bool, len(f.preds))
+	for i, p := range f.preds {
+		f.seq[i] = positionFree(p)
+	}
+	f.ownedBase = ownedNodeSetBase(f.base)
+}
+
+// ownedNodeSetBase reports whether evaluating e always yields a freshly
+// allocated node-set the filter may mutate in place. A variable
+// reference hands back the caller's bound node-set, which must never be
+// filtered destructively; path, union and filter expressions build their
+// results per evaluation.
+func ownedNodeSetBase(e expr) bool {
+	switch e.(type) {
+	case *pathExpr, *unionExpr, *filterExpr:
+		return true
+	}
+	return false
 }
 
 // posLiteral recognizes the two spellings of a static position

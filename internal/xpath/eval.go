@@ -163,8 +163,24 @@ func (f *filterExpr) eval(c *context) (Value, error) {
 	if !ok {
 		return nil, fmt.Errorf("predicate applied to a %T", base)
 	}
-	for _, pred := range f.preds {
-		ns, err = filterNodes(c, ns, pred, false)
+	// Position-free predicates filter the base sequence in place: a
+	// filter's predicates number against the whole base sequence, which
+	// is exactly the order ns holds, so a runtime numeric value compares
+	// against the sequence position with no per-context renumbering (see
+	// classifyFilter in compile.go). A borrowed base (variable binding)
+	// is copied once before the first destructive pass.
+	owned := f.ownedBase
+	for i, pred := range f.preds {
+		if f.seq != nil && f.seq[i] && planEnabled.Load() {
+			if !owned {
+				ns = append(NodeSet{}, ns...)
+				owned = true
+			}
+			ns, err = filterNodesInPlace(c, ns, pred)
+		} else {
+			ns, err = filterNodes(c, ns, pred, false)
+			owned = true
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -265,6 +281,35 @@ func filterNodes(c *context, ns NodeSet, pred expr, _ bool) (NodeSet, error) {
 		}
 	}
 	return out, nil
+}
+
+// filterNodesInPlace is filterNodes without the result allocation: the
+// kept nodes compact into the front of ns. Callers guarantee they own
+// ns. Numeric predicate values still select by position — identical
+// semantics, because the positions compared against are the sequence
+// positions filterNodes would have assigned.
+func filterNodesInPlace(c *context, ns NodeSet, pred expr) (NodeSet, error) {
+	sub := context{view: c.view, size: len(ns), vars: c.vars}
+	w := 0
+	for i, n := range ns {
+		sub.node = n
+		sub.pos = i + 1
+		val, err := pred.eval(&sub)
+		if err != nil {
+			return nil, err
+		}
+		keep := false
+		if num, ok := val.(Number); ok {
+			keep = float64(num) == float64(i+1)
+		} else {
+			keep = BoolOf(val)
+		}
+		if keep {
+			ns[w] = n
+			w++
+		}
+	}
+	return ns[:w], nil
 }
 
 // axisCandidates enumerates the axis from one context node, applying the

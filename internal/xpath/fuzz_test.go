@@ -107,6 +107,14 @@ func FuzzXPathEval(f *testing.F) {
 		`//text()`, `//comment()`, `//processing-instruction()`,
 		`//person/descendant-or-self::*`, `//item/following::kw`,
 		`//watch/..`, `.//kw`, `1 + count(//item//kw) * 2`,
+		// Filter expressions: in-place sequence filters over the base.
+		`(//person)[income]/name/text()`, `(//item//kw)[2]/text()`,
+		`(//person)[income][2]/@id`, `(//name | //kw)[contains(., "o")]`,
+		`(//item)[desc//kw]`, `(//person)[$x]`, `(//person)[$who]`,
+		// Untypable step predicates: dyn sequence steps whose numeric
+		// fallback reruns the step per-node ($x is a number).
+		`//watch[$x]`, `//person[$x]/@id`, `//person[$who]/name`,
+		`//bidder[$x]/increase/text()`, `//person[watches/watch[$x]]`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

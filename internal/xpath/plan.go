@@ -13,6 +13,7 @@ package xpath
 // per-node evaluator, then merged back in document order.
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,6 +22,13 @@ import (
 	"mxq/internal/staircase"
 	"mxq/internal/xenc"
 )
+
+// errNumericPred signals that a dynamically typed (untypable at compile
+// time, e.g. a bare variable) predicate evaluated to a number at
+// runtime. Numeric predicates select by per-context position, which the
+// merged sequence cannot number; planStep.apply catches the sentinel and
+// reruns the step node-at-a-time. It never escapes the plan runtime.
+var errNumericPred = errors.New("xpath: dynamic predicate is numeric")
 
 // planEnabled gates the compiled pipeline globally. It exists so the
 // differential fuzzer and the old-vs-new pipeline benchmarks can compare
@@ -57,6 +65,7 @@ type planStep struct {
 	pos      int    // the fused positional predicate (kind == opFusedPos)
 	seqPreds []expr // position-free predicates applied over the sequence
 	fused    bool   // collapsed from descendant-or-self::node()/...
+	dyn      bool   // some seqPred is untypable: numeric fallback may fire
 }
 
 // pathPlan is the compiled pipeline for one location path.
@@ -122,6 +131,20 @@ func (ps *planStep) apply(c *context, sc seqCtx) (seqCtx, error) {
 		ns, err := applyStep(c, sc.nodeSet(), &ps.st)
 		return seqCtx{nodes: ns}, err
 	}
+	out, err := ps.applySeq(c, sc)
+	if err == errNumericPred {
+		// A dyn predicate turned out numeric at runtime: numeric
+		// predicates select by per-context position, so rerun the whole
+		// step node-at-a-time, whose numbering defines those semantics.
+		ns, perr := applyStep(c, sc.nodeSet(), &ps.st)
+		return seqCtx{nodes: ns}, perr
+	}
+	return out, err
+}
+
+// applySeq is the sequence-level strategy of apply; it reports
+// errNumericPred when a dyn predicate must be renumbered per context.
+func (ps *planStep) applySeq(c *context, sc seqCtx) (seqCtx, error) {
 	pres := sc.pres
 	var special NodeSet
 	if !sc.pure {
@@ -180,7 +203,7 @@ func (ps *planStep) treeSeq(c *context, pres []xenc.Pre) (seqCtx, error) {
 	if !withDoc {
 		var err error
 		for _, pred := range ps.seqPreds {
-			if cands, err = filterPres(c, cands, pred); err != nil {
+			if cands, err = filterPres(c, cands, pred, ps.dyn); err != nil {
 				return seqCtx{}, err
 			}
 		}
@@ -197,8 +220,10 @@ func (ps *planStep) treeSeq(c *context, pres []xenc.Pre) (seqCtx, error) {
 
 // filterPres is filterSeqPreds over the pure pre representation: one
 // sequence-safe predicate, filtered in place with a reusable scratch
-// context.
-func filterPres(c *context, pres []xenc.Pre, pred expr) ([]xenc.Pre, error) {
+// context. dyn marks a predicate whose type only runtime knows: a
+// numeric value makes it positional, which the merged sequence cannot
+// honor, so the step falls back via errNumericPred.
+func filterPres(c *context, pres []xenc.Pre, pred expr, dyn bool) ([]xenc.Pre, error) {
 	sub := context{view: c.view, vars: c.vars, size: len(pres)}
 	w := 0
 	for i, p := range pres {
@@ -207,6 +232,11 @@ func filterPres(c *context, pres []xenc.Pre, pred expr) ([]xenc.Pre, error) {
 		val, err := pred.eval(&sub)
 		if err != nil {
 			return nil, err
+		}
+		if dyn {
+			if _, isNum := val.(Number); isNum {
+				return nil, errNumericPred
+			}
 		}
 		if BoolOf(val) {
 			pres[w] = p
@@ -272,6 +302,11 @@ func (ps *planStep) filterSeqPreds(c *context, ns NodeSet) (NodeSet, error) {
 			val, err := pred.eval(&sub)
 			if err != nil {
 				return nil, err
+			}
+			if ps.dyn {
+				if _, isNum := val.(Number); isNum {
+					return nil, errNumericPred
+				}
 			}
 			if BoolOf(val) {
 				ns[w] = n
@@ -440,6 +475,9 @@ func (ps *planStep) mode() string {
 		if len(ps.seqPreds) > 0 {
 			s += fmt.Sprintf(", %d seq filter(s)", len(ps.seqPreds))
 		}
+		if ps.dyn {
+			s += " (dyn: numeric falls back per-node)"
+		}
 		return s
 	case opFusedPos:
 		s := fmt.Sprintf("seq, early-exit pos=%d", ps.pos)
@@ -472,7 +510,12 @@ func explainExpr(b *strings.Builder, e expr, depth int) {
 		}
 	case *filterExpr:
 		explainExpr(b, x.base, depth)
-		for _, p := range x.preds {
+		for i, p := range x.preds {
+			mode := "per-node (positional)"
+			if i < len(x.seq) && x.seq[i] {
+				mode = "seq (in-place)"
+			}
+			fmt.Fprintf(b, "%sfilter [%s]: %s\n", indent, p, mode)
 			explainExpr(b, p, depth+1)
 		}
 	case *binaryExpr:

@@ -97,6 +97,23 @@ var planQueries = []string{
 	`//person[position() = 2 or @id = "p0"]`,
 	`.//kw`,
 	`//europe//item[1]/name/text()`,
+	// Filter expressions: predicates number against the base sequence.
+	`(//person)[income]/name/text()`,
+	`(//item)[desc//kw]/@id`,
+	`(//item//kw)[2]/text()`,
+	`(//person)[2]/name/text()`,
+	`(//name | //kw)[contains(., "o")]`,
+	`(//person)[income][2]/@id`,
+	`($ns)[income]/name/text()`,
+	`($ns)[$x]/name/text()`,
+	// Untypable but position-free predicates: sequence step with the
+	// dynamic numeric fallback ($x is a number, $who a string).
+	`//watch[$x]`,
+	`//person[$who]/name/text()`,
+	`//person[$x]/@id`,
+	`//watches[$x]`,
+	`//bidder[$x]/increase/text()`,
+	`//person[watches/watch[$x]]/@id`,
 }
 
 // buildPlanStores shreds planDoc into the read-only store and a paged
@@ -117,6 +134,20 @@ func buildPlanStores(tb testing.TB) (xenc.DocView, xenc.DocView) {
 		tb.Fatal(err)
 	}
 	return ro, up
+}
+
+// planVars builds the variable bindings the battery references: a
+// string, a number (exercising the dynamic numeric fallback), and a
+// node-set bound from the given view (store-specific pre ranks). The
+// node-set is shared across queries, so a filter that destructively
+// consumed it instead of copying would poison later queries.
+func planVars(tb testing.TB, v xenc.DocView) map[string]Value {
+	tb.Helper()
+	ns, err := MustParse(`//person`).Select(v)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return map[string]Value{"who": String("p1"), "x": Number(2), "ns": ns}
 }
 
 // resultKey renders a value into a store-independent comparable form.
@@ -150,7 +181,6 @@ func resultKey(v xenc.DocView, val Value) string {
 // through the node-at-a-time interpreter, on both storage schemas.
 func TestPlanMatchesPerNode(t *testing.T) {
 	ro, up := buildPlanStores(t)
-	vars := map[string]Value{"who": String("p1")}
 	for _, q := range planQueries {
 		e, err := Parse(q)
 		if err != nil {
@@ -160,6 +190,7 @@ func TestPlanMatchesPerNode(t *testing.T) {
 			name string
 			v    xenc.DocView
 		}{{"ro", ro}, {"up", up}} {
+			vars := planVars(t, view.v)
 			seqVal, seqErr := e.EvalVars(view.v, vars)
 			prev := SetPlanEnabled(false)
 			perVal, perErr := e.EvalVars(view.v, vars)
@@ -183,10 +214,11 @@ func TestPlanMatchesPerNode(t *testing.T) {
 // paged schema.
 func TestPlanMatchesAcrossStores(t *testing.T) {
 	ro, up := buildPlanStores(t)
+	roVars, upVars := planVars(t, ro), planVars(t, up)
 	for _, q := range planQueries {
 		e := MustParse(q)
-		a, err1 := e.EvalVars(ro, map[string]Value{"who": String("p1")})
-		b, err2 := e.EvalVars(up, map[string]Value{"who": String("p1")})
+		a, err1 := e.EvalVars(ro, roVars)
+		b, err2 := e.EvalVars(up, upVars)
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("%s: ro err %v, up err %v", q, err1, err2)
 		}
@@ -218,7 +250,10 @@ func TestCompileClassification(t *testing.T) {
 		{`//person[last()]`, []stepKind{opSeq, opPerNode}},
 		{`//person[income]`, []stepKind{opSeq}}, // seq filter, fused
 		{`//kw/ancestor::*[1]`, []stepKind{opSeq, opPerNode}},
-		{`//watch[$n]`, []stepKind{opSeq, opPerNode}},     // untypable
+		// Untypable but position-free: sequence step with the dynamic
+		// numeric fallback armed, and the // collapse suppressed (a
+		// numeric value would number against the uncollapsed context).
+		{`//watch[$n]`, []stepKind{opSeq, opSeq}},
 		{`//item[desc][2]`, []stepKind{opSeq, opPerNode}}, // [2] not leading
 		{`//item[2][desc]`, []stepKind{opSeq, opFusedPos}},
 	}
@@ -242,6 +277,16 @@ func TestCompileClassification(t *testing.T) {
 			}
 		}
 	}
+
+	// The untypable predicate marks its step dynamic; typed ones do not.
+	dyn := MustParse(`//watch[$n]`).root.(*pathExpr)
+	if !dyn.plan.steps[1].dyn {
+		t.Errorf("//watch[$n]: step 2 not marked dyn")
+	}
+	typed := MustParse(`//person[income]`).root.(*pathExpr)
+	if typed.plan.steps[0].dyn {
+		t.Errorf("//person[income]: fused step marked dyn")
+	}
 }
 
 // TestExplain pins the rendering the shell's explain command shows.
@@ -259,6 +304,128 @@ func TestExplain(t *testing.T) {
 	out = MustParse(`//person[last()]`).Explain()
 	if !strings.Contains(out, "per-node") {
 		t.Errorf("Explain missing per-node fallback:\n%s", out)
+	}
+	// The acceptance shape: a position-free step predicate is a sequence
+	// filter on a fused descendant scan, not a per-node fallback.
+	out = MustParse(`//item[author]`).Explain()
+	if !strings.Contains(out, "seq (fused //), 1 seq filter(s)") || strings.Contains(out, "per-node") {
+		t.Errorf("Explain(//item[author]) not an in-place sequence filter:\n%s", out)
+	}
+	out = MustParse(`//person[profile/age]`).Explain()
+	if !strings.Contains(out, "seq (fused //), 1 seq filter(s)") || strings.Contains(out, "per-node") {
+		t.Errorf("Explain(//person[profile/age]) not an in-place sequence filter:\n%s", out)
+	}
+	// Filter expressions render one line per predicate.
+	out = MustParse(`(//item)[author][2]`).Explain()
+	if !strings.Contains(out, "filter [child::author]: seq (in-place)") {
+		t.Errorf("Explain missing in-place filter line:\n%s", out)
+	}
+	if !strings.Contains(out, "filter [2]: seq (in-place)") {
+		t.Errorf("Explain: numeric filter predicate should stay in place (sequence position IS its numbering):\n%s", out)
+	}
+	out = MustParse(`(//item)[position() = 2]`).Explain()
+	if !strings.Contains(out, "filter [(position() = 2)]: per-node (positional)") {
+		t.Errorf("Explain missing positional filter line:\n%s", out)
+	}
+	// A dynamic step predicate advertises its runtime fallback.
+	out = MustParse(`//watch[$n]`).Explain()
+	if !strings.Contains(out, "dyn: numeric falls back per-node") {
+		t.Errorf("Explain missing dyn marker:\n%s", out)
+	}
+}
+
+// TestFilterExprClassification pins the per-predicate classification of
+// filter expressions: every position-free predicate — typed or not —
+// filters the base sequence in place; only position()/last() keep the
+// allocating per-node path. A variable base is borrowed, not owned.
+func TestFilterExprClassification(t *testing.T) {
+	cases := []struct {
+		q     string
+		seq   []bool
+		owned bool
+	}{
+		{`(//item)[author]`, []bool{true}, true},
+		{`(//item)[author][position() = 2]`, []bool{true, false}, true},
+		{`(//item)[last()]`, []bool{false}, true},
+		{`(//item)[$n]`, []bool{true}, true},
+		{`(//item)[2]`, []bool{true}, true},
+		{`($ns)[author]`, []bool{true}, false},
+		{`(//a | //b)[c]`, []bool{true}, true},
+	}
+	for _, tc := range cases {
+		f, ok := MustParse(tc.q).root.(*filterExpr)
+		if !ok {
+			t.Fatalf("%s: root is not a filterExpr", tc.q)
+		}
+		if len(f.seq) != len(tc.seq) {
+			t.Fatalf("%s: %d seq marks, want %d", tc.q, len(f.seq), len(tc.seq))
+		}
+		for i := range f.seq {
+			if f.seq[i] != tc.seq[i] {
+				t.Errorf("%s: pred %d seq=%v, want %v", tc.q, i, f.seq[i], tc.seq[i])
+			}
+		}
+		if f.ownedBase != tc.owned {
+			t.Errorf("%s: ownedBase=%v, want %v", tc.q, f.ownedBase, tc.owned)
+		}
+	}
+}
+
+// TestFilterExprPreservesVariableBinding pins the defensive copy: a
+// filter over a variable-bound node-set must not mutate the binding,
+// which the caller may reuse.
+func TestFilterExprPreservesVariableBinding(t *testing.T) {
+	ro, _ := buildPlanStores(t)
+	persons, err := MustParse(`//person`).Select(ro)
+	if err != nil || len(persons) != 3 {
+		t.Fatalf("persons: %v %v", persons, err)
+	}
+	orig := append(NodeSet{}, persons...)
+	vars := map[string]Value{"ns": persons}
+	got, err := MustParse(`($ns)[income]`).SelectVars(ro, vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("($ns)[income] = %d nodes, want 2", len(got))
+	}
+	for i := range persons {
+		if persons[i] != orig[i] {
+			t.Fatalf("filter mutated the variable binding at %d: %v != %v", i, persons[i], orig[i])
+		}
+	}
+}
+
+// TestDynPredicateFallback pins the runtime numeric fallback: an
+// untypable predicate that turns out numeric selects by per-context
+// position (node-at-a-time semantics), string/boolean/node-set values
+// filter over the sequence.
+func TestDynPredicateFallback(t *testing.T) {
+	ro, _ := buildPlanStores(t)
+	// $x = 2 over //watch: each watches context numbers its own children,
+	// so [2] picks the second watch of the single watches element.
+	got, err := MustParse(`//watch[$x]`).SelectVars(ro, map[string]Value{"x": Number(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("//watch[$x=2] = %d nodes, want 1", len(got))
+	}
+	// A string value is truthy iff non-empty: every person qualifies.
+	got, err = MustParse(`//person[$who]`).SelectVars(ro, map[string]Value{"who": String("p1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("//person[$who] = %d nodes, want 3", len(got))
+	}
+	// Empty string is falsy: nothing qualifies.
+	got, err = MustParse(`//person[$who]`).SelectVars(ro, map[string]Value{"who": String("")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf(`//person[$who=""] = %d nodes, want 0`, len(got))
 	}
 }
 

@@ -108,6 +108,16 @@
 // storage layout are guaranteed unchanged; only internal dictionary
 // ids are remapped.
 //
+// # Serving over the network
+//
+// The library also runs as a daemon: cmd/mxqd serves a Database over
+// TCP (length-prefixed binary frames; see internal/server for the
+// protocol) with per-session prepared-statement caches, pinned read
+// versions built on Snapshot handles, a lazily-opened document catalog
+// (Options.LazyOpen + OpenDocument/CloseDocument), admission control,
+// and graceful drain. The client package is the Go client, cmd/mxqload
+// the load generator, and examples/ has a served quickstart.
+//
 // Quick start:
 //
 //	db := mxq.Open(mxq.Options{})
@@ -119,6 +129,7 @@
 package mxq
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -181,15 +192,24 @@ type Options struct {
 	// exceeds the policy — commits keep landing at full speed while the
 	// image streams (see Document.Checkpoint). Close drains it.
 	CheckpointEvery CheckpointPolicy
+	// LazyOpen skips recovering checkpointed documents at Open; each is
+	// recovered on its first OpenDocument instead. A server fronting a
+	// large directory pays recovery per document actually used, not for
+	// the whole catalog at startup.
+	LazyOpen bool
 	// PreserveWhitespace keeps whitespace-only text nodes when shredding.
 	PreserveWhitespace bool
 }
 
+// ErrDatabaseClosed reports an operation on a closed Database.
+var ErrDatabaseClosed = errors.New("mxq: database is closed")
+
 // Database is a collection of named XML documents.
 type Database struct {
-	mu   sync.RWMutex
-	docs map[string]*Document
-	opts Options
+	mu     sync.RWMutex
+	docs   map[string]*Document
+	opts   Options
+	closed bool
 }
 
 // Open creates a database. With Options.Dir set, previously checkpointed
@@ -203,6 +223,9 @@ func Open(opts Options) (*Database, error) {
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("mxq: %w", err)
+	}
+	if opts.LazyOpen {
+		return db, nil
 	}
 	for _, name := range checkpointedDocs(opts.Dir) {
 		if err := db.recoverDoc(name); err != nil {
@@ -312,6 +335,9 @@ func (db *Database) LoadXML(name string, r io.Reader) (*Document, error) {
 	// destroy records the running log is mid-append on.
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrDatabaseClosed
+	}
 	if _, dup := db.docs[name]; dup {
 		return nil, fmt.Errorf("mxq: document %q already exists", name)
 	}
@@ -341,6 +367,52 @@ func (db *Database) Document(name string) (*Document, bool) {
 	return d, ok
 }
 
+// OpenDocument returns the named document, recovering it from its
+// durability artifacts on first use (the LazyOpen counterpart of the
+// eager recovery Open performs by default; also how a document detached
+// by CloseDocument comes back). A document with no in-memory instance
+// and no on-disk checkpoint is an error.
+func (db *Database) OpenDocument(name string) (*Document, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrDatabaseClosed
+	}
+	if d, ok := db.docs[name]; ok {
+		return d, nil
+	}
+	if db.opts.Dir != "" {
+		for _, n := range checkpointedDocs(db.opts.Dir) {
+			if n == name {
+				if err := db.recoverDoc(name); err != nil {
+					return nil, fmt.Errorf("mxq: recovering %q: %w", name, err)
+				}
+				return db.docs[name], nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("mxq: no document %q", name)
+}
+
+// CloseDocument detaches one document: the auto-checkpointer is drained,
+// a final checkpoint is written (so the reopen replays no WAL and a
+// never-checkpointed document is not lost), the checkpointer is closed
+// and the WAL segments released. Durability artifacts stay on disk —
+// OpenDocument recovers the document later; contrast Drop, which deletes
+// them. The caller must guarantee no in-flight queries or transactions
+// on the document. Without a durability directory this discards the
+// document, exactly like Drop.
+func (db *Database) CloseDocument(name string) error {
+	db.mu.Lock()
+	doc, ok := db.docs[name]
+	delete(db.docs, name)
+	db.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("mxq: no document %q", name)
+	}
+	return doc.close(true)
+}
+
 // Documents lists the stored document names, sorted.
 func (db *Database) Documents() []string {
 	db.mu.RLock()
@@ -364,6 +436,11 @@ func (db *Database) Drop(name string) error {
 	}
 	if doc.log != nil {
 		doc.stopAuto()
+		// Waiting out an in-flight checkpoint (Close serializes on the
+		// checkpointer's mutex) before removing artifacts: a Run that
+		// lost this race would otherwise republish an image and prune a
+		// WAL that no longer exists.
+		doc.ckpter.Close()
 		doc.log.Close()
 		// Exact-boundary removal: a document whose name is a prefix of
 		// another ("a" vs "a-b") must never take the other's artifacts.
@@ -374,17 +451,21 @@ func (db *Database) Drop(name string) error {
 }
 
 // Close drains every document's auto-checkpointer (a checkpoint in
-// flight finishes; no new one starts) and closes the WAL segments.
+// flight finishes; no new one starts) and closes the WAL segments. It is
+// idempotent, and safe to race with manual Checkpoint calls: a
+// checkpoint that loses the race fails with ckpt.ErrClosed instead of
+// writing through a closed log.
 func (db *Database) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
 	var first error
 	for _, d := range db.docs {
-		d.stopAuto()
-		if d.log != nil {
-			if err := d.log.Close(); err != nil && first == nil {
-				first = err
-			}
+		if err := d.close(false); err != nil && first == nil {
+			first = err
 		}
 	}
 	db.docs = map[string]*Document{}
