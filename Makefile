@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-json lint fuzz server-smoke
+.PHONY: check build vet test race bench bench-json lint fuzz server-smoke repl-smoke
 
 check: build vet race
 
@@ -78,6 +78,43 @@ server-smoke:
 	wait $$pid; \
 	trap - EXIT; \
 	test $$ok -eq 1
+
+# repl-smoke: end-to-end replication check. Starts a durable primary,
+# loads it and drives it closed-loop, then starts a follower (mxqd
+# -follow), and drives the pair open-loop with replica-routed
+# read-your-writes reads (-rate, queries to the follower carrying the
+# session's last commit LSN). Requires zero request errors, zero stale
+# reads (every RYW read must be served within the wait budget, never
+# silently stale) and full lag convergence after the run (-max-lag 0).
+# Both load reports — closed-loop primary, open-loop with replica lag —
+# are appended to BENCH_ci.json.
+REPL_PRIMARY ?= 127.0.0.1:4489
+REPL_FOLLOWER ?= 127.0.0.1:4490
+repl-smoke:
+	$(GO) build -o /tmp/mxqd-smoke ./cmd/mxqd
+	$(GO) build -o /tmp/mxqload-smoke ./cmd/mxqload
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	/tmp/mxqd-smoke -addr $(REPL_PRIMARY) -dir $$tmp/primary -nosync -max-waiters 4096 & \
+	ppid=$$!; fpid=; \
+	trap 'kill $$ppid $$fpid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	sleep 1; \
+	if /tmp/mxqload-smoke -addr $(REPL_PRIMARY) -sessions 50 -duration 5s -sf 0.005 \
+		-name mxqd_repl_primary_closed > /tmp/mxqload-repl1.json; then ok1=1; else ok1=0; fi; \
+	/tmp/mxqd-smoke -addr $(REPL_FOLLOWER) -dir $$tmp/follower -nosync -follow $(REPL_PRIMARY) \
+		-max-waiters 4096 & \
+	fpid=$$!; \
+	sleep 1; \
+	if /tmp/mxqload-smoke -addr $(REPL_PRIMARY) -replica $(REPL_FOLLOWER) -sf 0 \
+		-sessions 50 -rate 2000 -duration 5s -max-lag 0 \
+		-name mxqd_repl_ryw_open > /tmp/mxqload-repl2.json; then ok2=1; else ok2=0; fi; \
+	cat /tmp/mxqload-repl1.json /tmp/mxqload-repl2.json; \
+	cat /tmp/mxqload-repl1.json /tmp/mxqload-repl2.json >> BENCH_ci.json; \
+	kill -TERM $$fpid; wait $$fpid; \
+	kill -TERM $$ppid; wait $$ppid; \
+	trap - EXIT; \
+	rm -rf $$tmp; \
+	test $$ok1 -eq 1 && test $$ok2 -eq 1
 
 # Native fuzz smoke over the text-input surfaces (the XPath compiler and
 # the XUpdate parser) plus the evaluation-side differential fuzzer

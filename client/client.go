@@ -9,19 +9,53 @@
 // plans per (document, query text), and BeginRead…EndRead pins a
 // snapshot so every query between them — across any number of requests
 // — observes one committed version.
+//
+// # Contexts
+//
+// Every request takes a context. A deadline bounds the whole round
+// trip; cancellation takes effect mid-round-trip. Because the protocol
+// is strictly sequential, a round trip abandoned halfway leaves the
+// connection with an un-read response on it — so a context failure
+// closes the connection and poisons the client: every later call fails
+// with ErrClosed. That is the defined state; callers that want to keep
+// working after a timeout dial a fresh client.
+//
+// # Versions
+//
+// Dial performs the protocol handshake (Hello): it offers the highest
+// version this package speaks and downgrades transparently when the
+// server predates the handshake (such servers answer Hello with
+// CodeBadRequest — exactly that response means "protocol 1"). Features
+// that need a newer protocol than the session negotiated fail with
+// ErrVersion rather than sending frames the server would misread.
+//
+// # Read-your-writes and replica routing
+//
+// Updates return (and the client remembers) the commit's WAL LSN. A
+// client dialed with WithReadReplica routes queries to a follower and
+// stamps them with that LSN: the follower parks the read until it has
+// applied the write (bounded by WithRYWTimeout, then ErrStale) — reads
+// scale out to replicas without ever silently travelling back in time
+// across the caller's own writes. Queries on documents with a pinned
+// read window stay on the primary connection the pin lives on.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"mxq/internal/server"
+	"mxq/internal/wire"
 )
 
-// Sentinel errors mapped from server status codes.
+// Sentinel errors. Every server-reported failure is a *Error wrapping
+// one of these (or none, for errors a program has no business branching
+// on); test with errors.Is.
 var (
 	// ErrOverloaded: the server's admission control rejected the request
 	// (concurrency bound and wait queue both full). Back off and retry.
@@ -30,7 +64,50 @@ var (
 	ErrShuttingDown = errors.New("mxqd: shutting down")
 	// ErrNoDocument: the named document does not exist.
 	ErrNoDocument = errors.New("mxqd: no such document")
+	// ErrStale: a read-your-writes query timed out before the replica
+	// applied the required LSN. Retry, raise WithRYWTimeout, or read
+	// from the primary.
+	ErrStale = errors.New("mxqd: replica stale beyond the read's LSN")
+	// ErrReadOnly: a write was sent to a read-only (follower) server.
+	ErrReadOnly = errors.New("mxqd: server is read-only")
+	// ErrVersion: the operation needs a protocol version the session did
+	// not negotiate, or the server rejected our version outright.
+	ErrVersion = errors.New("mxqd: protocol version not supported")
+	// ErrClosed: the client was closed, or poisoned by a context
+	// cancellation mid-round-trip.
+	ErrClosed = errors.New("mxqd: client is closed")
 )
+
+// Error is the typed failure for one request: which operation, against
+// which document, with the server's status code and message. It wraps
+// the matching sentinel (errors.Is sees through it) and, for transport
+// failures, the underlying error (including context.Canceled /
+// DeadlineExceeded when a context ended the round trip).
+type Error struct {
+	Op     string // "query", "update", "dial", ...
+	Doc    string // document name ("" for document-independent ops)
+	Status byte   // wire status code (0 for transport failures)
+	Msg    string // server-provided message, if any
+	Err    error  // wrapped sentinel or transport error, if any
+}
+
+func (e *Error) Error() string {
+	s := "mxqd: " + e.Op
+	if e.Doc != "" {
+		s += " " + fmt.Sprintf("%q", e.Doc)
+	}
+	switch {
+	case e.Msg != "":
+		s += ": " + e.Msg
+	case e.Err != nil:
+		s += ": " + e.Err.Error()
+	default:
+		s += fmt.Sprintf(": status %d", e.Status)
+	}
+	return s
+}
+
+func (e *Error) Unwrap() error { return e.Err }
 
 // Item is one query result item.
 type Item struct {
@@ -45,91 +122,260 @@ type Item struct {
 
 // UpdateResult reports what an update applied.
 type UpdateResult struct {
-	Ops      int // commands executed
-	Affected int // nodes the commands were applied to
+	Ops      int    // commands executed
+	Affected int    // nodes the commands were applied to
+	LSN      uint64 // the commit's WAL LSN (0 on protocol 1 or volatile documents)
 }
 
-// Client is one mxqd session.
+// DocStatus is a document's replication standing on one server.
+type DocStatus struct {
+	Role       string // "primary" or "follower"
+	AppliedLSN uint64 // read-your-writes watermark
+	LastLSN    uint64 // local WAL tail
+}
+
+// Option configures Dial.
+type Option func(*options)
+
+type options struct {
+	dialTimeout time.Duration
+	maxFrame    uint32
+	rywTimeout  time.Duration
+	replicaAddr string
+}
+
+// WithDialTimeout bounds the TCP connect (default 10s; the Dial
+// context, if it expires sooner, wins).
+func WithDialTimeout(d time.Duration) Option { return func(o *options) { o.dialTimeout = d } }
+
+// WithMaxFrame caps response frame sizes the client will accept
+// (default 64 MiB); a server announcing more is cut off, not
+// allocated for.
+func WithMaxFrame(n uint32) Option { return func(o *options) { o.maxFrame = n } }
+
+// WithRYWTimeout bounds how long a replica-routed query may park
+// waiting for the client's last write to be applied before the server
+// answers ErrStale (default 5s).
+func WithRYWTimeout(d time.Duration) Option { return func(o *options) { o.rywTimeout = d } }
+
+// WithReadReplica routes queries to a follower at addr (writes and
+// session-stateful requests stay on the primary connection). Queries
+// carry the client's last commit LSN, so reads never travel back in
+// time across the caller's own writes. Dial fails if the replica is
+// unreachable or does not speak protocol 2.
+func WithReadReplica(addr string) Option { return func(o *options) { o.replicaAddr = addr } }
+
+// Client is one mxqd session (plus, optionally, a replica session it
+// routes queries to).
 type Client struct {
+	opts    options
+	lastLSN *atomic.Uint64 // highest commit LSN seen; shared with the replica client
+	replica *Client        // non-nil when WithReadReplica was given
+
 	mu     sync.Mutex
 	conn   net.Conn
 	nextID uint64
+	proto  uint64
+	feats  uint64
+	closed bool
+	pins   map[string]bool // docs with an open BeginRead window (primary only)
 }
 
-// Dial connects to an mxqd server.
-func Dial(addr string) (*Client, error) {
-	return DialTimeout(addr, 10*time.Second)
-}
-
-// DialTimeout connects with a dial timeout.
-func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+// Dial connects to an mxqd server and negotiates the protocol.
+func Dial(ctx context.Context, addr string, opts ...Option) (*Client, error) {
+	o := options{dialTimeout: 10 * time.Second, rywTimeout: 5 * time.Second}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c, err := dialOne(ctx, addr, o)
 	if err != nil {
 		return nil, err
+	}
+	if o.replicaAddr != "" {
+		ro := o
+		ro.replicaAddr = ""
+		rc, err := dialOne(ctx, o.replicaAddr, ro)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if rc.proto < wire.V2 {
+			c.Close()
+			rc.Close()
+			return nil, &Error{Op: "dial", Err: ErrVersion,
+				Msg: fmt.Sprintf("replica %s speaks protocol %d; read routing needs 2", o.replicaAddr, rc.proto)}
+		}
+		rc.lastLSN = c.lastLSN // one write-visibility horizon across both sessions
+		c.replica = rc
+	}
+	return c, nil
+}
+
+func dialOne(ctx context.Context, addr string, o options) (*Client, error) {
+	d := net.Dialer{Timeout: o.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, &Error{Op: "dial", Err: err}
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	return &Client{conn: conn}, nil
+	c := &Client{
+		opts:    o,
+		conn:    conn,
+		lastLSN: new(atomic.Uint64),
+		pins:    make(map[string]bool),
+	}
+	if err := c.hello(ctx); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
 }
 
-// Close closes the session; the server releases its prepared cache and
-// any still-pinned reads.
-func (c *Client) Close() error {
+// hello negotiates the protocol version. A server that predates the
+// handshake answers CodeBadRequest ("unknown opcode"); exactly that
+// response means protocol 1 and the client downgrades silently.
+func (c *Client) hello(ctx context.Context) error {
+	var p wire.PayloadBuilder
+	p.Uvarint(wire.MaxVersion).Uvarint(wire.FeatReplication | wire.FeatRYW)
+	r, err := c.roundTrip(ctx, "hello", "", wire.OpHello, p.Bytes())
+	if err != nil {
+		var e *Error
+		if errors.As(err, &e) && e.Status == wire.CodeBadRequest {
+			c.proto, c.feats = wire.V1, 0
+			return nil
+		}
+		return err
+	}
+	version, err := r.Uvarint()
+	if err != nil {
+		return &Error{Op: "hello", Err: err}
+	}
+	feats, err := r.Uvarint()
+	if err != nil {
+		return &Error{Op: "hello", Err: err}
+	}
+	if version < wire.MinVersion || version > wire.MaxVersion {
+		return &Error{Op: "hello", Err: ErrVersion,
+			Msg: fmt.Sprintf("server negotiated unknown version %d", version)}
+	}
+	c.proto, c.feats = version, feats
+	return nil
+}
+
+// Proto reports the negotiated protocol version (1 against servers
+// that predate the handshake).
+func (c *Client) Proto() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.proto
+}
+
+// Close closes the session (and the replica session, if routing); the
+// server releases the session's prepared cache and any pinned reads.
+func (c *Client) Close() error {
+	if c.replica != nil {
+		c.replica.Close()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	return c.conn.Close()
 }
 
-// roundTrip sends one request and reads its response.
-func (c *Client) roundTrip(op byte, payload []byte) (*server.PayloadReader, error) {
+// roundTrip sends one request and reads its response, honouring ctx. A
+// context failure mid-round-trip poisons the client (see the package
+// doc): the connection has an un-read response in flight and can never
+// be re-synchronized.
+func (c *Client) roundTrip(ctx context.Context, op, doc string, opcode byte, payload []byte) (*wire.PayloadReader, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &Error{Op: op, Doc: doc, Err: err}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil, &Error{Op: op, Doc: doc, Err: ErrClosed}
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(dl)
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	// Cancellation mid-round-trip: yank the deadline so the blocked
+	// read/write returns now.
+	stop := context.AfterFunc(ctx, func() {
+		c.conn.SetDeadline(time.Unix(1, 0))
+	})
+	defer stop()
+
 	c.nextID++
 	id := c.nextID
-	if err := server.WriteFrame(c.conn, server.Frame{ID: id, Op: op, Payload: payload}); err != nil {
-		return nil, fmt.Errorf("mxqd: send: %w", err)
+	fail := func(stage string, err error) (*wire.PayloadReader, error) {
+		// The connection is desynchronized; poison the client.
+		c.closed = true
+		c.conn.Close()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			err = ctxErr
+		} else if errors.Is(err, os.ErrDeadlineExceeded) {
+			// The conn deadline only ever comes from ctx; if it fired a
+			// tick before ctx's own timer, it is still ctx's deadline.
+			err = context.DeadlineExceeded
+		}
+		return nil, &Error{Op: op, Doc: doc, Msg: stage, Err: err}
 	}
-	f, err := server.ReadFrame(c.conn, 0)
+	if err := wire.WriteFrame(c.conn, wire.Frame{ID: id, Op: opcode, Payload: payload}); err != nil {
+		return fail("send", err)
+	}
+	f, err := wire.ReadFrame(c.conn, c.opts.maxFrame)
 	if err != nil {
-		return nil, fmt.Errorf("mxqd: recv: %w", err)
+		return fail("recv", err)
 	}
 	if f.ID != id {
-		return nil, fmt.Errorf("mxqd: response id %d for request %d", f.ID, id)
+		return fail("recv", fmt.Errorf("response id %d for request %d", f.ID, id))
 	}
-	if f.Op != server.StatusOK {
-		return nil, decodeError(f)
+	if f.Op != wire.StatusOK {
+		return nil, decodeError(op, doc, f)
 	}
-	return server.NewPayloadReader(f.Payload), nil
+	return wire.NewPayloadReader(f.Payload), nil
 }
 
-// decodeError maps an error frame to a sentinel (possibly wrapped with
-// the server's message).
-func decodeError(f server.Frame) error {
-	msg := ""
-	if m, err := server.NewPayloadReader(f.Payload).String(); err == nil {
-		msg = m
+// decodeError maps an error frame to a *Error wrapping the matching
+// sentinel.
+func decodeError(op, doc string, f wire.Frame) error {
+	e := &Error{Op: op, Doc: doc, Status: f.Op}
+	if m, err := wire.NewPayloadReader(f.Payload).String(); err == nil {
+		e.Msg = m
 	}
 	switch f.Op {
-	case server.CodeOverloaded:
-		return ErrOverloaded
-	case server.CodeShuttingDown:
-		return ErrShuttingDown
-	case server.CodeNoDocument:
-		return fmt.Errorf("%w: %s", ErrNoDocument, msg)
+	case wire.CodeOverloaded:
+		e.Err = ErrOverloaded
+	case wire.CodeShuttingDown:
+		e.Err = ErrShuttingDown
+	case wire.CodeNoDocument:
+		e.Err = ErrNoDocument
+	case wire.CodeStale:
+		e.Err = ErrStale
+	case wire.CodeReadOnly:
+		e.Err = ErrReadOnly
+	case wire.CodeVersion:
+		e.Err = ErrVersion
 	}
-	return fmt.Errorf("mxqd: %s", msg)
+	return e
 }
 
 // Ping round-trips an empty frame.
-func (c *Client) Ping() error {
-	_, err := c.roundTrip(server.OpPing, nil)
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, "ping", "", wire.OpPing, nil)
 	return err
 }
 
 // ListDocs returns the stored document names.
-func (c *Client) ListDocs() ([]string, error) {
-	r, err := c.roundTrip(server.OpListDocs, nil)
+func (c *Client) ListDocs(ctx context.Context) ([]string, error) {
+	r, err := c.roundTrip(ctx, "listdocs", "", wire.OpListDocs, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -149,24 +395,59 @@ func (c *Client) ListDocs() ([]string, error) {
 }
 
 // Load shreds and stores a document under the given name.
-func (c *Client) Load(name, xml string) error {
-	var p server.PayloadBuilder
+func (c *Client) Load(ctx context.Context, name, xml string) error {
+	var p wire.PayloadBuilder
 	p.String(name).String(xml)
-	_, err := c.roundTrip(server.OpLoad, p.Bytes())
+	_, err := c.roundTrip(ctx, "load", name, wire.OpLoad, p.Bytes())
 	return err
 }
 
 // Query runs an XPath query against the named document (vars may be
 // nil). Inside a BeginRead window for the document it observes the
 // pinned version; otherwise the version committed at execution time.
-func (c *Client) Query(doc, query string, vars map[string]string) ([]Item, error) {
-	var p server.PayloadBuilder
+// With a read replica configured, the query runs there (carrying the
+// client's last commit LSN for read-your-writes) unless a pinned read
+// window holds it on the primary.
+func (c *Client) Query(ctx context.Context, doc, query string, vars map[string]string) ([]Item, error) {
+	if c.replica != nil && !c.pinned(doc) {
+		return c.replica.QueryAt(ctx, doc, query, vars, c.lastLSN.Load())
+	}
+	return c.queryOn(ctx, doc, query, vars, 0)
+}
+
+// QueryAt is Query with an explicit read-your-writes floor: the server
+// parks the query until the document has applied minLSN (bounded by
+// WithRYWTimeout), failing with ErrStale rather than reading earlier.
+// It requires protocol 2; minLSN 0 reads whatever is current.
+func (c *Client) QueryAt(ctx context.Context, doc, query string, vars map[string]string, minLSN uint64) ([]Item, error) {
+	if minLSN > 0 {
+		if err := c.requireV2("query", doc); err != nil {
+			return nil, err
+		}
+	}
+	return c.queryOn(ctx, doc, query, vars, minLSN)
+}
+
+func (c *Client) queryOn(ctx context.Context, doc, query string, vars map[string]string, minLSN uint64) ([]Item, error) {
+	var p wire.PayloadBuilder
 	p.String(doc).String(query)
 	p.Uvarint(uint64(len(vars)))
 	for k, v := range vars {
 		p.String(k).String(v)
 	}
-	r, err := c.roundTrip(server.OpQuery, p.Bytes())
+	if minLSN > 0 {
+		timeout := c.opts.rywTimeout
+		if dl, ok := ctx.Deadline(); ok {
+			if d := time.Until(dl); d < timeout {
+				timeout = d
+			}
+		}
+		if timeout < 0 {
+			timeout = 0
+		}
+		p.Uvarint(minLSN).Uvarint(uint64(timeout / time.Millisecond))
+	}
+	r, err := c.roundTrip(ctx, "query", doc, wire.OpQuery, p.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -188,16 +469,19 @@ func (c *Client) Query(doc, query string, vars map[string]string) ([]Item, error
 		if err != nil {
 			return nil, err
 		}
-		items = append(items, Item{Kind: server.KindName(kind), Value: value, XML: xml})
+		items = append(items, Item{Kind: wire.KindName(kind), Value: value, XML: xml})
 	}
 	return items, nil
 }
 
-// Update applies an XUpdate modification list in one transaction.
-func (c *Client) Update(doc, mods string) (UpdateResult, error) {
-	var p server.PayloadBuilder
+// Update applies an XUpdate modification list in one transaction. On
+// protocol 2 the result carries the commit's WAL LSN, which the client
+// also remembers as its read-your-writes floor for replica-routed
+// queries.
+func (c *Client) Update(ctx context.Context, doc, mods string) (UpdateResult, error) {
+	var p wire.PayloadBuilder
 	p.String(doc).String(mods)
-	r, err := c.roundTrip(server.OpUpdate, p.Bytes())
+	r, err := c.roundTrip(ctx, "update", doc, wire.OpUpdate, p.Bytes())
 	if err != nil {
 		return UpdateResult{}, err
 	}
@@ -209,14 +493,26 @@ func (c *Client) Update(doc, mods string) (UpdateResult, error) {
 	if err != nil {
 		return UpdateResult{}, err
 	}
-	return UpdateResult{Ops: int(ops), Affected: int(affected)}, nil
+	res := UpdateResult{Ops: int(ops), Affected: int(affected)}
+	if r.Remaining() > 0 {
+		if lsn, err := r.Uvarint(); err == nil {
+			res.LSN = lsn
+			for {
+				prev := c.lastLSN.Load()
+				if lsn <= prev || c.lastLSN.CompareAndSwap(prev, lsn) {
+					break
+				}
+			}
+		}
+	}
+	return res, nil
 }
 
 // Explain returns the compiled evaluation plan for a query.
-func (c *Client) Explain(doc, query string) (string, error) {
-	var p server.PayloadBuilder
+func (c *Client) Explain(ctx context.Context, doc, query string) (string, error) {
+	var p wire.PayloadBuilder
 	p.String(doc).String(query)
-	r, err := c.roundTrip(server.OpExplain, p.Bytes())
+	r, err := c.roundTrip(ctx, "explain", doc, wire.OpExplain, p.Bytes())
 	if err != nil {
 		return "", err
 	}
@@ -225,21 +521,95 @@ func (c *Client) Explain(doc, query string) (string, error) {
 
 // BeginRead pins the document's current committed version for this
 // session: every Query on it until EndRead observes that version, no
-// matter what commits in between. It returns the pinned version.
-func (c *Client) BeginRead(doc string) (uint64, error) {
-	var p server.PayloadBuilder
+// matter what commits in between. It returns the pinned version. While
+// the window is open, queries on the document stay on the primary
+// connection (the pin lives in its session).
+func (c *Client) BeginRead(ctx context.Context, doc string) (uint64, error) {
+	var p wire.PayloadBuilder
 	p.String(doc)
-	r, err := c.roundTrip(server.OpBeginRead, p.Bytes())
+	r, err := c.roundTrip(ctx, "beginread", doc, wire.OpBeginRead, p.Bytes())
 	if err != nil {
 		return 0, err
 	}
-	return r.Uvarint()
+	v, err := r.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.pins[doc] = true
+	c.mu.Unlock()
+	return v, nil
 }
 
 // EndRead releases a pinned read.
-func (c *Client) EndRead(doc string) error {
-	var p server.PayloadBuilder
+func (c *Client) EndRead(ctx context.Context, doc string) error {
+	var p wire.PayloadBuilder
 	p.String(doc)
-	_, err := c.roundTrip(server.OpEndRead, p.Bytes())
+	_, err := c.roundTrip(ctx, "endread", doc, wire.OpEndRead, p.Bytes())
+	if err == nil {
+		c.mu.Lock()
+		delete(c.pins, doc)
+		c.mu.Unlock()
+	}
 	return err
+}
+
+func (c *Client) pinned(doc string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pins[doc]
+}
+
+// DocStatus reports the document's replication standing on the server
+// this client (not its replica) is connected to. Requires protocol 2.
+func (c *Client) DocStatus(ctx context.Context, doc string) (DocStatus, error) {
+	if err := c.requireV2("docstatus", doc); err != nil {
+		return DocStatus{}, err
+	}
+	var p wire.PayloadBuilder
+	p.String(doc)
+	r, err := c.roundTrip(ctx, "docstatus", doc, wire.OpDocStatus, p.Bytes())
+	if err != nil {
+		return DocStatus{}, err
+	}
+	role, err := r.Byte()
+	if err != nil {
+		return DocStatus{}, err
+	}
+	applied, err := r.Uvarint()
+	if err != nil {
+		return DocStatus{}, err
+	}
+	last, err := r.Uvarint()
+	if err != nil {
+		return DocStatus{}, err
+	}
+	st := DocStatus{AppliedLSN: applied, LastLSN: last, Role: "primary"}
+	if role == wire.RoleFollower {
+		st.Role = "follower"
+	}
+	return st, nil
+}
+
+// ReplicaStatus is DocStatus against the read replica (ErrVersion if
+// the client has none — routing is a dial-time choice).
+func (c *Client) ReplicaStatus(ctx context.Context, doc string) (DocStatus, error) {
+	if c.replica == nil {
+		return DocStatus{}, &Error{Op: "docstatus", Doc: doc, Err: ErrVersion, Msg: "no read replica configured"}
+	}
+	return c.replica.DocStatus(ctx, doc)
+}
+
+// LastLSN reports the highest commit LSN this client has observed from
+// its own updates — the floor replica-routed reads are held to.
+func (c *Client) LastLSN() uint64 { return c.lastLSN.Load() }
+
+func (c *Client) requireV2(op, doc string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.proto >= wire.V2 {
+		return nil
+	}
+	return &Error{Op: op, Doc: doc, Err: ErrVersion,
+		Msg: fmt.Sprintf("requires protocol 2; session negotiated %d", c.proto)}
 }

@@ -3,9 +3,21 @@
 // client. It drains gracefully on SIGINT/SIGTERM: in-flight requests
 // finish (under -drain-timeout), sessions release their snapshots, then
 // the database closes, flushing WAL segments and checkpointers.
+//
+// With -follow, mxqd runs as a read replica: it subscribes every
+// document of the primary at the given address (bootstrapping empty
+// replicas from checkpoint images, then replaying the WAL as the
+// primary commits), serves the same read protocol, and rejects writes
+// with a typed read-only error. Reads carry read-your-writes LSNs, so
+// a client that wrote on the primary never silently reads an older
+// version here.
+//
+//	mxqd -addr :4477 -dir primary/ &
+//	mxqd -addr :4478 -dir replica/ -follow 127.0.0.1:4477 &
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,12 +28,14 @@ import (
 	"time"
 
 	"mxq"
+	"mxq/client"
 	"mxq/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:4477", "listen address")
 	dir := flag.String("dir", "", "durability directory (segmented WAL + checkpoints); empty = in-memory")
+	follow := flag.String("follow", "", "primary address: run as a read-only replica of every document there (requires -dir)")
 	lazy := flag.Bool("lazy", true, "with -dir: open documents on first use instead of recovering all at startup")
 	nosync := flag.Bool("nosync", false, "skip fsync on WAL appends")
 	ckptBytes := flag.Int64("ckpt-bytes", 0, "auto-checkpoint once the WAL tail exceeds this many bytes (0 = off)")
@@ -36,6 +50,14 @@ func main() {
 	if *idleClose > 0 && *dir == "" {
 		logger.Fatal("-idle-close requires -dir (detaching an in-memory document discards it)")
 	}
+	if *follow != "" && *dir == "" {
+		logger.Fatal("-follow requires -dir (a replica's acks promise durably-applied records)")
+	}
+	if *follow != "" && *idleClose > 0 {
+		// A followed document must stay attached: its subscription is
+		// what keeps it converging.
+		logger.Fatal("-follow and -idle-close are mutually exclusive")
+	}
 
 	db, err := mxq.Open(mxq.Options{
 		Dir: *dir, NoSync: *nosync, LazyOpen: *lazy,
@@ -45,11 +67,34 @@ func main() {
 		logger.Fatal(err)
 	}
 
+	// Follower mode: subscribe every document the primary has, then
+	// serve the read path read-only while the subscriptions replay the
+	// primary's WAL in the background.
+	var stopFollows []func()
+	if *follow != "" {
+		names, err := primaryDocs(*follow)
+		if err != nil {
+			logger.Fatalf("listing documents on primary %s: %v", *follow, err)
+		}
+		if len(names) == 0 {
+			logger.Printf("warning: primary %s has no documents yet; nothing to follow", *follow)
+		}
+		for _, name := range names {
+			stop, err := db.FollowDocument(*follow, name)
+			if err != nil {
+				logger.Fatalf("following %q from %s: %v", name, *follow, err)
+			}
+			stopFollows = append(stopFollows, stop)
+		}
+		logger.Printf("following %d document(s) from %s (read-only)", len(names), *follow)
+	}
+
 	srv := server.New(server.Config{
 		DB:            db,
 		MaxConcurrent: *maxConcurrent,
 		MaxWaiters:    *maxWaiters,
 		IdleClose:     *idleClose,
+		ReadOnly:      *follow != "",
 		Logf:          logger.Printf,
 	})
 	l, err := net.Listen("tcp", *addr)
@@ -74,8 +119,25 @@ func main() {
 			logger.Fatal(err)
 		}
 	}
+	// Stop subscriptions before closing the database: a record batch
+	// mid-apply finishes, then the follower goroutines exit.
+	for _, stop := range stopFollows {
+		stop()
+	}
 	if err := db.Close(); err != nil {
 		logger.Fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "mxqd: shut down cleanly")
+}
+
+// primaryDocs asks the primary which documents it serves.
+func primaryDocs(addr string) ([]string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := client.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.ListDocs(ctx)
 }

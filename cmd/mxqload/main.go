@@ -1,17 +1,31 @@
-// Command mxqload is a closed-loop load generator for mxqd: N
-// concurrent sessions (one connection each) issue a query/update mix
-// against an XMark document for a fixed duration, then it reports
-// throughput and latency percentiles as one JSON line — the format the
-// CI smoke job appends to BENCH_ci.json.
+// Command mxqload is a load generator for mxqd with two drive modes:
+//
+//   - Closed loop (default): N concurrent sessions issue requests
+//     back-to-back. Throughput is whatever the server sustains;
+//     latency excludes queueing the generator itself caused.
+//   - Open loop (-rate R): arrivals are scheduled at R requests/second
+//     regardless of how fast responses come back, and latency is
+//     measured from the scheduled arrival time — so server backlog
+//     shows up as latency instead of being hidden by a slowed-down
+//     generator (no coordinated omission).
+//
+// Both modes report throughput and p50/p99 latency as one JSON line —
+// the format the CI smoke job appends to BENCH_ci.json.
 //
 //	mxqload -addr 127.0.0.1:4477 -sessions 1000 -duration 10s -sf 0.01
+//	mxqload -addr 127.0.0.1:4477 -sessions 200 -rate 5000 -duration 10s -sf 0
 //
-// Exit status is non-zero if any request failed; overload rejections
-// (the server's admission control saying "not now") are counted
-// separately and only fail the run without -allow-overload.
+// With -replica, queries route to a follower and carry the session's
+// last commit LSN (read-your-writes): the follower parks each read
+// until it has applied the write it depends on, and a read that cannot
+// be served in time fails typed (counted as "stale", never silently
+// wrong). Exit status is non-zero if any request failed; overload
+// rejections and stale reads are counted separately and only fail the
+// run without -allow-overload / -allow-stale.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -27,6 +41,8 @@ import (
 	"mxq/client"
 	"mxq/internal/xmark"
 )
+
+var bg = context.Background()
 
 // queries is the read mix: plain scans, a sequence filter, an
 // aggregation, and a variable binding — the shapes a session workload
@@ -49,7 +65,9 @@ const updateMod = `<xupdate:modifications version="1.0" xmlns:xupdate="http://ww
 
 type report struct {
 	Name       string  `json:"name"`
+	Mode       string  `json:"mode"` // "closed" or "open"
 	Sessions   int     `json:"sessions"`
+	RateTarget float64 `json:"rate_target,omitempty"` // open loop only
 	DurationS  float64 `json:"duration_s"`
 	Requests   int64   `json:"requests"`
 	QPS        float64 `json:"qps"`
@@ -57,17 +75,25 @@ type report struct {
 	P99Ms      float64 `json:"p99_ms"`
 	Errors     int64   `json:"errors"`
 	Overloaded int64   `json:"overloaded"`
+	Stale      int64   `json:"stale"`
+	// Lag is the follower's remaining record lag (primary WAL tail −
+	// follower applied LSN) sampled after the run; only with -replica.
+	Lag *int64 `json:"lag_records,omitempty"`
 }
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:4477", "mxqd address")
+	addr := flag.String("addr", "127.0.0.1:4477", "mxqd address (the primary)")
+	replica := flag.String("replica", "", "follower address; queries route there with read-your-writes")
 	sessions := flag.Int("sessions", 100, "concurrent sessions (connections)")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in requests/second (0 = closed loop)")
 	duration := flag.Duration("duration", 10*time.Second, "measurement duration")
 	docName := flag.String("doc", "xmark", "document name")
 	sf := flag.Float64("sf", 0.01, "XMark scale factor to generate and load (0 = use an existing document)")
 	seed := flag.Uint64("seed", 42, "generator seed")
 	updateFrac := flag.Float64("update-frac", 0.05, "fraction of requests that are updates")
 	allowOverload := flag.Bool("allow-overload", false, "overload rejections do not fail the run")
+	allowStale := flag.Bool("allow-stale", false, "stale read-your-writes rejections do not fail the run")
+	maxLag := flag.Int64("max-lag", -1, "with -replica: fail unless follower lag converges to at most this many records (-1 = report only)")
 	name := flag.String("name", "mxqd_load", "benchmark name in the JSON report")
 	flag.Parse()
 
@@ -76,66 +102,123 @@ func main() {
 		if _, err := xmark.NewGenerator(*sf, *seed).WriteTo(&b); err != nil {
 			fatal(err)
 		}
-		c, err := client.Dial(*addr)
+		c, err := client.Dial(bg, *addr)
 		if err != nil {
 			fatal(fmt.Errorf("dial %s: %w", *addr, err))
 		}
-		if err := c.Load(*docName, b.String()); err != nil {
+		if err := c.Load(bg, *docName, b.String()); err != nil {
 			fatal(fmt.Errorf("load %q (%.2f MB): %w", *docName, float64(b.Len())/(1<<20), err))
 		}
 		c.Close()
 		fmt.Fprintf(os.Stderr, "mxqload: loaded %q, %.2f MB (sf %g)\n", *docName, float64(b.Len())/(1<<20), *sf)
 	}
 
+	var dialOpts []client.Option
+	if *replica != "" {
+		dialOpts = append(dialOpts, client.WithReadReplica(*replica))
+	}
+
 	var (
 		requests   atomic.Int64
 		errCount   atomic.Int64
 		overloaded atomic.Int64
+		stale      atomic.Int64
 		mu         sync.Mutex
 		latencies  []time.Duration
 		firstErrs  = make(chan error, 8)
 	)
+	reportErr := func(err error) {
+		errCount.Add(1)
+		select {
+		case firstErrs <- err:
+		default:
+		}
+	}
+	// one request against c; reports the outcome, returns false on a
+	// failure that should end the session.
+	shoot := func(c *client.Client, rng *rand.Rand, scheduled time.Time, local *[]time.Duration, id int) bool {
+		var err error
+		if rng.Float64() < *updateFrac {
+			_, err = c.Update(bg, *docName, updateMod)
+		} else {
+			q := queries[rng.Intn(len(queries))]
+			_, err = c.Query(bg, *docName, q.q, q.vars)
+		}
+		requests.Add(1)
+		switch {
+		case err == nil:
+			*local = append(*local, time.Since(scheduled))
+		case errors.Is(err, client.ErrOverloaded):
+			overloaded.Add(1)
+			time.Sleep(time.Duration(1+rng.Intn(5)) * time.Millisecond)
+		case errors.Is(err, client.ErrStale):
+			stale.Add(1)
+		default:
+			reportErr(fmt.Errorf("session %d: %w", id, err))
+			return false
+		}
+		return true
+	}
+
+	mode := "closed"
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
+
+	// Open loop: a dispatcher schedules arrivals at the target rate into
+	// a deep queue; sessions drain it. Latency counts from the scheduled
+	// arrival, so a backlogged server cannot slow the clock down.
+	var arrivals chan time.Time
+	if *rate > 0 {
+		mode = "open"
+		arrivals = make(chan time.Time, 1<<16)
+		interval := time.Duration(float64(time.Second) / *rate)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(arrivals)
+			for next := time.Now(); next.Before(deadline); next = next.Add(interval) {
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				select {
+				case arrivals <- next:
+				default:
+					// Queue full: the server is more than 64k requests
+					// behind the schedule. Recording the drop as an error
+					// keeps the report honest instead of stalling the clock.
+					reportErr(fmt.Errorf("open-loop arrival queue overflow at rate %g", *rate))
+					return
+				}
+			}
+		}()
+	}
+
 	for i := 0; i < *sessions; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, err := client.Dial(*addr)
+			c, err := client.Dial(bg, *addr, dialOpts...)
 			if err != nil {
-				errCount.Add(1)
-				select {
-				case firstErrs <- fmt.Errorf("session %d dial: %w", i, err):
-				default:
-				}
+				reportErr(fmt.Errorf("session %d dial: %w", i, err))
 				return
 			}
 			defer c.Close()
 			rng := rand.New(rand.NewSource(int64(i) + 1))
 			local := make([]time.Duration, 0, 1024)
-			for time.Now().Before(deadline) {
-				start := time.Now()
-				var err error
-				if rng.Float64() < *updateFrac {
-					_, err = c.Update(*docName, updateMod)
-				} else {
-					q := queries[rng.Intn(len(queries))]
-					_, err = c.Query(*docName, q.q, q.vars)
-				}
-				requests.Add(1)
-				switch {
-				case err == nil:
-					local = append(local, time.Since(start))
-				case errors.Is(err, client.ErrOverloaded):
-					overloaded.Add(1)
-					time.Sleep(time.Duration(1+rng.Intn(5)) * time.Millisecond)
-				default:
-					errCount.Add(1)
-					select {
-					case firstErrs <- fmt.Errorf("session %d: %w", i, err):
-					default:
+			if arrivals != nil {
+				for scheduled := range arrivals {
+					if !shoot(c, rng, scheduled, &local, i) {
+						return
 					}
-					return
+				}
+			} else {
+				for time.Now().Before(deadline) {
+					if !shoot(c, rng, time.Now(), &local, i) {
+						return
+					}
 				}
 			}
 			mu.Lock()
@@ -146,10 +229,28 @@ func main() {
 	wg.Wait()
 	close(firstErrs)
 
+	// With a replica, sample its remaining lag after the run: the
+	// follower should converge to the primary's tail within a few
+	// seconds once traffic stops.
+	var lag *int64
+	if *replica != "" {
+		l, err := measureLag(*addr, *docName, dialOpts, *maxLag)
+		if err != nil {
+			reportErr(fmt.Errorf("measuring follower lag: %w", err))
+		} else {
+			lag = &l
+			if *maxLag >= 0 && l > *maxLag {
+				reportErr(fmt.Errorf("follower lag %d records exceeds -max-lag %d", l, *maxLag))
+			}
+		}
+	}
+
 	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
 	rep := report{
 		Name:       *name,
+		Mode:       mode,
 		Sessions:   *sessions,
+		RateTarget: *rate,
 		DurationS:  duration.Seconds(),
 		Requests:   requests.Load(),
 		QPS:        float64(len(latencies)) / duration.Seconds(),
@@ -157,14 +258,48 @@ func main() {
 		P99Ms:      pctMs(latencies, 0.99),
 		Errors:     errCount.Load(),
 		Overloaded: overloaded.Load(),
+		Stale:      stale.Load(),
+		Lag:        lag,
 	}
 	out, _ := json.Marshal(rep)
 	fmt.Println(string(out))
 	for err := range firstErrs {
 		fmt.Fprintln(os.Stderr, "mxqload:", err)
 	}
-	if rep.Errors > 0 || (rep.Overloaded > 0 && !*allowOverload) {
+	if rep.Errors > 0 || (rep.Overloaded > 0 && !*allowOverload) || (rep.Stale > 0 && !*allowStale) {
 		os.Exit(1)
+	}
+}
+
+// measureLag polls primary and follower status until the follower's
+// applied LSN reaches the primary's WAL tail (or, with maxLag >= 0,
+// comes within maxLag records), giving up after a few seconds and
+// returning the last lag seen.
+func measureLag(addr, doc string, dialOpts []client.Option, maxLag int64) (int64, error) {
+	c, err := client.Dial(bg, addr, dialOpts...)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	target := maxLag
+	if target < 0 {
+		target = 0
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p, err := c.DocStatus(bg, doc)
+		if err != nil {
+			return 0, err
+		}
+		r, err := c.ReplicaStatus(bg, doc)
+		if err != nil {
+			return 0, err
+		}
+		lag := int64(p.LastLSN) - int64(r.AppliedLSN)
+		if lag <= target || time.Now().After(deadline) {
+			return lag, nil
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

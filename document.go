@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"mxq/internal/ckpt"
+	"mxq/internal/repl"
 	"mxq/internal/serialize"
 	"mxq/internal/tx"
 	"mxq/internal/wal"
@@ -43,6 +44,11 @@ type Document struct {
 	// covered records parked in the never-pruned active segment don't
 	// re-trigger checkpoint after checkpoint.
 	lastCkptLSN atomic.Uint64
+
+	// tracker registers live replication subscriptions (nil without a
+	// durability directory). Its Barrier fences the checkpointer's WAL
+	// prune: no segment a live follower still needs is ever deleted.
+	tracker *repl.Tracker
 }
 
 // Name returns the document's name.

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -19,6 +20,8 @@ import (
 	"mxq/client"
 	"mxq/internal/server"
 )
+
+var bg = context.Background()
 
 const catalog = `<catalog>
   <product sku="P-100"><name>Copper kettle</name><price>49.50</price></product>
@@ -48,19 +51,19 @@ func main() {
 
 	// One Client = one session: requests are sequential per connection,
 	// and concurrency comes from opening more clients.
-	c, err := client.Dial(l.Addr().String())
+	c, err := client.Dial(bg, l.Addr().String())
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
 
-	if err := c.Load("catalog", catalog); err != nil {
+	if err := c.Load(bg, "catalog", catalog); err != nil {
 		log.Fatal(err)
 	}
 
 	// The session caches the compiled plan: the second run of the same
 	// query text skips the parse server-side.
-	names, err := c.Query("catalog", `/catalog/product/name/text()`, nil)
+	names, err := c.Query(bg, "catalog", `/catalog/product/name/text()`, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,7 +73,7 @@ func main() {
 	}
 
 	// Variables bind as strings on the wire.
-	one, err := c.Query("catalog", `//product[@sku = $sku]/price/text()`,
+	one, err := c.Query(bg, "catalog", `//product[@sku = $sku]/price/text()`,
 		map[string]string{"sku": "P-200"})
 	if err != nil {
 		log.Fatal(err)
@@ -79,30 +82,30 @@ func main() {
 
 	// A pinned read: every query until EndRead observes the version
 	// committed at BeginRead, no matter what lands in between.
-	version, err := c.BeginRead("catalog")
+	version, err := c.BeginRead(bg, "catalog")
 	if err != nil {
 		log.Fatal(err)
 	}
-	writer, err := client.Dial(l.Addr().String())
+	writer, err := client.Dial(bg, l.Addr().String())
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer writer.Close()
-	if _, err := writer.Update("catalog", addProduct); err != nil {
+	if _, err := writer.Update(bg, "catalog", addProduct); err != nil {
 		log.Fatal(err)
 	}
-	pinned, _ := c.Query("catalog", `count(//product)`, nil)
-	fresh, _ := writer.Query("catalog", `count(//product)`, nil)
+	pinned, _ := c.Query(bg, "catalog", `count(//product)`, nil)
+	fresh, _ := writer.Query(bg, "catalog", `count(//product)`, nil)
 	fmt.Printf("pinned at version %d sees %s products; unpinned sees %s\n",
 		version, pinned[0].Value, fresh[0].Value)
-	if err := c.EndRead("catalog"); err != nil {
+	if err := c.EndRead(bg, "catalog"); err != nil {
 		log.Fatal(err)
 	}
-	after, _ := c.Query("catalog", `count(//product)`, nil)
+	after, _ := c.Query(bg, "catalog", `count(//product)`, nil)
 	fmt.Println("after EndRead:", after[0].Value)
 
 	// Explain renders the compiled plan the server executes.
-	plan, err := c.Explain("catalog", `//product[name]`)
+	plan, err := c.Explain(bg, "catalog", `//product[name]`)
 	if err != nil {
 		log.Fatal(err)
 	}

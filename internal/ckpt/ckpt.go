@@ -107,6 +107,13 @@ type Checkpointer struct {
 	// hook: throttling it stretches the streaming phase to prove commits
 	// do not stall behind it).
 	saveWrap func(io.Writer) io.Writer
+
+	// pruneBarrier, when non-nil, returns the highest LSN the WAL may be
+	// pruned up to for reasons beyond checkpoint retention — the
+	// replication layer holds it at the lowest LSN a live follower has
+	// acked, so a checkpoint never deletes segments a follower still
+	// needs to catch up from (^uint64(0) means "no external constraint").
+	pruneBarrier func() uint64
 }
 
 // New returns a checkpointer for document name in dir. log may be nil.
@@ -117,6 +124,12 @@ func New(dir, name string, log *wal.Log, pin Pin) *Checkpointer {
 // SetSaveWrapper installs a writer wrapper around the image stream
 // (testing hook; pass nil to remove).
 func (c *Checkpointer) SetSaveWrapper(fn func(io.Writer) io.Writer) { c.saveWrap = fn }
+
+// SetPruneBarrier installs an external prune constraint, queried once
+// per checkpoint while the checkpointer's own lock is held. Install it
+// before the first Run (or while no checkpoint can be racing); the
+// function itself must be safe for concurrent use.
+func (c *Checkpointer) SetPruneBarrier(fn func() uint64) { c.pruneBarrier = fn }
 
 // ckptFile names the image for a pin LSN.
 func ckptFile(name string, lsn uint64) string {
@@ -260,8 +273,16 @@ func (c *Checkpointer) Run() (uint64, error) {
 
 	// The manifest is durable: the new checkpoint is the recovery root.
 	// Retire images beyond the retention horizon and prune WAL segments
-	// every retained image has already absorbed.
+	// every retained image has already absorbed — capped by the external
+	// prune barrier (a live follower's lowest acked LSN), because a
+	// record a follower has not durably applied yet is not redundant no
+	// matter how many local images cover it.
 	pruneTo := c.retire(lsn)
+	if c.pruneBarrier != nil {
+		if b := c.pruneBarrier(); b < pruneTo {
+			pruneTo = b
+		}
+	}
 	if c.log != nil {
 		if err := c.log.Prune(pruneTo); err != nil {
 			return 0, fmt.Errorf("ckpt: pruning wal: %w", err)

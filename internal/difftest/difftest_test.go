@@ -152,3 +152,36 @@ func TestCrashRecovery(t *testing.T) {
 		})
 	}
 }
+
+// replIters returns def unless MXQ_REPL_ITERS overrides it — the
+// nightly replication soak raises the number of seeds per shape far
+// beyond what per-PR CI can spend.
+func replIters(def int) int {
+	if s := os.Getenv("MXQ_REPL_ITERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+// TestReplication is the replication mode: a primary streams its WAL
+// to a follower over a real loopback subscription while the follower
+// is repeatedly disconnected mid-stream, crash-restarted (sometimes
+// with its local WAL cut at a random offset), and left behind across
+// primary checkpoints and prunes. The follower must always be a
+// crash-recovered image of the primary at its applied LSN — verified
+// against the naive oracle at every stop — and must always reconverge,
+// by gap-free WAL replay or snapshot re-bootstrap. Run under -race
+// (make check does).
+func TestReplication(t *testing.T) {
+	iters := replIters(2)
+	if testing.Short() {
+		iters = replIters(1)
+	}
+	for _, cfg := range ReplConfigs(iters) {
+		t.Run(replName(cfg), func(t *testing.T) {
+			RunRepl(t, cfg)
+		})
+	}
+}

@@ -1,0 +1,30 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"mxq/internal/wal"
+)
+
+// encodeRecords gobs a record batch into one WALRecords frame payload.
+// Each frame carries a self-contained gob stream (fresh encoder), so
+// frames survive reordering across reconnects and a torn stream never
+// poisons a decoder.
+func encodeRecords(recs []*wal.Record) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		return nil, fmt.Errorf("repl: encoding record batch: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeRecords reverses encodeRecords.
+func decodeRecords(b []byte) ([]*wal.Record, error) {
+	var recs []*wal.Record
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("repl: decoding record batch: %w", err)
+	}
+	return recs, nil
+}

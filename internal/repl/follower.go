@@ -1,0 +1,302 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"mxq/internal/wal"
+	"mxq/internal/wire"
+)
+
+// Sink is the follower-side state a subscription feeds: the root
+// package implements it over a document's store, manager and local WAL.
+// Methods are called from a single goroutine.
+type Sink interface {
+	// AppliedLSN is where the follower resumes from: the last LSN whose
+	// effects are durably applied locally. ok=false means the follower
+	// holds no state at all — not even the document's initial image,
+	// which the WAL does not contain — so the subscription must open
+	// with a snapshot bootstrap, never with record replay.
+	AppliedLSN() (lsn uint64, ok bool)
+	// Bootstrap replaces the follower's entire state from a checkpoint
+	// image stream (snapshot header + store pages) pinned at lsn. After
+	// it returns, AppliedLSN must report lsn.
+	Bootstrap(r io.Reader, lsn uint64) error
+	// Apply applies a record batch in order and makes it durable,
+	// returning the LSN to ack (normally the batch's last). An error
+	// ends the subscription — a follower that cannot apply must not ack.
+	Apply(recs []*wal.Record) (uint64, error)
+}
+
+// Follower maintains one document's subscription to a primary:
+// connect, negotiate protocol 2, subscribe past the sink's applied
+// LSN, bootstrap from a snapshot when told to, apply record batches
+// and ack them — reconnecting with backoff until stopped. The
+// subscription is self-healing: every reconnect renegotiates from the
+// sink's current applied LSN, so a crash on either side (or a prune
+// that outran the fence while disconnected) degrades to a snapshot
+// bootstrap, never to divergence.
+type Follower struct {
+	Addr string
+	Doc  string
+	Sink Sink
+	Logf func(string, ...any)
+
+	// DialFunc overrides the TCP dial (tests). nil = net.Dial.
+	DialFunc func() (net.Conn, error)
+	// MaxFrame caps inbound frame size (0 = wire.MaxFrame).
+	MaxFrame uint32
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.Logf != nil {
+		f.Logf(format, args...)
+	}
+}
+
+// Run services the subscription until stop closes. Connection errors
+// are logged and retried with backoff (100ms doubling to 3s, reset
+// whenever a connection made progress); only a nil from stop ends it.
+func (f *Follower) Run(stop <-chan struct{}) {
+	backoff := 100 * time.Millisecond
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		progressed, err := f.runOnce(stop)
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if err != nil {
+			f.logf("repl %s: subscription ended: %v", f.Doc, err)
+		}
+		if progressed {
+			backoff = 100 * time.Millisecond
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 3*time.Second {
+			backoff = 3 * time.Second
+		}
+	}
+}
+
+// runOnce runs a single connection's lifetime. progressed reports
+// whether anything was bootstrapped or applied (it resets the backoff).
+func (f *Follower) runOnce(stop <-chan struct{}) (progressed bool, err error) {
+	conn, err := f.dial()
+	if err != nil {
+		return false, err
+	}
+	defer conn.Close()
+	// stop kills the connection out from under every blocking read; the
+	// watcher is reaped on return so it cannot leak across reconnects.
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	go func() {
+		select {
+		case <-stop:
+			conn.Close()
+		case <-watcherDone:
+		}
+	}()
+
+	if err := f.hello(conn); err != nil {
+		return false, err
+	}
+	after, haveState := f.Sink.AppliedLSN()
+	if !haveState {
+		after = wire.SubscribeNone
+	}
+	mode, start, err := f.subscribe(conn, after)
+	if err != nil {
+		return false, err
+	}
+	switch mode {
+	case wire.ModeWAL:
+		if !haveState || start != after {
+			return false, fmt.Errorf("repl: primary streams from %d, asked for %d", start, after)
+		}
+	case wire.ModeSnapshot:
+		if haveState && start < after {
+			// The primary is behind what this follower already applied:
+			// it lost history (or we subscribed to the wrong primary).
+			// Rewinding silently would un-happen acknowledged commits.
+			return false, fmt.Errorf("repl: primary offers snapshot at %d but %d is already applied locally", start, after)
+		}
+		sr := &snapshotReader{conn: conn, max: f.MaxFrame}
+		if err := f.Sink.Bootstrap(sr, start); err != nil {
+			return false, fmt.Errorf("repl: bootstrap: %w", err)
+		}
+		if err := sr.drain(); err != nil {
+			return false, err
+		}
+		if got, ok := f.Sink.AppliedLSN(); !ok || got != start {
+			return true, fmt.Errorf("repl: bootstrap left applied at %d, image was %d", got, start)
+		}
+		if err := f.ack(conn, start); err != nil {
+			return true, err
+		}
+		progressed = true
+	default:
+		return false, fmt.Errorf("repl: unknown subscription mode %d", mode)
+	}
+
+	for {
+		fr, err := wire.ReadFrame(conn, f.MaxFrame)
+		if err != nil {
+			return progressed, err
+		}
+		if fr.Op != wire.OpWALRecords {
+			return progressed, fmt.Errorf("repl: unexpected op %d mid-stream", fr.Op)
+		}
+		recs, err := decodeRecords(fr.Payload)
+		if err != nil {
+			return progressed, err
+		}
+		if len(recs) == 0 {
+			continue
+		}
+		acked, err := f.Sink.Apply(recs)
+		if err != nil {
+			return progressed, fmt.Errorf("repl: applying batch at %d: %w", recs[0].LSN, err)
+		}
+		progressed = true
+		if err := f.ack(conn, acked); err != nil {
+			return progressed, err
+		}
+	}
+}
+
+func (f *Follower) dial() (net.Conn, error) {
+	if f.DialFunc != nil {
+		return f.DialFunc()
+	}
+	return net.DialTimeout("tcp", f.Addr, 5*time.Second)
+}
+
+// hello negotiates protocol 2 + replication. A primary that answers
+// with anything but OK (an old server saying BadRequest, or a version
+// rejection) cannot serve this subscription.
+func (f *Follower) hello(conn net.Conn) error {
+	var p wire.PayloadBuilder
+	p.Uvarint(wire.MaxVersion).Uvarint(wire.FeatReplication)
+	if err := wire.WriteFrame(conn, wire.Frame{ID: 1, Op: wire.OpHello, Payload: p.Bytes()}); err != nil {
+		return err
+	}
+	fr, err := wire.ReadFrame(conn, f.MaxFrame)
+	if err != nil {
+		return err
+	}
+	if fr.Op != wire.StatusOK {
+		return fmt.Errorf("repl: primary rejected Hello (status %d): it does not speak protocol %d", fr.Op, wire.V2)
+	}
+	r := wire.NewPayloadReader(fr.Payload)
+	version, err := r.Uvarint()
+	if err != nil {
+		return err
+	}
+	feats, err := r.Uvarint()
+	if err != nil {
+		return err
+	}
+	if version < wire.V2 || feats&wire.FeatReplication == 0 {
+		return fmt.Errorf("repl: primary negotiated v%d feats %b: replication unavailable", version, feats)
+	}
+	return nil
+}
+
+func (f *Follower) subscribe(conn net.Conn, after uint64) (mode byte, start uint64, err error) {
+	var p wire.PayloadBuilder
+	p.String(f.Doc).Uvarint(after)
+	if err := wire.WriteFrame(conn, wire.Frame{ID: 2, Op: wire.OpSubscribeWAL, Payload: p.Bytes()}); err != nil {
+		return 0, 0, err
+	}
+	fr, err := wire.ReadFrame(conn, f.MaxFrame)
+	if err != nil {
+		return 0, 0, err
+	}
+	if fr.Op != wire.StatusOK {
+		return 0, 0, fmt.Errorf("repl: subscribe rejected (status %d): %s", fr.Op, fr.Payload)
+	}
+	r := wire.NewPayloadReader(fr.Payload)
+	if mode, err = r.Byte(); err != nil {
+		return 0, 0, err
+	}
+	if start, err = r.Uvarint(); err != nil {
+		return 0, 0, err
+	}
+	return mode, start, nil
+}
+
+func (f *Follower) ack(conn net.Conn, lsn uint64) error {
+	var p wire.PayloadBuilder
+	p.Uvarint(lsn)
+	return wire.WriteFrame(conn, wire.Frame{Op: wire.OpFollowerAck, Payload: p.Bytes()})
+}
+
+// snapshotReader reassembles Snapshot frames into the byte stream
+// Bootstrap consumes.
+type snapshotReader struct {
+	conn net.Conn
+	max  uint32
+	buf  []byte
+	done bool
+	err  error
+}
+
+func (s *snapshotReader) Read(p []byte) (int, error) {
+	for len(s.buf) == 0 {
+		if s.err != nil {
+			return 0, s.err
+		}
+		if s.done {
+			return 0, io.EOF
+		}
+		fr, err := wire.ReadFrame(s.conn, s.max)
+		if err != nil {
+			s.err = err
+			return 0, err
+		}
+		if fr.Op != wire.OpSnapshot {
+			s.err = fmt.Errorf("repl: op %d inside snapshot stream", fr.Op)
+			return 0, s.err
+		}
+		r := wire.NewPayloadReader(fr.Payload)
+		last, err := r.Byte()
+		if err != nil {
+			s.err = err
+			return 0, err
+		}
+		s.done = last == 1
+		s.buf = r.Rest()
+	}
+	n := copy(p, s.buf)
+	s.buf = s.buf[n:]
+	return n, nil
+}
+
+// drain consumes the rest of the snapshot stream if Bootstrap stopped
+// early, so the record stream behind it stays aligned.
+func (s *snapshotReader) drain() error {
+	var scratch [4096]byte
+	for {
+		_, err := s.Read(scratch[:])
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"mxq/internal/core"
+	"mxq/internal/tx"
+	"mxq/internal/wal"
+	"mxq/internal/wire"
+)
+
+// Batch and chunk shaping for the stream. One WALRecords frame carries
+// up to maxBatchRecords records or ~maxBatchBytes of encoded ops,
+// whichever fills first; snapshot images are cut into snapChunk pieces.
+const (
+	maxBatchRecords = 256
+	maxBatchBytes   = 256 << 10
+	snapChunk       = 128 << 10
+)
+
+// Source is everything the primary side of a subscription needs from a
+// document: its WAL (the stream), a checkpoint pin (the bootstrap
+// image), and the document's follower tracker (the prune fence).
+type Source struct {
+	Name  string
+	Log   *wal.Log
+	Pin   func() (*core.Store, uint64)
+	Track *Tracker
+}
+
+// Serve runs the primary side of one replication subscription on conn,
+// which the caller has already read the SubscribeWAL request (reqID,
+// afterLSN) from. It sends the mode response, bootstraps with a pinned
+// checkpoint image if the WAL no longer reaches back to after, then
+// streams record batches until the connection dies; acks are consumed
+// concurrently and update the tracker. Serve returns when the
+// subscription ends (any conn error); the caller closes conn.
+//
+// The fence ordering matters: the follower is registered in the
+// tracker at its claimed LSN *before* CanStream is consulted, so a
+// checkpoint cannot prune the gap in between. The one remaining race —
+// a prune already in flight when Register lands — surfaces as
+// wal.ErrPruned mid-setup, ends the subscription, and heals on the
+// follower's reconnect (by then the registration is visible, or the
+// snapshot path takes over).
+func Serve(conn net.Conn, reqID uint64, after uint64, src Source, maxFrame uint32, logf func(string, ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	// A follower with no state (SubscribeNone) is fenced at 0 — maximally
+	// conservative for the moment between registration and the pin.
+	regAt := after
+	if after == wire.SubscribeNone {
+		regAt = 0
+	}
+	id := src.Track.Register(regAt)
+	defer src.Track.Unregister(id)
+
+	start := after
+	mode := wire.ModeWAL
+	var img *core.Store
+	if after == wire.SubscribeNone || !src.Log.CanStream(after) {
+		mode = wire.ModeSnapshot
+		img, start = src.Pin()
+		defer img.Release()
+		// The follower will restart from the image's LSN; move its fence
+		// there so the records it still needs (start, tail] stay pinned.
+		src.Track.Ack(id, start)
+	}
+	var p wire.PayloadBuilder
+	p.Byte(mode).Uvarint(start)
+	if err := wire.WriteFrame(conn, wire.Frame{ID: reqID, Op: wire.StatusOK, Payload: p.Bytes()}); err != nil {
+		return err
+	}
+
+	// Ack receiver: the only reader of conn from here on. Its exit (conn
+	// error, or any frame that is not an ack) ends the subscription.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			fr, err := wire.ReadFrame(conn, maxFrame)
+			if err != nil {
+				return
+			}
+			if fr.Op != wire.OpFollowerAck {
+				logf("repl %s: follower sent op %d mid-stream", src.Name, fr.Op)
+				return
+			}
+			lsn, err := wire.NewPayloadReader(fr.Payload).Uvarint()
+			if err != nil {
+				return
+			}
+			src.Track.Ack(id, lsn)
+		}
+	}()
+
+	if mode == wire.ModeSnapshot {
+		if err := streamSnapshot(conn, img, start); err != nil {
+			return fmt.Errorf("repl %s: streaming snapshot: %w", src.Name, err)
+		}
+		logf("repl %s: follower bootstrapped with snapshot at LSN %d", src.Name, start)
+	}
+	return streamRecords(conn, src.Log, start, done)
+}
+
+// streamSnapshot sends the checkpoint image (header + store pages) as
+// Snapshot frames of at most snapChunk bytes; the final frame carries
+// the last flag.
+func streamSnapshot(conn net.Conn, img *core.Store, lsn uint64) error {
+	sw := &snapshotWriter{conn: conn}
+	if err := tx.WriteSnapshotHeader(sw, lsn); err != nil {
+		return err
+	}
+	if err := img.Save(sw); err != nil {
+		return err
+	}
+	return sw.finish()
+}
+
+// snapshotWriter cuts a byte stream into Snapshot frames.
+type snapshotWriter struct {
+	conn io.Writer
+	buf  []byte
+}
+
+func (s *snapshotWriter) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(s.buf)+len(p) >= snapChunk {
+		take := snapChunk - len(s.buf)
+		s.buf = append(s.buf, p[:take]...)
+		p = p[take:]
+		if err := s.flush(false); err != nil {
+			return 0, err
+		}
+	}
+	s.buf = append(s.buf, p...)
+	return n, nil
+}
+
+func (s *snapshotWriter) finish() error { return s.flush(true) }
+
+func (s *snapshotWriter) flush(last bool) error {
+	var p wire.PayloadBuilder
+	if last {
+		p.Byte(1)
+	} else {
+		p.Byte(0)
+	}
+	p.Raw(s.buf)
+	s.buf = s.buf[:0]
+	return wire.WriteFrame(s.conn, wire.Frame{Op: wire.OpSnapshot, Payload: p.Bytes()})
+}
+
+// streamRecords ships durable WAL records past `after` in batches,
+// parking on the durability watermark when caught up, until the
+// connection dies (write error, or the ack receiver exits).
+func streamRecords(conn net.Conn, log *wal.Log, after uint64, done <-chan struct{}) error {
+	r, err := log.NewReader(after)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for {
+		batch, err := nextBatch(r)
+		if err != nil {
+			return err
+		}
+		if len(batch) == 0 {
+			// Caught up. Take the change channel, re-check (a commit may
+			// have landed between the drain and the take), then park.
+			ch := log.DurableChanged()
+			if log.DurableLSN() > r.LSN() {
+				continue
+			}
+			select {
+			case <-ch:
+				continue
+			case <-done:
+				return errors.New("repl: subscription closed")
+			}
+		}
+		payload, err := encodeRecords(batch)
+		if err != nil {
+			return err
+		}
+		if err := wire.WriteFrame(conn, wire.Frame{Op: wire.OpWALRecords, Payload: payload}); err != nil {
+			return err
+		}
+		select {
+		case <-done:
+			return errors.New("repl: subscription closed")
+		default:
+		}
+	}
+}
+
+// nextBatch drains the reader up to the batch bounds; empty means
+// caught up.
+func nextBatch(r *wal.Reader) ([]*wal.Record, error) {
+	var batch []*wal.Record
+	bytes := 0
+	for len(batch) < maxBatchRecords && bytes < maxBatchBytes {
+		rec, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if rec == nil {
+			break
+		}
+		batch = append(batch, rec)
+		for i := range rec.Ops {
+			op := &rec.Ops[i]
+			bytes += 64 + len(op.Name) + len(op.Value) + 96*len(op.Frag)
+		}
+	}
+	return batch, nil
+}

@@ -67,13 +67,26 @@ func (c *catalog) acquireEntry(name string) (*catEntry, error) {
 	for {
 		c.mu.Lock()
 		if e, ok := c.entries[name]; ok {
-			e.refs++
-			if e.timer != nil {
-				e.timer.Stop()
-				e.timer = nil
+			// Re-validate against the database: a follower bootstrap
+			// replaces the document instance wholesale (docSink.Bootstrap
+			// detaches the old one and publishes a new one), which this
+			// catalog cannot see. A cached entry pointing at a detached
+			// instance would serve reads frozen at the old LSN line.
+			if cur, live := c.db.Document(name); live && cur == e.doc {
+				e.refs++
+				if e.timer != nil {
+					e.timer.Stop()
+					e.timer = nil
+				}
+				c.mu.Unlock()
+				return e, nil
 			}
-			c.mu.Unlock()
-			return e, nil
+			// Stale: drop the entry and reopen below. References already
+			// out on the old entry still release by name against the new
+			// one; the refcount only times idle close, so the worst a
+			// miscount causes is an early or late detach, which acquire
+			// recovers from by reopening.
+			delete(c.entries, name)
 		}
 		done, detaching := c.closing[name]
 		c.mu.Unlock()

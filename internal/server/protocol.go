@@ -1,12 +1,17 @@
 // Package server is the mxqd network daemon: a TCP server exposing a
 // Database over a length-prefixed binary frame protocol, with
-// per-session state (prepared-statement cache, pinned read versions), a
-// refcounted lazily-opened document catalog, admission control (a
-// weighted semaphore over executing requests with a bounded wait queue —
-// overflow is answered with a fast ErrOverloaded frame instead of
-// unbounded memory), and graceful drain (stop accepting, finish
-// in-flight requests under a deadline, close documents so the
-// auto-checkpointer and WAL flush cleanly).
+// per-session state (prepared-statement cache, pinned read versions,
+// negotiated protocol version), a refcounted lazily-opened document
+// catalog, admission control (a weighted semaphore over executing
+// requests with a bounded wait queue — overflow is answered with a fast
+// ErrOverloaded frame instead of unbounded memory), and graceful drain
+// (stop accepting, finish in-flight requests under a deadline, close
+// documents so the auto-checkpointer and WAL flush cleanly).
+//
+// The frame codec, opcode space and version-negotiation contract live
+// in the leaf package internal/wire (shared with the replication
+// subsystem and the Go client); this package re-exports the wire names
+// under their historical identifiers so existing imports keep working.
 //
 // # Wire protocol
 //
@@ -22,7 +27,17 @@
 // ops), followed by per-opcode fields. Sessions are strictly
 // sequential: a client sends one request per connection at a time and
 // reads one response; concurrency comes from opening many connections,
-// which is what the versioned read path was built for.
+// which is what the versioned read path was built for. The one
+// exception is a session that issues OpSubscribeWAL: the connection
+// leaves request/response mode for good and becomes a replication
+// stream (snapshot and record frames outbound, acks inbound).
+//
+// # Versions
+//
+// A session starts at protocol 1; OpHello upgrades it (see the wire
+// package for the negotiation rules). Version-gated opcodes on a
+// protocol-1 session are answered with CodeVersion, not CodeBadRequest,
+// so a client can tell "old server" from "forgot the handshake".
 //
 // # Session lifetime
 //
@@ -35,34 +50,44 @@
 package server
 
 import (
-	"encoding/binary"
 	"errors"
-	"fmt"
 	"io"
+
+	"mxq/internal/wire"
 )
 
-// Request opcodes.
+// Request opcodes (see the wire package for payload layouts).
 const (
-	OpPing      byte = 1 // -> OK, empty
-	OpListDocs  byte = 2 // -> uvarint n, then n names
-	OpLoad      byte = 3 // name, xml -> OK
-	OpQuery     byte = 4 // name, query, uvarint nvars, (k, v)* -> result items
-	OpUpdate    byte = 5 // name, xupdate xml -> uvarint applied count
-	OpExplain   byte = 6 // name, query -> plan text
-	OpBeginRead byte = 7 // name -> uvarint pinned version
-	OpEndRead   byte = 8 // name -> OK
+	OpPing      = wire.OpPing
+	OpListDocs  = wire.OpListDocs
+	OpLoad      = wire.OpLoad
+	OpQuery     = wire.OpQuery
+	OpUpdate    = wire.OpUpdate
+	OpExplain   = wire.OpExplain
+	OpBeginRead = wire.OpBeginRead
+	OpEndRead   = wire.OpEndRead
+
+	OpHello        = wire.OpHello
+	OpSubscribeWAL = wire.OpSubscribeWAL
+	OpWALRecords   = wire.OpWALRecords
+	OpSnapshot     = wire.OpSnapshot
+	OpFollowerAck  = wire.OpFollowerAck
+	OpDocStatus    = wire.OpDocStatus
 )
 
 // Response status codes (0 is OK).
 const (
-	StatusOK          byte = 0
-	CodeBadRequest    byte = 1 // malformed frame or unknown opcode
-	CodeNoDocument    byte = 2 // unknown document name
-	CodeQuery         byte = 3 // compile/evaluation/update error (message in payload)
-	CodeOverloaded    byte = 4 // admission control rejected the request
-	CodeShuttingDown  byte = 5 // server is draining
-	CodeInternal      byte = 6
-	CodeReadNotPinned byte = 7 // OpEndRead without a matching OpBeginRead
+	StatusOK          = wire.StatusOK
+	CodeBadRequest    = wire.CodeBadRequest
+	CodeNoDocument    = wire.CodeNoDocument
+	CodeQuery         = wire.CodeQuery
+	CodeOverloaded    = wire.CodeOverloaded
+	CodeShuttingDown  = wire.CodeShuttingDown
+	CodeInternal      = wire.CodeInternal
+	CodeReadNotPinned = wire.CodeReadNotPinned
+	CodeStale         = wire.CodeStale
+	CodeVersion       = wire.CodeVersion
+	CodeReadOnly      = wire.CodeReadOnly
 )
 
 // Sentinel errors for the status codes a client program branches on.
@@ -74,121 +99,41 @@ var (
 
 // MaxFrame is the default cap on a frame's length field; a peer
 // announcing more is cut off rather than allocated for.
-const MaxFrame = 64 << 20
+const MaxFrame = wire.MaxFrame
 
 // Frame is one decoded frame: id, op (opcode or status), payload.
-type Frame struct {
-	ID      uint64
-	Op      byte
-	Payload []byte
-}
-
-// ReadFrame reads one frame, rejecting lengths beyond max (0 means
-// MaxFrame).
-func ReadFrame(r io.Reader, max uint32) (Frame, error) {
-	if max == 0 {
-		max = MaxFrame
-	}
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Frame{}, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n < 9 {
-		return Frame{}, fmt.Errorf("server: frame too short (%d)", n)
-	}
-	if n > max {
-		return Frame{}, fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, max)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return Frame{}, err
-	}
-	return Frame{
-		ID:      binary.BigEndian.Uint64(body[:8]),
-		Op:      body[8],
-		Payload: body[9:],
-	}, nil
-}
-
-// WriteFrame writes one frame. The payload is assembled by the caller
-// (see PayloadBuilder); a single Write keeps frames intact under
-// concurrent connection teardown.
-func WriteFrame(w io.Writer, f Frame) error {
-	buf := make([]byte, 4+8+1+len(f.Payload))
-	binary.BigEndian.PutUint32(buf[:4], uint32(8+1+len(f.Payload)))
-	binary.BigEndian.PutUint64(buf[4:12], f.ID)
-	buf[12] = f.Op
-	copy(buf[13:], f.Payload)
-	_, err := w.Write(buf)
-	return err
-}
+type Frame = wire.Frame
 
 // PayloadBuilder assembles a payload of uvarints and length-prefixed
 // strings.
-type PayloadBuilder struct{ b []byte }
-
-// Uvarint appends a uvarint.
-func (p *PayloadBuilder) Uvarint(v uint64) *PayloadBuilder {
-	p.b = binary.AppendUvarint(p.b, v)
-	return p
-}
-
-// String appends a length-prefixed string.
-func (p *PayloadBuilder) String(s string) *PayloadBuilder {
-	p.b = binary.AppendUvarint(p.b, uint64(len(s)))
-	p.b = append(p.b, s...)
-	return p
-}
-
-// Byte appends one raw byte.
-func (p *PayloadBuilder) Byte(c byte) *PayloadBuilder {
-	p.b = append(p.b, c)
-	return p
-}
-
-// Bytes returns the assembled payload.
-func (p *PayloadBuilder) Bytes() []byte { return p.b }
+type PayloadBuilder = wire.PayloadBuilder
 
 // PayloadReader decodes a payload assembled by PayloadBuilder.
-type PayloadReader struct{ b []byte }
+type PayloadReader = wire.PayloadReader
 
 // NewPayloadReader wraps a payload.
-func NewPayloadReader(b []byte) *PayloadReader { return &PayloadReader{b: b} }
+func NewPayloadReader(b []byte) *PayloadReader { return wire.NewPayloadReader(b) }
 
-// Uvarint reads a uvarint.
-func (p *PayloadReader) Uvarint() (uint64, error) {
-	v, n := binary.Uvarint(p.b)
-	if n <= 0 {
-		return 0, errors.New("server: truncated uvarint")
-	}
-	p.b = p.b[n:]
-	return v, nil
-}
+// ReadFrame reads one frame, rejecting lengths beyond max (0 means
+// MaxFrame).
+func ReadFrame(r io.Reader, max uint32) (Frame, error) { return wire.ReadFrame(r, max) }
 
-// String reads a length-prefixed string.
-func (p *PayloadReader) String() (string, error) {
-	n, err := p.Uvarint()
-	if err != nil {
-		return "", err
-	}
-	if n > uint64(len(p.b)) {
-		return "", errors.New("server: truncated string")
-	}
-	s := string(p.b[:n])
-	p.b = p.b[n:]
-	return s, nil
-}
+// WriteFrame writes one frame in a single Write, keeping frames intact
+// under concurrent connection teardown.
+func WriteFrame(w io.Writer, f Frame) error { return wire.WriteFrame(w, f) }
 
-// Byte reads one raw byte.
-func (p *PayloadReader) Byte() (byte, error) {
-	if len(p.b) == 0 {
-		return 0, errors.New("server: truncated byte")
-	}
-	c := p.b[0]
-	p.b = p.b[1:]
-	return c, nil
-}
+// Result item kind codes on the wire.
+const (
+	KindElement = wire.KindElement
+	KindText    = wire.KindText
+	KindComment = wire.KindComment
+	KindPI      = wire.KindPI
+	KindAttr    = wire.KindAttr
+	KindDoc     = wire.KindDoc
+	KindNumber  = wire.KindNumber
+	KindString  = wire.KindString
+	KindBoolean = wire.KindBoolean
+)
 
-// Remaining reports the unread byte count.
-func (p *PayloadReader) Remaining() int { return len(p.b) }
+// KindName maps a wire kind code back to mxq's item kind string.
+func KindName(c byte) string { return wire.KindName(c) }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mxq"
+	"mxq/internal/wire"
 )
 
 // Config configures a Server.
@@ -29,8 +30,21 @@ type Config struct {
 	IdleClose time.Duration
 	// MaxFrame caps a request frame's size (0 = MaxFrame const).
 	MaxFrame uint32
+	// ReadOnly rejects every write opcode (Load, Update) with
+	// CodeReadOnly. The daemon's follower mode (-follow) sets it: a
+	// followed document has exactly one writer, the primary's stream,
+	// and a local write would fork its LSN line.
+	ReadOnly bool
 	// Logf, when non-nil, receives server lifecycle messages.
 	Logf func(format string, args ...any)
+}
+
+// features reports the feature bits this server offers in Hello.
+// Replication is always offered (any durable document can be
+// subscribed); read-your-writes likewise (the applied watermark exists
+// on primaries and followers alike).
+func (s *Server) features() uint64 {
+	return wire.FeatReplication | wire.FeatRYW
 }
 
 // Server is the mxqd daemon core: an accept loop spawning one session

@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"context"
 	"errors"
 	"net"
 	"strings"
@@ -12,6 +13,8 @@ import (
 	"mxq/client"
 	"mxq/internal/server"
 )
+
+var bg = context.Background()
 
 const libDoc = `<lib><shelf id="s1"><book year="1999">Alpha</book><book year="2003">Beta</book></shelf></lib>`
 
@@ -46,7 +49,7 @@ func startServer(t *testing.T, cfg server.Config) (addr string, db *mxq.Database
 
 func dial(t *testing.T, addr string) *client.Client {
 	t.Helper()
-	c, err := client.Dial(addr)
+	c, err := client.Dial(bg, addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,17 +60,17 @@ func dial(t *testing.T, addr string) *client.Client {
 func TestClientBasic(t *testing.T) {
 	addr, _ := startServer(t, server.Config{})
 	c := dial(t, addr)
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(bg); err != nil {
 		t.Fatalf("ping: %v", err)
 	}
-	if err := c.Load("lib", libDoc); err != nil {
+	if err := c.Load(bg, "lib", libDoc); err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	docs, err := c.ListDocs()
+	docs, err := c.ListDocs(bg)
 	if err != nil || len(docs) != 1 || docs[0] != "lib" {
 		t.Fatalf("docs = %v, %v", docs, err)
 	}
-	items, err := c.Query("lib", "//book", nil)
+	items, err := c.Query(bg, "lib", "//book", nil)
 	if err != nil {
 		t.Fatalf("query: %v", err)
 	}
@@ -77,11 +80,11 @@ func TestClientBasic(t *testing.T) {
 	if !strings.Contains(items[1].XML, `<book year="2003">Beta</book>`) {
 		t.Fatalf("item xml = %q", items[1].XML)
 	}
-	items, err = c.Query("lib", "count(//book)", nil)
+	items, err = c.Query(bg, "lib", "count(//book)", nil)
 	if err != nil || len(items) != 1 || items[0].Kind != "number" || items[0].Value != "2" {
 		t.Fatalf("count = %+v, %v", items, err)
 	}
-	items, err = c.Query("lib", "//book[. = $v]/@year", map[string]string{"v": "Beta"})
+	items, err = c.Query(bg, "lib", "//book[. = $v]/@year", map[string]string{"v": "Beta"})
 	if err != nil || len(items) != 1 || items[0].Kind != "attribute" || items[0].Value != "2003" {
 		t.Fatalf("var query = %+v, %v", items, err)
 	}
@@ -90,20 +93,20 @@ func TestClientBasic(t *testing.T) {
 func TestClientErrors(t *testing.T) {
 	addr, _ := startServer(t, server.Config{})
 	c := dial(t, addr)
-	if _, err := c.Query("nope", "//x", nil); !errors.Is(err, client.ErrNoDocument) {
+	if _, err := c.Query(bg, "nope", "//x", nil); !errors.Is(err, client.ErrNoDocument) {
 		t.Fatalf("unknown doc = %v, want ErrNoDocument", err)
 	}
-	if err := c.Load("lib", libDoc); err != nil {
+	if err := c.Load(bg, "lib", libDoc); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Query("lib", "//book[", nil); err == nil {
+	if _, err := c.Query(bg, "lib", "//book[", nil); err == nil {
 		t.Fatal("bad query should error")
 	}
-	if err := c.EndRead("lib"); err == nil {
+	if err := c.EndRead(bg, "lib"); err == nil {
 		t.Fatal("EndRead without BeginRead should error")
 	}
 	// The session must survive every error above.
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(bg); err != nil {
 		t.Fatalf("ping after errors: %v", err)
 	}
 }
@@ -111,17 +114,17 @@ func TestClientErrors(t *testing.T) {
 func TestClientUpdate(t *testing.T) {
 	addr, _ := startServer(t, server.Config{})
 	c := dial(t, addr)
-	if err := c.Load("lib", libDoc); err != nil {
+	if err := c.Load(bg, "lib", libDoc); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Update("lib", wrapMods(`<xupdate:append select="/lib/shelf"><book year="2020">Gamma</book></xupdate:append>`))
+	res, err := c.Update(bg, "lib", wrapMods(`<xupdate:append select="/lib/shelf"><book year="2020">Gamma</book></xupdate:append>`))
 	if err != nil {
 		t.Fatalf("update: %v", err)
 	}
 	if res.Ops != 1 || res.Affected < 1 {
 		t.Fatalf("update result = %+v", res)
 	}
-	items, err := c.Query("lib", "count(//book)", nil)
+	items, err := c.Query(bg, "lib", "count(//book)", nil)
 	if err != nil || items[0].Value != "3" {
 		t.Fatalf("count after update = %+v, %v", items, err)
 	}
@@ -130,10 +133,10 @@ func TestClientUpdate(t *testing.T) {
 func TestClientExplain(t *testing.T) {
 	addr, _ := startServer(t, server.Config{})
 	c := dial(t, addr)
-	if err := c.Load("lib", libDoc); err != nil {
+	if err := c.Load(bg, "lib", libDoc); err != nil {
 		t.Fatal(err)
 	}
-	plan, err := c.Explain("lib", "//shelf[book]")
+	plan, err := c.Explain(bg, "lib", "//shelf[book]")
 	if err != nil {
 		t.Fatalf("explain: %v", err)
 	}
@@ -151,35 +154,35 @@ func TestClientSnapshotIsolation(t *testing.T) {
 	addr, _ := startServer(t, server.Config{})
 	reader := dial(t, addr)
 	writer := dial(t, addr)
-	if err := reader.Load("lib", libDoc); err != nil {
+	if err := reader.Load(bg, "lib", libDoc); err != nil {
 		t.Fatal(err)
 	}
-	v1, err := reader.BeginRead("lib")
+	v1, err := reader.BeginRead(bg, "lib")
 	if err != nil {
 		t.Fatalf("begin read: %v", err)
 	}
-	if _, err := writer.Update("lib", wrapMods(`<xupdate:append select="/lib/shelf"><book>New</book></xupdate:append>`)); err != nil {
+	if _, err := writer.Update(bg, "lib", wrapMods(`<xupdate:append select="/lib/shelf"><book>New</book></xupdate:append>`)); err != nil {
 		t.Fatal(err)
 	}
-	items, err := reader.Query("lib", "count(//book)", nil)
+	items, err := reader.Query(bg, "lib", "count(//book)", nil)
 	if err != nil || items[0].Value != "2" {
 		t.Fatalf("pinned count = %+v, %v (version %d)", items, err, v1)
 	}
-	items, err = writer.Query("lib", "count(//book)", nil)
+	items, err = writer.Query(bg, "lib", "count(//book)", nil)
 	if err != nil || items[0].Value != "3" {
 		t.Fatalf("unpinned count = %+v, %v", items, err)
 	}
-	if err := reader.EndRead("lib"); err != nil {
+	if err := reader.EndRead(bg, "lib"); err != nil {
 		t.Fatal(err)
 	}
-	items, err = reader.Query("lib", "count(//book)", nil)
+	items, err = reader.Query(bg, "lib", "count(//book)", nil)
 	if err != nil || items[0].Value != "3" {
 		t.Fatalf("count after EndRead = %+v, %v", items, err)
 	}
-	if _, err := reader.BeginRead("lib"); err != nil {
+	if _, err := reader.BeginRead(bg, "lib"); err != nil {
 		t.Fatalf("re-pin: %v", err)
 	}
-	if _, err := reader.BeginRead("lib"); err == nil {
+	if _, err := reader.BeginRead(bg, "lib"); err == nil {
 		t.Fatal("double BeginRead should error")
 	}
 }
@@ -194,10 +197,10 @@ func TestIdleClose(t *testing.T) {
 	}
 	addr, _ := startServer(t, server.Config{DB: db, IdleClose: 30 * time.Millisecond})
 	c := dial(t, addr)
-	if err := c.Load("lib", libDoc); err != nil {
+	if err := c.Load(bg, "lib", libDoc); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Query("lib", "count(//book)", nil); err != nil {
+	if _, err := c.Query(bg, "lib", "count(//book)", nil); err != nil {
 		t.Fatal(err)
 	}
 	// The idle timer detaches the document from the database.
@@ -212,7 +215,7 @@ func TestIdleClose(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	// The next request recovers it from its checkpoint.
-	items, err := c.Query("lib", "count(//book)", nil)
+	items, err := c.Query(bg, "lib", "count(//book)", nil)
 	if err != nil || items[0].Value != "2" {
 		t.Fatalf("query after idle close = %+v, %v", items, err)
 	}
@@ -228,17 +231,17 @@ func TestIdleCloseDoesNotDetachPinnedRead(t *testing.T) {
 	}
 	addr, _ := startServer(t, server.Config{DB: db, IdleClose: 20 * time.Millisecond})
 	c := dial(t, addr)
-	if err := c.Load("lib", libDoc); err != nil {
+	if err := c.Load(bg, "lib", libDoc); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.BeginRead("lib"); err != nil {
+	if _, err := c.BeginRead(bg, "lib"); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(100 * time.Millisecond)
 	if _, open := db.Document("lib"); !open {
 		t.Fatal("pinned document was detached by the idle closer")
 	}
-	items, err := c.Query("lib", "count(//book)", nil)
+	items, err := c.Query(bg, "lib", "count(//book)", nil)
 	if err != nil || items[0].Value != "2" {
 		t.Fatalf("pinned query = %+v, %v", items, err)
 	}
@@ -255,15 +258,15 @@ func TestShutdownDrains(t *testing.T) {
 		t.Fatal(err)
 	}
 	go srv.Serve(l)
-	c, err := client.Dial(l.Addr().String())
+	c, err := client.Dial(bg, l.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Load("lib", libDoc); err != nil {
+	if err := c.Load(bg, "lib", libDoc); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.BeginRead("lib"); err != nil {
+	if _, err := c.BeginRead(bg, "lib"); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.Shutdown(5 * time.Second); err != nil {
@@ -275,7 +278,7 @@ func TestShutdownDrains(t *testing.T) {
 	}
 	// The drained session released its pinned snapshot, so the database
 	// closes cleanly.
-	if err := c.Ping(); err == nil {
+	if err := c.Ping(bg); err == nil {
 		t.Fatal("request on drained session should fail")
 	}
 	if err := db.Close(); err != nil {
@@ -289,7 +292,7 @@ func TestShutdownDrains(t *testing.T) {
 func TestManySessions(t *testing.T) {
 	addr, _ := startServer(t, server.Config{})
 	setup := dial(t, addr)
-	if err := setup.Load("lib", libDoc); err != nil {
+	if err := setup.Load(bg, "lib", libDoc); err != nil {
 		t.Fatal(err)
 	}
 	const sessions = 32
@@ -299,7 +302,7 @@ func TestManySessions(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, err := client.Dial(addr)
+			c, err := client.Dial(bg, addr)
 			if err != nil {
 				errs <- err
 				return
@@ -307,13 +310,13 @@ func TestManySessions(t *testing.T) {
 			defer c.Close()
 			for j := 0; j < 10; j++ {
 				if i%4 == 0 && j == 5 {
-					if _, err := c.Update("lib", wrapMods(`<xupdate:append select="/lib/shelf"><book>B</book></xupdate:append>`)); err != nil {
+					if _, err := c.Update(bg, "lib", wrapMods(`<xupdate:append select="/lib/shelf"><book>B</book></xupdate:append>`)); err != nil {
 						errs <- err
 						return
 					}
 					continue
 				}
-				if _, err := c.Query("lib", "//book[. = $v]", map[string]string{"v": "Alpha"}); err != nil {
+				if _, err := c.Query(bg, "lib", "//book[. = $v]", map[string]string{"v": "Alpha"}); err != nil {
 					errs <- err
 					return
 				}

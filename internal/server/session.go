@@ -5,39 +5,12 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"time"
 
 	"mxq"
+	"mxq/internal/repl"
+	"mxq/internal/wire"
 )
-
-// Result item kind codes on the wire.
-const (
-	KindElement byte = 1
-	KindText    byte = 2
-	KindComment byte = 3
-	KindPI      byte = 4
-	KindAttr    byte = 5
-	KindDoc     byte = 6
-	KindNumber  byte = 7
-	KindString  byte = 8
-	KindBoolean byte = 9
-)
-
-var kindCodes = map[string]byte{
-	"element": KindElement, "text": KindText, "comment": KindComment,
-	"processing-instruction": KindPI, "attribute": KindAttr,
-	"document": KindDoc, "number": KindNumber, "string": KindString,
-	"boolean": KindBoolean,
-}
-
-// KindName maps a wire kind code back to mxq's item kind string.
-func KindName(c byte) string {
-	for n, k := range kindCodes {
-		if k == c {
-			return n
-		}
-	}
-	return fmt.Sprintf("kind(%d)", c)
-}
 
 // maxPrepared bounds the per-session prepared-statement cache.
 const maxPrepared = 256
@@ -65,6 +38,8 @@ type session struct {
 	conn     net.Conn
 	prepared map[prepKey]*mxq.Prepared
 	reads    map[string]*pinnedRead // doc name -> pinned snapshot
+	proto    uint64                 // negotiated protocol version; V1 until Hello
+	feats    uint64                 // negotiated feature bits; 0 until Hello
 }
 
 func newSession(srv *Server, conn net.Conn) *session {
@@ -73,6 +48,7 @@ func newSession(srv *Server, conn net.Conn) *session {
 		conn:     conn,
 		prepared: make(map[prepKey]*mxq.Prepared),
 		reads:    make(map[string]*pinnedRead),
+		proto:    wire.V1,
 	}
 }
 
@@ -133,8 +109,131 @@ func (s *session) handle(f Frame) bool {
 		return s.handleBeginRead(f)
 	case OpEndRead:
 		return s.handleEndRead(f)
+	case OpHello:
+		return s.handleHello(f)
+	case OpSubscribeWAL:
+		return s.handleSubscribeWAL(f)
+	case OpDocStatus:
+		return s.handleDocStatus(f)
 	}
 	return s.respondErr(f.ID, CodeBadRequest, fmt.Sprintf("unknown opcode %d", f.Op))
+}
+
+// handleHello negotiates the session's protocol version and feature
+// set. Hello may be sent at any point (idempotently renegotiating), but
+// clients send it first.
+func (s *session) handleHello(f Frame) bool {
+	r := NewPayloadReader(f.Payload)
+	clientMax, err := r.Uvarint()
+	if err != nil {
+		return s.respondErr(f.ID, CodeBadRequest, err.Error())
+	}
+	clientFeats, err := r.Uvarint()
+	if err != nil {
+		return s.respondErr(f.ID, CodeBadRequest, err.Error())
+	}
+	version, feats, ok := wire.Negotiate(clientMax, s.srv.features(), clientFeats)
+	if !ok {
+		return s.respondErr(f.ID, CodeVersion,
+			fmt.Sprintf("client speaks up to protocol %d; this server speaks %d..%d",
+				clientMax, wire.MinVersion, wire.MaxVersion))
+	}
+	s.proto = version
+	s.feats = feats
+	var p PayloadBuilder
+	p.Uvarint(version).Uvarint(feats)
+	return s.respond(f.ID, StatusOK, p.Bytes())
+}
+
+// requireV2 gates a version-2 opcode: on a session that has not
+// negotiated V2 it answers CodeVersion (a typed rejection — never
+// CodeBadRequest, so a client can tell "old server" from "forgot the
+// handshake") and reports false.
+func (s *session) requireV2(f Frame) bool {
+	if s.proto >= wire.V2 {
+		return true
+	}
+	s.respondErr(f.ID, CodeVersion, fmt.Sprintf("opcode %d requires protocol 2; session negotiated %d", f.Op, s.proto))
+	return false
+}
+
+// handleSubscribeWAL turns the connection into a replication stream:
+// the mode response, then snapshot and record frames outbound with acks
+// inbound, until the follower disconnects. The connection never returns
+// to request/response mode — the session ends when the stream does.
+//
+// The subscription deliberately bypasses the admission semaphore: it is
+// a long-lived stream, not a request, and parking a semaphore unit for
+// its whole lifetime would let a handful of followers starve query
+// admission. The WAL reader it drives does bounded work per batch and
+// blocks idle between commits.
+func (s *session) handleSubscribeWAL(f Frame) bool {
+	if !s.requireV2(f) {
+		return true
+	}
+	if s.feats&wire.FeatReplication == 0 {
+		s.respondErr(f.ID, CodeVersion, "session did not negotiate the replication feature")
+		return true
+	}
+	r := NewPayloadReader(f.Payload)
+	name, err := r.String()
+	if err != nil {
+		s.respondErr(f.ID, CodeBadRequest, err.Error())
+		return true
+	}
+	after, err := r.Uvarint()
+	if err != nil {
+		s.respondErr(f.ID, CodeBadRequest, err.Error())
+		return true
+	}
+	doc, err := s.srv.catalog.acquire(name)
+	if err != nil {
+		s.respondNoDoc(f.ID, name, err)
+		return true
+	}
+	// The catalog reference is held for the stream's whole life: a
+	// subscribed document must not be idle-closed out from under its
+	// WAL reader.
+	defer s.srv.catalog.release(name)
+	src, err := doc.ReplSource()
+	if err != nil {
+		s.respondErr(f.ID, CodeQuery, err.Error())
+		return true
+	}
+	logf := s.srv.cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := repl.Serve(s.conn, f.ID, after, src, s.srv.cfg.MaxFrame, logf); err != nil {
+		logf("server: replication stream for %q ended: %v", name, err)
+	}
+	return false
+}
+
+// handleDocStatus reports the document's replication standing: the
+// server's role, the applied (read-your-writes) watermark and the WAL
+// tail. A client uses it to measure follower lag and to pick replicas.
+func (s *session) handleDocStatus(f Frame) bool {
+	if !s.requireV2(f) {
+		return true
+	}
+	r := NewPayloadReader(f.Payload)
+	name, err := r.String()
+	if err != nil {
+		return s.respondErr(f.ID, CodeBadRequest, err.Error())
+	}
+	doc, err := s.srv.catalog.acquire(name)
+	if err != nil {
+		return s.respondNoDoc(f.ID, name, err)
+	}
+	defer s.srv.catalog.release(name)
+	role := wire.RolePrimary
+	if s.srv.cfg.ReadOnly {
+		role = wire.RoleFollower
+	}
+	var p PayloadBuilder
+	p.Byte(role).Uvarint(doc.AppliedLSN()).Uvarint(doc.LastLSN())
+	return s.respond(f.ID, StatusOK, p.Bytes())
 }
 
 // admit wraps an execution in the admission semaphore, translating
@@ -159,6 +258,9 @@ func (s *session) handleLoad(f Frame) bool {
 	xml, err := r.String()
 	if err != nil {
 		return s.respondErr(f.ID, CodeBadRequest, err.Error())
+	}
+	if s.srv.cfg.ReadOnly {
+		return s.respondErr(f.ID, CodeReadOnly, "server is read-only (follower); load on the primary")
 	}
 	return s.admit(f.ID, 2, func() bool {
 		doc, err := s.srv.cfg.DB.LoadXMLString(name, xml)
@@ -200,12 +302,47 @@ func (s *session) handleQuery(f Frame) bool {
 			vars[k] = v
 		}
 	}
+	// V2 read-your-writes trailer: a minimum LSN the document must have
+	// applied before the query runs, and how long to park waiting for
+	// it. Absent (a V1 client, or a V2 client that omitted it) means
+	// "read whatever is current".
+	var minLSN, timeoutMillis uint64
+	if s.proto >= wire.V2 && r.Remaining() > 0 {
+		if minLSN, err = r.Uvarint(); err != nil {
+			return s.respondErr(f.ID, CodeBadRequest, err.Error())
+		}
+		if timeoutMillis, err = r.Uvarint(); err != nil {
+			return s.respondErr(f.ID, CodeBadRequest, err.Error())
+		}
+	}
 	return s.admit(f.ID, 1, func() bool {
+		rywDeadline := time.Now().Add(time.Duration(timeoutMillis) * time.Millisecond)
+		if minLSN > 0 {
+			// A follower that is still bootstrapping the document has
+			// nothing to acquire yet; the read-your-writes park covers
+			// "document not here yet" the same as "LSN not applied yet".
+			if ok, served := s.waitForDoc(f.ID, name, rywDeadline); !ok {
+				return served
+			}
+		}
 		doc, pr, release, ok := s.docForRead(f.ID, name)
 		if !ok {
 			return true
 		}
 		defer release()
+		if minLSN > 0 {
+			// Park until the replica catches up to the client's commit.
+			// This holds an admission unit while parked — deliberate: a
+			// flood of reads against a stalled follower should trip
+			// overload control rather than pile up unboundedly behind it.
+			if err := doc.WaitApplied(minLSN, time.Until(rywDeadline)); err != nil {
+				if errors.Is(err, mxq.ErrStale) {
+					return s.respondErr(f.ID, CodeStale,
+						fmt.Sprintf("document %q applied LSN %d, read requires %d", name, doc.AppliedLSN(), minLSN))
+				}
+				return s.respondErr(f.ID, CodeInternal, err.Error())
+			}
+		}
 		prep, err := s.prepare(doc, query)
 		if err != nil {
 			return s.respondErr(f.ID, CodeQuery, err.Error())
@@ -233,6 +370,9 @@ func (s *session) handleUpdate(f Frame) bool {
 	if err != nil {
 		return s.respondErr(f.ID, CodeBadRequest, err.Error())
 	}
+	if s.srv.cfg.ReadOnly {
+		return s.respondErr(f.ID, CodeReadOnly, "server is read-only (follower); write on the primary")
+	}
 	return s.admit(f.ID, 2, func() bool {
 		e, err := s.srv.catalog.acquireEntry(name)
 		if err != nil {
@@ -245,12 +385,17 @@ func (s *session) handleUpdate(f Frame) bool {
 		// updates instead of surfacing the conflict to clients.
 		e.wmu.Lock()
 		defer e.wmu.Unlock()
-		res, err := e.doc.Update(mods)
+		res, lsn, err := e.doc.UpdateLSN(mods)
 		if err != nil {
 			return s.respondErr(f.ID, CodeQuery, err.Error())
 		}
 		var p PayloadBuilder
 		p.Uvarint(uint64(res.Ops)).Uvarint(uint64(res.Affected))
+		if s.proto >= wire.V2 {
+			// Appended field (v2 growth rule): the commit's WAL LSN, the
+			// token a read-your-writes follower read passes as minLSN.
+			p.Uvarint(lsn)
+		}
 		return s.respond(f.ID, StatusOK, p.Bytes())
 	})
 }
@@ -317,6 +462,31 @@ func (s *session) handleEndRead(f Frame) bool {
 	return s.respond(f.ID, StatusOK, nil)
 }
 
+// waitForDoc polls until the named document exists (a replica may
+// still be bootstrapping it), the deadline passes (answer CodeStale —
+// the same typed outcome as a read-your-writes timeout) or a
+// non-retryable open error appears. ok=true means proceed; otherwise
+// the response was sent and served is the keep-serving result.
+func (s *session) waitForDoc(id uint64, name string, deadline time.Time) (ok, served bool) {
+	for {
+		if _, pinned := s.reads[name]; pinned {
+			return true, true
+		}
+		_, err := s.srv.catalog.acquire(name)
+		if err == nil {
+			s.srv.catalog.release(name)
+			return true, true
+		}
+		if errors.Is(err, mxq.ErrDatabaseClosed) || !strings.Contains(err.Error(), "no document") {
+			return false, s.respondNoDoc(id, name, err)
+		}
+		if !time.Now().Before(deadline) {
+			return false, s.respondErr(id, CodeStale, fmt.Sprintf("document %q not yet replicated here", name))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // docForRead resolves the document a read request runs against: the
 // pinned read when the session holds one (no extra catalog traffic; the
 // pin's reference keeps the document attached), otherwise a fresh
@@ -367,7 +537,7 @@ func encodeResult(res mxq.Result) []byte {
 	var p PayloadBuilder
 	p.Uvarint(uint64(len(res)))
 	for _, it := range res {
-		p.Byte(kindCodes[it.Kind])
+		p.Byte(wire.KindCode(it.Kind))
 		p.String(it.Value)
 		p.String(it.XML)
 	}

@@ -103,6 +103,9 @@ type Manager struct {
 	commits  uint64
 	aborts   uint64
 	pageBits uint
+
+	// applied is the read-your-writes watermark (see repl.go).
+	applied appliedLSN
 }
 
 // readSnap is one cached per-version snapshot plus its lease count: one
@@ -165,12 +168,20 @@ func (rv *ReadView) Close() {
 
 // NewManager wraps a store; log may be nil for a volatile database.
 func NewManager(store *core.Store, log *wal.Log) *Manager {
-	return &Manager{
+	m := &Manager{
 		store:    store,
 		log:      log,
 		owners:   make(map[int32]*Tx),
 		pageBits: uint(bits.TrailingZeros(uint(store.PageSize()))),
 	}
+	if log != nil {
+		// Everything recovered (or replicated) up to the log's tail is in
+		// the store the caller hands us, so the read-your-writes watermark
+		// starts there — a client that saw LSN n commit before a failover
+		// must not be told the recovered replica is behind n.
+		m.applied.advance(log.LastLSN())
+	}
+	return m
 }
 
 // SetValidator installs the pre-commit document validator.

@@ -21,7 +21,13 @@ type Tx struct {
 	pages map[int32]bool
 	done  bool
 	err   error
+	lsn   uint64 // assigned at commit; 0 until then (or for no-op commits)
 }
+
+// CommitLSN returns the WAL LSN Commit assigned, 0 before Commit or for
+// a commit that logged nothing (empty op list, or a volatile database).
+// It is the token a client carries to read its own write on a replica.
+func (t *Tx) CommitLSN() uint64 { return t.lsn }
 
 // --- DocView over the private image ----------------------------------------
 
@@ -415,6 +421,12 @@ func (t *Tx) Commit() error {
 	m.commits++
 	m.mu.Unlock()
 	m.invalidateStale()
+	// Wake read-your-writes waiters: the ops are applied and any snapshot
+	// acquired from here on observes them. Durability is settled below —
+	// the watermark is about visibility, and a waiter on this replica
+	// already raced ahead of the fsync the moment the lock dropped.
+	m.applied.advance(lsn)
+	t.lsn = lsn
 	m.unlockAll(t)
 	t.done = true
 	// Return the image's chunk references: pages the transaction did not

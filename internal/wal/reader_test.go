@@ -1,0 +1,198 @@
+package wal
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTestLog(t *testing.T, opts Options) *Log {
+	t.Helper()
+	l, err := Open(filepath.Join(t.TempDir(), "doc.wal"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+// appendN appends n records of one op each and returns the last LSN.
+func appendN(t *testing.T, l *Log, n int) uint64 {
+	t.Helper()
+	var last uint64
+	for i := 0; i < n; i++ {
+		lsn, err := l.Append([]Op{{Kind: OpSetValue, Value: "v"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = lsn
+	}
+	return last
+}
+
+func drain(t *testing.T, r *Reader) []uint64 {
+	t.Helper()
+	var got []uint64
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec == nil {
+			return got
+		}
+		got = append(got, rec.LSN)
+	}
+}
+
+// TestReaderAcrossRotations streams a log whose tiny segment bound
+// forces many rotations: the cursor must cross every seal gap-free.
+func TestReaderAcrossRotations(t *testing.T) {
+	l := openTestLog(t, Options{NoSync: true, SegmentBytes: 256})
+	last := appendN(t, l, 50)
+	if segs := l.Segments(); len(segs) < 3 {
+		t.Fatalf("want several segments, got %d", len(segs))
+	}
+	r, err := l.NewReader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := drain(t, r)
+	if uint64(len(got)) != last {
+		t.Fatalf("streamed %d records, want %d", len(got), last)
+	}
+	for i, lsn := range got {
+		if lsn != uint64(i)+1 {
+			t.Fatalf("record %d has LSN %d", i, lsn)
+		}
+	}
+	// Mid-stream start: skip a prefix.
+	r2, err := l.NewReader(last - 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := drain(t, r2); len(got) != 5 || got[0] != last-4 {
+		t.Fatalf("suffix stream = %v", got)
+	}
+}
+
+// TestReaderDurableGate proves the cursor never ships a record the
+// group commit has not settled: a crash could lose it, and a follower
+// must not apply what the primary can forget.
+func TestReaderDurableGate(t *testing.T) {
+	l := openTestLog(t, Options{})
+	r, err := l.NewReader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	lsn := appendN(t, l, 3) // appended, not synced
+	if rec, err := r.Next(); err != nil || rec != nil {
+		t.Fatalf("undurable record shipped: %v, %v", rec, err)
+	}
+	if err := l.Sync(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, r); len(got) != 3 {
+		t.Fatalf("after sync streamed %v", got)
+	}
+	// Catch-up is resumable: more appends flow through the same cursor.
+	lsn = appendN(t, l, 2)
+	if err := l.Sync(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, r); len(got) != 2 || got[1] != lsn {
+		t.Fatalf("resumed stream = %v", got)
+	}
+}
+
+// TestReaderPruned: a start position below the pruned horizon must be a
+// typed refusal (the replication layer falls back to a snapshot), never
+// a silent gap.
+func TestReaderPruned(t *testing.T) {
+	l := openTestLog(t, Options{NoSync: true, SegmentBytes: 128})
+	last := appendN(t, l, 40)
+	if err := l.Prune(last); err != nil {
+		t.Fatal(err)
+	}
+	first := l.FirstLSN()
+	if first <= 1 && len(l.Segments()) > 1 {
+		t.Fatalf("prune kept everything (first live %d)", first)
+	}
+	if l.CanStream(0) {
+		t.Fatal("CanStream(0) after prune")
+	}
+	if _, err := l.NewReader(0); !errors.Is(err, ErrPruned) {
+		t.Fatalf("NewReader(0) = %v, want ErrPruned", err)
+	}
+	// From the tail it still streams.
+	if !l.CanStream(last) {
+		t.Fatal("CanStream(tail) = false")
+	}
+	r, err := l.NewReader(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	more := appendN(t, l, 2)
+	if got := drain(t, r); len(got) != 2 || got[1] != more {
+		t.Fatalf("tail stream = %v", got)
+	}
+	// Beyond the tail (diverged follower) is not streamable.
+	if l.CanStream(more + 10) {
+		t.Fatal("CanStream beyond the tail")
+	}
+}
+
+// TestAppendRecord: the follower apply path reproduces the primary's
+// numbering exactly and refuses gaps.
+func TestAppendRecord(t *testing.T) {
+	l := openTestLog(t, Options{NoSync: true})
+	if err := l.AppendRecord(&Record{LSN: 2}); err == nil {
+		t.Fatal("gap accepted")
+	}
+	for lsn := uint64(1); lsn <= 3; lsn++ {
+		if err := l.AppendRecord(&Record{LSN: lsn, Ops: []Op{{Kind: OpSetValue, Value: "x"}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AppendRecord(&Record{LSN: 3}); err == nil {
+		t.Fatal("replayed LSN accepted")
+	}
+	if got := l.LastLSN(); got != 3 {
+		t.Fatalf("LastLSN = %d", got)
+	}
+	var lsns []uint64
+	if err := l.Replay(0, func(rec *Record) error {
+		lsns = append(lsns, rec.LSN)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) != 3 || lsns[2] != 3 {
+		t.Fatalf("replay = %v", lsns)
+	}
+}
+
+// TestDurableChanged: a parked waiter wakes when the watermark rises.
+func TestDurableChanged(t *testing.T) {
+	l := openTestLog(t, Options{})
+	ch := l.DurableChanged()
+	lsn := appendN(t, l, 1)
+	select {
+	case <-ch:
+		t.Fatal("woke before sync")
+	default:
+	}
+	if err := l.Sync(lsn); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no wake after sync")
+	}
+}

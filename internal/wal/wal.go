@@ -145,6 +145,13 @@ type Log struct {
 	durable   atomic.Uint64
 	syncMu    sync.Mutex
 	syncCount atomic.Uint64
+
+	// notifyC broadcasts durable-LSN advances to streaming readers (the
+	// replication sender parks on it instead of polling): it is closed
+	// and replaced whenever the watermark rises. Lazily created by
+	// DurableChanged.
+	notifyMu sync.Mutex
+	notifyC  chan struct{}
 }
 
 // Options configure a log.
@@ -410,16 +417,41 @@ func (l *Log) Append(ops []Op) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	rec := Record{LSN: l.lsn + 1, Ops: ops}
+	if err := l.appendLocked(&rec); err != nil {
+		return 0, err
+	}
+	return rec.LSN, nil
+}
+
+// AppendRecord appends a record that already carries its LSN — the
+// replication apply path, where the follower's log must reproduce the
+// primary's numbering exactly. The record must be contiguous with the
+// local tail; a gap is refused rather than written (a follower that
+// skipped a record would diverge silently on its next recovery).
+// Durability follows the same contract as Append: call Sync to settle
+// it, typically once per applied batch.
+func (l *Log) AppendRecord(rec *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if rec.LSN != l.lsn+1 {
+		return fmt.Errorf("wal: non-contiguous append: local tail %d, record %d", l.lsn, rec.LSN)
+	}
+	return l.appendLocked(rec)
+}
+
+// appendLocked writes one record (rec.LSN must be l.lsn+1) to the
+// active segment. Called with l.mu held.
+func (l *Log) appendLocked(rec *Record) error {
 	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(&rec); err != nil {
-		return 0, fmt.Errorf("wal: encoding record: %w", err)
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return fmt.Errorf("wal: encoding record: %w", err)
 	}
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
 	active := l.segs[len(l.segs)-1]
 	if active.f == nil {
-		return 0, fmt.Errorf("wal: log is closed")
+		return fmt.Errorf("wal: log is closed")
 	}
 	// One Write for header+payload: a failure (even a short write) is
 	// repaired by rolling the file back to the last record boundary, so
@@ -429,7 +461,7 @@ func (l *Log) Append(ops []Op) (uint64, error) {
 	record := append(hdr[:], payload.Bytes()...)
 	if _, err := active.f.Write(record); err != nil {
 		l.repairActive(active)
-		return 0, fmt.Errorf("wal: %w", err)
+		return fmt.Errorf("wal: %w", err)
 	}
 	l.lsn = rec.LSN
 	if active.firstLSN == 0 {
@@ -441,7 +473,7 @@ func (l *Log) Append(ops []Op) (uint64, error) {
 	if !l.sync {
 		// Without fsync every append is "durable" the moment it is
 		// written; keeping the marker current keeps Sync a no-op.
-		advance(&l.durable, rec.LSN)
+		l.advanceDurable(rec.LSN)
 	}
 	if active.size >= l.segBytes {
 		// Rotation is best-effort: the record above is fully written and
@@ -452,7 +484,7 @@ func (l *Log) Append(ops []Op) (uint64, error) {
 		// active and rotation is retried on the next append.
 		l.tryRotate(active)
 	}
-	return rec.LSN, nil
+	return nil
 }
 
 // repairActive rolls the active segment back to the last record
@@ -480,7 +512,7 @@ func (l *Log) tryRotate(active *segment) {
 		if err := active.f.Sync(); err != nil {
 			return // seal not durable: keep appending here, retry later
 		}
-		advance(&l.durable, active.lastLSN)
+		l.advanceDurable(active.lastLSN)
 	}
 	if _, err := l.addSegment(active.seq + 1); err != nil {
 		return // could not start a new segment: old one stays active
@@ -489,14 +521,45 @@ func (l *Log) tryRotate(active *segment) {
 	active.f = nil
 }
 
-// advance raises a monotonic atomic watermark to at least v.
-func advance(a *atomic.Uint64, v uint64) {
+// advance raises a monotonic atomic watermark to at least v, reporting
+// whether it actually rose.
+func advance(a *atomic.Uint64, v uint64) bool {
 	for {
 		cur := a.Load()
-		if cur >= v || a.CompareAndSwap(cur, v) {
-			return
+		if cur >= v {
+			return false
+		}
+		if a.CompareAndSwap(cur, v) {
+			return true
 		}
 	}
+}
+
+// advanceDurable raises the durability watermark and wakes every
+// streaming reader parked on DurableChanged.
+func (l *Log) advanceDurable(v uint64) {
+	if !advance(&l.durable, v) {
+		return
+	}
+	l.notifyMu.Lock()
+	if l.notifyC != nil {
+		close(l.notifyC)
+		l.notifyC = nil
+	}
+	l.notifyMu.Unlock()
+}
+
+// DurableChanged returns a channel closed on the next durable-LSN
+// advance. The idiom is: read DurableLSN, consume what it covers, take
+// the channel, re-check DurableLSN (an advance may have slipped between
+// the check and the take), then park on the channel.
+func (l *Log) DurableChanged() <-chan struct{} {
+	l.notifyMu.Lock()
+	defer l.notifyMu.Unlock()
+	if l.notifyC == nil {
+		l.notifyC = make(chan struct{})
+	}
+	return l.notifyC
 }
 
 // Sync makes every record with LSN <= lsn durable. It is the
@@ -535,7 +598,7 @@ func (l *Log) Sync(lsn uint64) error {
 		}
 		return fmt.Errorf("wal: sync: %w", err)
 	}
-	advance(&l.durable, target)
+	l.advanceDurable(target)
 	return nil
 }
 

@@ -1,0 +1,316 @@
+// Package wire is the mxqd wire protocol: the frame codec, the opcode
+// and status-code space, and the protocol-version negotiation contract.
+// It is a leaf package — the server, the replication subsystem and the
+// Go client all speak through it, so none of them needs to import the
+// others to agree on what bytes mean.
+//
+// # Frames
+//
+// Every frame — request and response — is
+//
+//	uint32  length of everything after this field (big-endian)
+//	uint64  request id (echoed verbatim in the response)
+//	byte    request: opcode; response: status (0 = OK, else error code)
+//	...     payload
+//
+// Strings inside payloads are uvarint-length-prefixed bytes.
+//
+// # Version negotiation
+//
+// Protocol 1 is the original frame protocol and needs no handshake: a
+// client that never sends Hello is a protocol-1 session and every
+// protocol-1 opcode keeps working forever. A client that wants more
+// sends OpHello first, carrying the highest protocol version it speaks
+// plus its feature bits; the server answers with the negotiated version
+// — min(client max, server max) — and the feature intersection. The
+// rules that keep this additive:
+//
+//   - New opcodes and new payload fields may only appear on sessions
+//     that negotiated a version that includes them. A version-gated
+//     opcode on a lower-version session is answered with CodeVersion (a
+//     typed rejection), never with CodeBadRequest.
+//   - Response payloads may grow only by appending fields, and only on
+//     sessions whose negotiated version knows to read them.
+//   - A server that predates Hello answers it with CodeBadRequest
+//     (unknown opcode); clients treat exactly that as "protocol 1" and
+//     downgrade, erroring only when a version-gated feature is used.
+//   - A client whose maximum version is below the server's minimum gets
+//     CodeVersion back, with the server's supported range in the
+//     message.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol versions.
+const (
+	// V1 is the original mxqd protocol: Ping..EndRead, no handshake.
+	V1 = 1
+	// V2 adds the Hello handshake, the replication opcodes
+	// (SubscribeWAL / WALRecords / FollowerAck), DocStatus, the commit
+	// LSN in Update responses and the read-your-writes fields (minimum
+	// LSN + park timeout) in Query requests.
+	V2 = 2
+	// MinVersion..MaxVersion is the range this build speaks.
+	MinVersion = V1
+	MaxVersion = V2
+)
+
+// Feature bits exchanged in Hello (a bitmask; unknown bits are ignored,
+// the negotiated set is the intersection).
+const (
+	// FeatReplication: the peer serves (server) or wants (client) the
+	// WAL-shipping opcodes SubscribeWAL/WALRecords/Snapshot/FollowerAck.
+	FeatReplication uint64 = 1 << 0
+	// FeatRYW: read-your-writes — Update responses carry the commit LSN
+	// and Query requests may carry a minimum LSN + park timeout.
+	FeatRYW uint64 = 1 << 1
+)
+
+// Request opcodes.
+const (
+	OpPing      byte = 1 // -> OK, empty
+	OpListDocs  byte = 2 // -> uvarint n, then n names
+	OpLoad      byte = 3 // name, xml -> OK
+	OpQuery     byte = 4 // name, query, uvarint nvars, (k, v)*, [v2: uvarint minLSN, uvarint timeoutMillis] -> result items
+	OpUpdate    byte = 5 // name, xupdate xml -> uvarint ops, uvarint affected, [v2: uvarint commitLSN]
+	OpExplain   byte = 6 // name, query -> plan text
+	OpBeginRead byte = 7 // name -> uvarint pinned version
+	OpEndRead   byte = 8 // name -> OK
+
+	// V2 opcodes.
+	OpHello        byte = 9  // uvarint maxVersion, uvarint features -> uvarint version, uvarint features
+	OpSubscribeWAL byte = 10 // name, uvarint afterLSN -> byte mode, uvarint startLSN; then streaming
+	OpWALRecords   byte = 11 // primary->follower stream: one encoded record batch
+	OpSnapshot     byte = 12 // primary->follower stream: byte last, image chunk bytes
+	OpFollowerAck  byte = 13 // follower->primary stream: uvarint appliedLSN
+	OpDocStatus    byte = 14 // name -> byte role, uvarint appliedLSN, uvarint lastLSN
+)
+
+// SubscribeNone is the afterLSN a follower with no local state sends
+// in SubscribeWAL: "I have nothing, bootstrap me". An LSN of 0 is NOT
+// the same thing — it claims the follower holds the document's initial
+// image (which the WAL does not contain) and only the records are
+// missing.
+const SubscribeNone = ^uint64(0)
+
+// SubscribeWAL response modes.
+const (
+	// ModeWAL: the primary still holds every record past the follower's
+	// LSN; streaming starts directly with WALRecords frames after
+	// startLSN (= the request's afterLSN).
+	ModeWAL byte = 0
+	// ModeSnapshot: the WAL was pruned past the follower's LSN (or the
+	// follower diverged); the primary streams a full checkpoint image
+	// (Snapshot frames) pinned at startLSN, then WALRecords from there.
+	ModeSnapshot byte = 1
+)
+
+// DocStatus roles.
+const (
+	RolePrimary  byte = 0
+	RoleFollower byte = 1
+)
+
+// Response status codes (0 is OK).
+const (
+	StatusOK          byte = 0
+	CodeBadRequest    byte = 1 // malformed frame or unknown opcode
+	CodeNoDocument    byte = 2 // unknown document name
+	CodeQuery         byte = 3 // compile/evaluation/update error (message in payload)
+	CodeOverloaded    byte = 4 // admission control rejected the request
+	CodeShuttingDown  byte = 5 // server is draining
+	CodeInternal      byte = 6
+	CodeReadNotPinned byte = 7 // OpEndRead without a matching OpBeginRead
+
+	// V2 status codes.
+	CodeStale    byte = 8  // read-your-writes park timed out below the requested LSN
+	CodeVersion  byte = 9  // protocol version rejection (unknown version, or op needs a higher negotiated version)
+	CodeReadOnly byte = 10 // write op on a read-only (follower) server
+)
+
+// MaxFrame is the default cap on a frame's length field; a peer
+// announcing more is cut off rather than allocated for.
+const MaxFrame = 64 << 20
+
+// Frame is one decoded frame: id, op (opcode or status), payload.
+type Frame struct {
+	ID      uint64
+	Op      byte
+	Payload []byte
+}
+
+// ReadFrame reads one frame, rejecting lengths beyond max (0 means
+// MaxFrame).
+func ReadFrame(r io.Reader, max uint32) (Frame, error) {
+	if max == 0 {
+		max = MaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 9 {
+		return Frame{}, fmt.Errorf("wire: frame too short (%d)", n)
+	}
+	if n > max {
+		return Frame{}, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, max)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, err
+	}
+	return Frame{
+		ID:      binary.BigEndian.Uint64(body[:8]),
+		Op:      body[8],
+		Payload: body[9:],
+	}, nil
+}
+
+// WriteFrame writes one frame. The payload is assembled by the caller
+// (see PayloadBuilder); a single Write keeps frames intact under
+// concurrent connection teardown.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf := make([]byte, 4+8+1+len(f.Payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(8+1+len(f.Payload)))
+	binary.BigEndian.PutUint64(buf[4:12], f.ID)
+	buf[12] = f.Op
+	copy(buf[13:], f.Payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// PayloadBuilder assembles a payload of uvarints and length-prefixed
+// strings.
+type PayloadBuilder struct{ b []byte }
+
+// Uvarint appends a uvarint.
+func (p *PayloadBuilder) Uvarint(v uint64) *PayloadBuilder {
+	p.b = binary.AppendUvarint(p.b, v)
+	return p
+}
+
+// String appends a length-prefixed string.
+func (p *PayloadBuilder) String(s string) *PayloadBuilder {
+	p.b = binary.AppendUvarint(p.b, uint64(len(s)))
+	p.b = append(p.b, s...)
+	return p
+}
+
+// Byte appends one raw byte.
+func (p *PayloadBuilder) Byte(c byte) *PayloadBuilder {
+	p.b = append(p.b, c)
+	return p
+}
+
+// Raw appends raw bytes with no length prefix (stream chunks).
+func (p *PayloadBuilder) Raw(b []byte) *PayloadBuilder {
+	p.b = append(p.b, b...)
+	return p
+}
+
+// Bytes returns the assembled payload.
+func (p *PayloadBuilder) Bytes() []byte { return p.b }
+
+// PayloadReader decodes a payload assembled by PayloadBuilder.
+type PayloadReader struct{ b []byte }
+
+// NewPayloadReader wraps a payload.
+func NewPayloadReader(b []byte) *PayloadReader { return &PayloadReader{b: b} }
+
+// Uvarint reads a uvarint.
+func (p *PayloadReader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.b)
+	if n <= 0 {
+		return 0, errors.New("wire: truncated uvarint")
+	}
+	p.b = p.b[n:]
+	return v, nil
+}
+
+// String reads a length-prefixed string.
+func (p *PayloadReader) String() (string, error) {
+	n, err := p.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(p.b)) {
+		return "", errors.New("wire: truncated string")
+	}
+	s := string(p.b[:n])
+	p.b = p.b[n:]
+	return s, nil
+}
+
+// Byte reads one raw byte.
+func (p *PayloadReader) Byte() (byte, error) {
+	if len(p.b) == 0 {
+		return 0, errors.New("wire: truncated byte")
+	}
+	c := p.b[0]
+	p.b = p.b[1:]
+	return c, nil
+}
+
+// Rest returns every unread byte (stream chunks).
+func (p *PayloadReader) Rest() []byte {
+	b := p.b
+	p.b = nil
+	return b
+}
+
+// Remaining reports the unread byte count.
+func (p *PayloadReader) Remaining() int { return len(p.b) }
+
+// Result item kind codes on the wire.
+const (
+	KindElement byte = 1
+	KindText    byte = 2
+	KindComment byte = 3
+	KindPI      byte = 4
+	KindAttr    byte = 5
+	KindDoc     byte = 6
+	KindNumber  byte = 7
+	KindString  byte = 8
+	KindBoolean byte = 9
+)
+
+var kindCodes = map[string]byte{
+	"element": KindElement, "text": KindText, "comment": KindComment,
+	"processing-instruction": KindPI, "attribute": KindAttr,
+	"document": KindDoc, "number": KindNumber, "string": KindString,
+	"boolean": KindBoolean,
+}
+
+// KindCode maps mxq's item kind string to its wire code (0 if unknown).
+func KindCode(name string) byte { return kindCodes[name] }
+
+// KindName maps a wire kind code back to mxq's item kind string.
+func KindName(c byte) string {
+	for n, k := range kindCodes {
+		if k == c {
+			return n
+		}
+	}
+	return fmt.Sprintf("kind(%d)", c)
+}
+
+// Negotiate computes the server-side Hello outcome for a client
+// announcing clientMax/clientFeats against a server speaking
+// [MinVersion, MaxVersion] with serverFeats. ok=false means the client
+// speaks no version this server does (answer CodeVersion).
+func Negotiate(clientMax, serverFeats, clientFeats uint64) (version uint64, feats uint64, ok bool) {
+	if clientMax < MinVersion {
+		return 0, 0, false
+	}
+	version = clientMax
+	if version > MaxVersion {
+		version = MaxVersion
+	}
+	return version, serverFeats & clientFeats, true
+}

@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	var p PayloadBuilder
+	p.String("doc").Uvarint(42).Byte(7).Raw([]byte("tail"))
+	in := Frame{ID: 99, Op: OpQuery, Payload: p.Bytes()}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 99 || out.Op != OpQuery {
+		t.Fatalf("frame header = %d/%d", out.ID, out.Op)
+	}
+	r := NewPayloadReader(out.Payload)
+	if s, err := r.String(); err != nil || s != "doc" {
+		t.Fatalf("string = %q, %v", s, err)
+	}
+	if v, err := r.Uvarint(); err != nil || v != 42 {
+		t.Fatalf("uvarint = %d, %v", v, err)
+	}
+	if c, err := r.Byte(); err != nil || c != 7 {
+		t.Fatalf("byte = %d, %v", c, err)
+	}
+	if rest := r.Rest(); string(rest) != "tail" {
+		t.Fatalf("rest = %q", rest)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestReadFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{ID: 1, Op: OpPing, Payload: make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, 32); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversize frame: %v", err)
+	}
+	short := []byte{0, 0, 0, 3, 1, 2, 3}
+	if _, err := ReadFrame(bytes.NewReader(short), 0); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestTruncatedPayload(t *testing.T) {
+	var p PayloadBuilder
+	p.Uvarint(1000) // string length prefix with no bytes behind it
+	r := NewPayloadReader(p.Bytes())
+	if _, err := r.String(); err == nil {
+		t.Fatal("truncated string accepted")
+	}
+	if _, err := NewPayloadReader(nil).Uvarint(); err == nil {
+		t.Fatal("empty uvarint accepted")
+	}
+	if _, err := NewPayloadReader(nil).Byte(); err == nil {
+		t.Fatal("empty byte accepted")
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		clientMax, want uint64
+		ok              bool
+	}{
+		{0, 0, false},          // below the server's minimum: typed rejection
+		{V1, V1, true},         // plain old protocol
+		{V2, V2, true},         // exact match
+		{99, MaxVersion, true}, // future client: server picks its own max
+	}
+	for _, c := range cases {
+		v, _, ok := Negotiate(c.clientMax, FeatReplication|FeatRYW, FeatReplication|FeatRYW)
+		if ok != c.ok || (ok && v != c.want) {
+			t.Errorf("Negotiate(max=%d) = %d, %v; want %d, %v", c.clientMax, v, ok, c.want, c.ok)
+		}
+	}
+	// Feature bits intersect; unknown bits vanish.
+	_, feats, ok := Negotiate(V2, FeatReplication, FeatReplication|FeatRYW|1<<60)
+	if !ok || feats != FeatReplication {
+		t.Fatalf("feature intersection = %b, %v", feats, ok)
+	}
+}
+
+func TestKindCodes(t *testing.T) {
+	for _, name := range []string{
+		"element", "text", "comment", "processing-instruction",
+		"attribute", "document", "number", "string", "boolean",
+	} {
+		c := KindCode(name)
+		if c == 0 {
+			t.Fatalf("no code for %q", name)
+		}
+		if back := KindName(c); back != name {
+			t.Fatalf("KindName(KindCode(%q)) = %q", name, back)
+		}
+	}
+	if KindCode("nope") != 0 {
+		t.Fatal("unknown kind got a code")
+	}
+}

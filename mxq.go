@@ -118,6 +118,22 @@
 // and graceful drain. The client package is the Go client, cmd/mxqload
 // the load generator, and examples/ has a served quickstart.
 //
+// # Replication
+//
+// A durable document can be followed by read replicas: the primary
+// streams its per-document WAL over the wire (an empty follower first
+// bootstraps from a pinned checkpoint image, then replays record
+// batches as they commit), and prunes no segment a live follower still
+// needs. Database.FollowDocument subscribes a local document to a
+// primary — mxqd -follow does this for every primary document and
+// serves the result read-only. Every update response carries its
+// commit LSN; a client configured with a read replica routes queries
+// there tagged with the highest LSN its session has seen, and the
+// follower holds each read until that LSN is applied (or fails typed,
+// never silently stale) — read-your-writes on scale-out reads. See
+// internal/repl, the ROADMAP "Replication" section, and
+// examples/replication.
+//
 // Quick start:
 //
 //	db := mxq.Open(mxq.Options{})
@@ -140,6 +156,7 @@ import (
 
 	"mxq/internal/ckpt"
 	"mxq/internal/core"
+	"mxq/internal/repl"
 	"mxq/internal/shred"
 	"mxq/internal/tx"
 	"mxq/internal/validate"
@@ -210,6 +227,11 @@ type Database struct {
 	docs   map[string]*Document
 	opts   Options
 	closed bool
+	// bootstrapping marks documents a replica subscription is currently
+	// replacing wholesale (docSink.Bootstrap): their on-disk artifacts
+	// are mid-wipe, so OpenDocument must refuse to recover from them
+	// rather than resurrect a half-deleted instance.
+	bootstrapping map[string]bool
 }
 
 // Open creates a database. With Options.Dir set, previously checkpointed
@@ -217,7 +239,7 @@ type Database struct {
 // replay; see internal/ckpt for the degradation order over torn
 // artifacts).
 func Open(opts Options) (*Database, error) {
-	db := &Database{docs: make(map[string]*Document), opts: opts}
+	db := &Database{docs: make(map[string]*Document), opts: opts, bootstrapping: make(map[string]bool)}
 	if opts.Dir == "" {
 		return db, nil
 	}
@@ -292,6 +314,8 @@ func (d *Document) attachDurability() {
 		return
 	}
 	d.ckpter = ckpt.New(d.db.opts.Dir, d.name, d.log, d.mgr.PinCheckpoint)
+	d.tracker = repl.NewTracker()
+	d.ckpter.SetPruneBarrier(d.tracker.Barrier)
 	// The policy measures the WAL tail beyond the last checkpoint; start
 	// from the manifest's LSN so records a previous session already
 	// checkpointed (but whose segment is not yet prunable) don't count.
@@ -380,6 +404,12 @@ func (db *Database) OpenDocument(name string) (*Document, error) {
 	}
 	if d, ok := db.docs[name]; ok {
 		return d, nil
+	}
+	if db.bootstrapping[name] {
+		// The artifacts on disk belong to a document a replica
+		// subscription is mid-way through replacing; recovering from
+		// them would resurrect a half-deleted instance.
+		return nil, fmt.Errorf("mxq: no document %q (replica bootstrap in progress)", name)
 	}
 	if db.opts.Dir != "" {
 		for _, n := range checkpointedDocs(db.opts.Dir) {

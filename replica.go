@@ -1,0 +1,266 @@
+package mxq
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"mxq/internal/ckpt"
+	"mxq/internal/core"
+	"mxq/internal/repl"
+	"mxq/internal/tx"
+	"mxq/internal/wal"
+	"mxq/internal/xupdate"
+)
+
+// This file is the root-package face of WAL log-shipping replication
+// (internal/repl): the primary side hands a document's WAL, checkpoint
+// pin and follower tracker to the server's SubscribeWAL handler
+// (ReplSource); the follower side maintains a subscription that keeps
+// a local document in lockstep with a primary (FollowDocument). A
+// follower document is a crash-recovered image of the primary at its
+// applied LSN: records are replayed through the exact apply path
+// recovery uses, the local WAL reproduces the primary's numbering, and
+// local checkpoints bound restart time the same way they do on a
+// primary. Read-your-writes across the pair is by LSN: Tx.CommitLSN on
+// the primary, WaitApplied on the follower.
+
+// ErrNotReplicated reports a replication operation on a document
+// without a durability directory: no WAL, nothing to ship.
+var ErrNotReplicated = errors.New("mxq: replication requires a durability directory")
+
+// ErrStale reports a WaitApplied timeout: the document had not applied
+// the requested LSN in time. Callers branch on it with errors.Is.
+var ErrStale = tx.ErrStale
+
+// ReplSource exposes the document to the replication sender: its WAL
+// (the stream), its checkpoint pin (the bootstrap image) and its
+// follower tracker (the prune fence). The server's SubscribeWAL
+// handler passes it to repl.Serve.
+func (d *Document) ReplSource() (repl.Source, error) {
+	if d.log == nil || d.tracker == nil {
+		return repl.Source{}, fmt.Errorf("%w (document %q)", ErrNotReplicated, d.name)
+	}
+	return repl.Source{Name: d.name, Log: d.log, Pin: d.mgr.PinCheckpoint, Track: d.tracker}, nil
+}
+
+// AppliedLSN is the document's read-your-writes watermark: the highest
+// WAL LSN whose effects every new snapshot observes. On a primary it
+// is the last commit; on a follower, the last replicated record
+// applied.
+func (d *Document) AppliedLSN() uint64 { return d.mgr.AppliedLSN() }
+
+// LastLSN is the WAL tail (0 without a durability directory). On a
+// follower, LastLSN−AppliedLSN is always 0 (records apply as they
+// arrive); lag against the *primary's* tail is what DocStatus measures.
+func (d *Document) LastLSN() uint64 {
+	if d.log == nil {
+		return 0
+	}
+	return d.log.LastLSN()
+}
+
+// WaitApplied parks until the document has applied lsn — the
+// read-your-writes primitive: a client that committed at lsn on the
+// primary calls this (through the server's Query minLSN field) before
+// reading from a follower. It fails with tx.ErrStale after timeout
+// rather than ever serving a read the caller knows is stale. lsn 0
+// returns immediately.
+func (d *Document) WaitApplied(lsn uint64, timeout time.Duration) error {
+	return d.mgr.WaitApplied(lsn, timeout)
+}
+
+// Followers returns the number of live replication subscriptions.
+func (d *Document) Followers() int {
+	if d.tracker == nil {
+		return 0
+	}
+	return d.tracker.Count()
+}
+
+// CommitLSN returns the WAL LSN the commit was assigned (0 before
+// Commit, for an empty commit, or without a durability directory):
+// the token to pass to a follower read for read-your-writes.
+func (t *Tx) CommitLSN() uint64 { return t.inner.CommitLSN() }
+
+// UpdateLSN is Update returning the commit's WAL LSN alongside the
+// result — what the server embeds in v2 Update responses so the client
+// can pass it back as a follower read's minimum LSN.
+func (d *Document) UpdateLSN(xupdateXML string) (xupdate.Result, uint64, error) {
+	mods, err := xupdate.ParseString(xupdateXML)
+	if err != nil {
+		return xupdate.Result{}, 0, err
+	}
+	t := d.Begin()
+	res, err := xupdate.Execute(t.inner, mods)
+	if err != nil {
+		t.Abort()
+		return res, 0, err
+	}
+	if err := t.Commit(); err != nil {
+		return res, 0, err
+	}
+	return res, t.CommitLSN(), nil
+}
+
+// FollowDocument subscribes the named document to a primary at addr
+// and keeps it converged in the background: an empty or out-of-date
+// replica bootstraps from a pinned checkpoint image, then replays WAL
+// record batches as the primary commits them, reconnecting with
+// backoff on any failure. The returned stop function ends the
+// subscription and waits it out (call it before Database.Close).
+//
+// The database must have a durability directory — the follower's local
+// WAL and checkpoints are what make its acks mean "durably applied",
+// and what let a restarted follower resume by WAL replay instead of a
+// full re-bootstrap. The caller must not write to a followed document;
+// serve it read-only (the daemon's -follow mode enforces this at the
+// protocol layer with CodeReadOnly).
+func (db *Database) FollowDocument(addr, name string) (stop func(), err error) {
+	if db.opts.Dir == "" {
+		return nil, ErrNotReplicated
+	}
+	db.mu.RLock()
+	closed := db.closed
+	db.mu.RUnlock()
+	if closed {
+		return nil, ErrDatabaseClosed
+	}
+	f := &repl.Follower{
+		Addr: addr,
+		Doc:  name,
+		Sink: &docSink{db: db, name: name},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "mxq: "+format+"\n", args...)
+		},
+	}
+	stopC := make(chan struct{})
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(stopC) }()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(stopC) })
+		<-done
+	}, nil
+}
+
+// docSink feeds a subscription into one named document of the
+// database. It is driven from the follower's single goroutine.
+type docSink struct {
+	db   *Database
+	name string
+}
+
+func (s *docSink) AppliedLSN() (uint64, bool) {
+	d, ok := s.db.Document(s.name)
+	if !ok || d.log == nil {
+		return 0, false
+	}
+	return d.mgr.AppliedLSN(), true
+}
+
+// Bootstrap replaces the document wholesale from a checkpoint image
+// pinned at lsn: the old instance (if any) is detached and its
+// artifacts wiped — its history is foreign to the image's LSN line —
+// then a fresh WAL is positioned at lsn and an initial local
+// checkpoint written, so a follower restart recovers locally and
+// resumes by WAL replay instead of re-shipping the whole document.
+// Readers holding the old instance's snapshots finish undisturbed on
+// them; new readers see the bootstrapped document once it is
+// published.
+func (s *docSink) Bootstrap(r io.Reader, lsn uint64) error {
+	hdrLSN, err := tx.ReadSnapshotHeader(r)
+	if err != nil {
+		return err
+	}
+	if hdrLSN != lsn {
+		return fmt.Errorf("mxq: bootstrap image header says LSN %d, subscription says %d", hdrLSN, lsn)
+	}
+	store, err := core.Load(r)
+	if err != nil {
+		return fmt.Errorf("mxq: loading bootstrap image: %w", err)
+	}
+
+	db := s.db
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrDatabaseClosed
+	}
+	old := db.docs[s.name]
+	delete(db.docs, s.name)
+	// Fence OpenDocument out of the artifacts until the new instance is
+	// published (or this bootstrap fails): recovery from a half-wiped
+	// directory would resurrect a dead LSN line.
+	db.bootstrapping[s.name] = true
+	db.mu.Unlock()
+	defer func() {
+		db.mu.Lock()
+		delete(db.bootstrapping, s.name)
+		db.mu.Unlock()
+	}()
+	if old != nil {
+		// Detach without a final checkpoint: the old image is on a dead
+		// LSN line and about to be wiped.
+		old.stopAuto()
+		if old.ckpter != nil {
+			old.ckpter.Close()
+		}
+		if old.log != nil {
+			old.log.Close()
+		}
+	}
+	path := filepath.Join(db.opts.Dir, s.name+".wal")
+	wal.RemoveSegments(path)
+	ckpt.RemoveArtifacts(db.opts.Dir, s.name)
+
+	log, err := wal.Open(path, db.walOptions())
+	if err != nil {
+		return err
+	}
+	// The local log must hand out exactly the LSNs the primary's stream
+	// carries next; records at or below lsn are inside the image.
+	log.EnsureLSN(lsn)
+	doc := &Document{name: s.name, db: db, store: store, log: log, mgr: tx.NewManager(store, log)}
+	doc.attachDurability()
+	if err := doc.Checkpoint(); err != nil {
+		doc.close(false)
+		return fmt.Errorf("mxq: writing bootstrap checkpoint: %w", err)
+	}
+
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		doc.close(false)
+		return ErrDatabaseClosed
+	}
+	db.docs[s.name] = doc
+	db.mu.Unlock()
+	return nil
+}
+
+// Apply replays a record batch and makes it durable before returning
+// the LSN to ack — the primary treats the ack as permission to prune,
+// so acking anything a local crash could lose would strand this
+// follower on the snapshot path forever.
+func (s *docSink) Apply(recs []*wal.Record) (uint64, error) {
+	d, ok := s.db.Document(s.name)
+	if !ok || d.log == nil {
+		return 0, fmt.Errorf("mxq: follower document %q vanished mid-stream", s.name)
+	}
+	for _, rec := range recs {
+		if err := d.mgr.ApplyReplicated(rec); err != nil {
+			return 0, err
+		}
+	}
+	last := recs[len(recs)-1].LSN
+	if err := d.log.Sync(last); err != nil {
+		return 0, err
+	}
+	d.maybeAutoCheckpoint()
+	return last, nil
+}

@@ -1,0 +1,219 @@
+package mxq
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mxq/internal/repl"
+	"mxq/internal/tx"
+	"mxq/internal/wire"
+)
+
+// replListener is a minimal primary endpoint: Hello + SubscribeWAL
+// delegated to repl.Serve over the document's ReplSource (the real
+// daemon wires the same calls through internal/server).
+func replListener(t *testing.T, doc *Document) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	t.Cleanup(func() { ln.Close(); wg.Wait() })
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				for {
+					fr, err := wire.ReadFrame(conn, 0)
+					if err != nil {
+						return
+					}
+					switch fr.Op {
+					case wire.OpHello:
+						var b wire.PayloadBuilder
+						b.Uvarint(wire.MaxVersion).Uvarint(wire.FeatReplication | wire.FeatRYW)
+						wire.WriteFrame(conn, wire.Frame{ID: fr.ID, Op: wire.StatusOK, Payload: b.Bytes()})
+					case wire.OpSubscribeWAL:
+						r := wire.NewPayloadReader(fr.Payload)
+						if _, err := r.String(); err != nil {
+							return
+						}
+						after, err := r.Uvarint()
+						if err != nil {
+							return
+						}
+						src, err := doc.ReplSource()
+						if err != nil {
+							return
+						}
+						repl.Serve(conn, fr.ID, after, src, 0, t.Logf)
+						return
+					default:
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+const replDoc = `<lib><shelf id="s1"><book>A</book></shelf></lib>`
+
+func appendBook(t *testing.T, doc *Document, name string) uint64 {
+	t.Helper()
+	txn := doc.Begin()
+	if _, err := txn.Update(`<xupdate:modifications xmlns:xupdate="http://www.xmldb.org/xupdate">
+		<xupdate:append select="/lib/shelf"><book>` + name + `</book></xupdate:append>
+	</xupdate:modifications>`); err != nil {
+		txn.Abort()
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return txn.CommitLSN()
+}
+
+// TestFollowDocument is the whole follower lifecycle against a live
+// primary: empty-directory bootstrap, live streaming, read-your-writes
+// by LSN, restart with WAL-mode resume.
+func TestFollowDocument(t *testing.T) {
+	primaryDB, err := Open(Options{Dir: t.TempDir(), NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primaryDB.Close()
+	doc, err := primaryDB.LoadXMLString("lib", replDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendBook(t, doc, "B")
+	ln := replListener(t, doc)
+
+	followerDir := t.TempDir()
+	followerDB, err := Open(Options{Dir: followerDir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop, err := followerDB.FollowDocument(ln.Addr().String(), "lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "bootstrap", func() bool {
+		d, ok := followerDB.Document("lib")
+		return ok && d.AppliedLSN() == doc.LastLSN()
+	})
+
+	// Read-your-writes: commit on the primary, wait for the LSN on the
+	// follower, then the read must see it.
+	lsn := appendBook(t, doc, "C")
+	fdoc, _ := followerDB.Document("lib")
+	if err := fdoc.WaitApplied(lsn, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := fdoc.Count(`//book[text()="C"]`); err != nil || n != 1 {
+		t.Fatalf("follower read after WaitApplied: n=%d err=%v", n, err)
+	}
+	// A too-new LSN is a typed staleness failure, never a silent stale read.
+	if err := fdoc.WaitApplied(lsn+100, 20*time.Millisecond); !errors.Is(err, tx.ErrStale) {
+		t.Fatalf("future LSN wait = %v", err)
+	}
+	waitUntil(t, "follower registration", func() bool { return doc.Followers() == 1 })
+
+	// Restart the follower: it must recover locally and resume by WAL
+	// replay (no second bootstrap — the primary would tell us by mode,
+	// which docSink counts via a fresh ckpt each bootstrap; we check
+	// convergence and that local recovery alone reached the old LSN).
+	stop()
+	if err := followerDB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lsn = appendBook(t, doc, "D")
+
+	followerDB, err = Open(Options{Dir: followerDir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer followerDB.Close()
+	fdoc, ok := followerDB.Document("lib")
+	if !ok {
+		t.Fatal("follower did not recover its local document")
+	}
+	if fdoc.AppliedLSN() == 0 {
+		t.Fatal("local recovery lost the applied watermark")
+	}
+	stop, err = followerDB.FollowDocument(ln.Addr().String(), "lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	waitUntil(t, "resume", func() bool {
+		d, ok := followerDB.Document("lib")
+		return ok && d.AppliedLSN() == lsn
+	})
+	d, _ := followerDB.Document("lib")
+	want, err := doc.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("follower diverged after restart:\n%s\n%s", got, want)
+	}
+}
+
+// TestReplSourceRequiresDurability: a volatile document cannot be
+// replicated (no WAL, nothing to ship) and says so with a typed error.
+func TestReplSourceRequiresDurability(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	doc, err := db.LoadXMLString("lib", replDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.ReplSource(); !errors.Is(err, ErrNotReplicated) {
+		t.Fatalf("ReplSource on volatile doc = %v", err)
+	}
+	if _, err := db.FollowDocument("127.0.0.1:1", "lib"); !errors.Is(err, ErrNotReplicated) {
+		t.Fatalf("FollowDocument without dir = %v", err)
+	}
+	// Volatile commits carry no LSN: nothing for read-your-writes to key on.
+	txn := doc.Begin()
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if txn.CommitLSN() != 0 {
+		t.Fatalf("volatile commit LSN = %d, want 0", txn.CommitLSN())
+	}
+	_ = doc
+}
