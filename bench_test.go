@@ -13,6 +13,10 @@
 //	BenchmarkCompact         — the page-compaction maintenance pass
 //	BenchmarkConcurrentQueryDuringCommits — the versioned-snapshot read
 //	  path: query throughput with an active committer vs writer-idle
+//	BenchmarkCommitFsyncThroughput — group commit: fsyncs/commit vs
+//	  committer count, with and without Options.GroupCommitDelay
+//	BenchmarkCheckpointIncremental — full vs O(churn) checkpoint bytes
+//	  and wall time over the content-addressed chunk store
 //
 // BenchmarkStaircaseSkipping (staircase_bench_test.go) covers claim C2.
 //
@@ -25,12 +29,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"mxq/internal/chunkstore"
 	"mxq/internal/core"
 	"mxq/internal/naive"
 	"mxq/internal/ordpath"
@@ -692,12 +698,22 @@ func BenchmarkConcurrentQueryDuringCommits(b *testing.B) {
 // leader/follower door. Throughput should *rise* with committer count —
 // the whole point of turning N commit fsyncs into ~1 — where a
 // fsync-per-commit design would stay flat. The reported fsyncs/commit
-// ratio makes the batching visible in BENCH_ci.json.
+// ratio makes the batching visible in BENCH_ci.json. The delay=500µs
+// variants measure Options.GroupCommitDelay: the leader holds the door
+// open briefly so more committers board each fsync, trading single-
+// commit latency for a lower fsyncs/commit ratio under load.
 func BenchmarkCommitFsyncThroughput(b *testing.B) {
-	for _, committers := range []int{1, 4, 16} {
-		b.Run(fmt.Sprintf("committers=%d", committers), func(b *testing.B) {
+	for _, cfg := range []struct {
+		committers int
+		delay      time.Duration
+	}{
+		{1, 0}, {4, 0}, {16, 0},
+		{4, 500 * time.Microsecond}, {16, 500 * time.Microsecond},
+	} {
+		committers := cfg.committers
+		b.Run(fmt.Sprintf("committers=%d/delay=%v", committers, cfg.delay), func(b *testing.B) {
 			dir := b.TempDir()
-			db, err := Open(Options{Dir: dir, PageSize: 64})
+			db, err := Open(Options{Dir: dir, PageSize: 64, GroupCommitDelay: cfg.delay})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -755,4 +771,80 @@ func docSyncCount(d *Document) uint64 {
 		return 0
 	}
 	return d.log.SyncCount()
+}
+
+// --- incremental content-addressed checkpoints -------------------------------------
+
+// BenchmarkCheckpointIncremental measures the O(churn) checkpoint
+// claim on the XMark SF 0.1 document: a full checkpoint into an empty
+// chunk store writes the whole document, while a checkpoint after ≤1%
+// clustered churn re-references every clean chunk by content hash and
+// writes only the dirtied ones. Compare the two sub-benchmarks'
+// ckpt-B/op (bytes actually written; the acceptance floor is 10x) and
+// ns/op (the wall-time win of skipping clean chunks).
+func BenchmarkCheckpointIncremental(b *testing.B) {
+	f := getFixture(b, 0.1)
+	s, err := core.Build(f.tree, core.Options{PageSize: 1024, FillFactor: 0.8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := tx.NewManager(s, nil)
+	// Churn targets: ≤1% of live nodes, contiguous in document order so
+	// the dirtied pages track the churn volume.
+	ns, err := xpath.MustParse(`/site/regions//item//text()`).Select(s)
+	if err != nil || len(ns) == 0 {
+		b.Fatalf("selecting churn targets: %v (%d nodes)", err, len(ns))
+	}
+	churn := s.LiveNodes() / 100
+	if churn > len(ns) {
+		churn = len(ns)
+	}
+	ids := make([]xenc.NodeID, churn)
+	for i := range ids {
+		ids[i] = s.NodeOf(ns[i].Pre)
+	}
+	churnOnce := func(b *testing.B, round int) {
+		txn := m.Begin()
+		for j, id := range ids {
+			if err := txn.SetValue(txn.PreOf(id), fmt.Sprintf("c%d-%d", round, j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := txn.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	save := func(b *testing.B, cs *chunkstore.Dir) int64 {
+		img, _ := m.PinCheckpoint()
+		defer img.Release()
+		_, st, err := img.SaveChunked(cs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st.BytesWritten
+	}
+
+	b.Run("full", func(b *testing.B) {
+		var written int64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cs := chunkstore.NewDir(filepath.Join(b.TempDir(), "chunks"))
+			b.StartTimer()
+			written += save(b, cs)
+		}
+		b.ReportMetric(float64(written)/float64(b.N), "ckpt-B/op")
+	})
+	b.Run("incremental", func(b *testing.B) {
+		cs := chunkstore.NewDir(filepath.Join(b.TempDir(), "chunks"))
+		save(b, cs) // baseline: the store holds the whole document
+		var written int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			churnOnce(b, i)
+			b.StartTimer()
+			written += save(b, cs)
+		}
+		b.ReportMetric(float64(written)/float64(b.N), "ckpt-B/op")
+	})
 }

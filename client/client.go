@@ -132,6 +132,11 @@ type DocStatus struct {
 	Role       string // "primary" or "follower"
 	AppliedLSN uint64 // read-your-writes watermark
 	LastLSN    uint64 // local WAL tail
+
+	// Checkpoint I/O counters, zero below protocol 3.
+	CkptBytesWritten  uint64 // chunk bytes checkpoints have written
+	CkptChunksWritten uint64 // chunks written (missing from the store)
+	CkptChunksReused  uint64 // chunks already present and reused
 }
 
 // Option configures Dial.
@@ -587,6 +592,19 @@ func (c *Client) DocStatus(ctx context.Context, doc string) (DocStatus, error) {
 	st := DocStatus{AppliedLSN: applied, LastLSN: last, Role: "primary"}
 	if role == wire.RoleFollower {
 		st.Role = "follower"
+	}
+	// Protocol 3 appended the checkpoint I/O counters; older servers
+	// simply end the payload here (the additivity rule).
+	if r.Remaining() > 0 {
+		if st.CkptBytesWritten, err = r.Uvarint(); err != nil {
+			return DocStatus{}, err
+		}
+		if st.CkptChunksWritten, err = r.Uvarint(); err != nil {
+			return DocStatus{}, err
+		}
+		if st.CkptChunksReused, err = r.Uvarint(); err != nil {
+			return DocStatus{}, err
+		}
 	}
 	return st, nil
 }

@@ -2,17 +2,26 @@ package mxq
 
 import (
 	"errors"
-	"io"
 	"sync"
 	"testing"
 	"time"
 
+	"mxq/internal/chunkstore"
 	"mxq/internal/ckpt"
 )
 
-type writerFunc func(p []byte) (int, error)
+// slowChunks throttles chunk Puts and signals once the first one starts.
+type slowChunks struct {
+	chunkstore.Store
+	start func()
+	delay time.Duration
+}
 
-func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+func (s *slowChunks) Put(h chunkstore.Hash, data []byte) error {
+	s.start()
+	time.Sleep(s.delay)
+	return s.Store.Put(h, data)
+}
 
 // TestCloseRacesThrottledCheckpoint closes the database while a
 // throttled checkpoint is mid-stream (the auto goroutine and a manual
@@ -33,15 +42,15 @@ func TestCloseRacesThrottledCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Throttle the image stream so the close provably overlaps it.
+	// Throttle the chunk stream so the close provably overlaps it.
 	streaming := make(chan struct{})
 	var once sync.Once
-	doc.ckpter.SetSaveWrapper(func(w io.Writer) io.Writer {
-		return writerFunc(func(p []byte) (int, error) {
-			once.Do(func() { close(streaming) })
-			time.Sleep(2 * time.Millisecond)
-			return w.Write(p)
-		})
+	doc.ckpter.SetChunkWrapper(func(cs chunkstore.Store) chunkstore.Store {
+		return &slowChunks{
+			Store: cs,
+			start: func() { once.Do(func() { close(streaming) }) },
+			delay: 5 * time.Millisecond,
+		}
 	})
 	for i := 0; i < 8; i++ {
 		if _, err := doc.Update(wrapMods(`<xupdate:append select="/lib/shelf"><book>race</book></xupdate:append>`)); err != nil {

@@ -329,6 +329,15 @@ type Stats struct {
 	Checkpoints uint64 // checkpoints completed this session (manual + auto)
 	WALBytes    int64  // WAL bytes beyond the last checkpoint (approximate)
 	WALRecords  int    // committed records beyond the last checkpoint
+
+	// Incremental-checkpoint economics, cumulative over this session.
+	// CkptChunksReused counts manifest references that resolved to chunks
+	// already in the store; CkptDedupeRatio is reused/(written+reused) —
+	// near 1.0 means checkpoints cost O(churn), not O(document).
+	CkptBytesWritten  uint64  // chunk bytes actually written by checkpoints
+	CkptChunksWritten uint64  // chunks written (missing from the store)
+	CkptChunksReused  uint64  // chunks reused (already present)
+	CkptDedupeRatio   float64 // reused / (written + reused)
 }
 
 // Stats returns storage statistics.
@@ -349,6 +358,15 @@ func (d *Document) Stats() Stats {
 	if d.log != nil {
 		s.Checkpoints = d.checkpoints.Load()
 		s.WALBytes, s.WALRecords = d.log.TailStatsAbove(d.lastCkptLSN.Load())
+	}
+	if d.ckpter != nil {
+		cs := d.ckpter.Stats()
+		s.CkptBytesWritten = cs.BytesWritten
+		s.CkptChunksWritten = cs.ChunksWritten
+		s.CkptChunksReused = cs.ChunksReused
+		if total := cs.ChunksWritten + cs.ChunksReused; total > 0 {
+			s.CkptDedupeRatio = float64(cs.ChunksReused) / float64(total)
+		}
 	}
 	return s
 }

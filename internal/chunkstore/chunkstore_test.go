@@ -1,0 +1,134 @@
+package chunkstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testStore(t *testing.T, s Store) {
+	t.Helper()
+	a, b := []byte("alpha chunk"), []byte("beta chunk")
+	ha, hb := Sum(a), Sum(b)
+
+	if ok, err := s.Has(ha); err != nil || ok {
+		t.Fatalf("Has on empty store = %v, %v", ok, err)
+	}
+	if _, err := s.Get(ha); !errors.Is(err, ErrMissing) {
+		t.Fatalf("Get on empty store = %v, want ErrMissing", err)
+	}
+	if err := s.Put(hb, a); err == nil {
+		t.Fatal("Put under a wrong name succeeded")
+	}
+	if err := s.Put(ha, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ha, a); err != nil {
+		t.Fatalf("idempotent re-Put failed: %v", err)
+	}
+	if err := s.Put(hb, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(ha)
+	if err != nil || string(got) != string(a) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	have, err := s.HasMany([]Hash{ha, Sum([]byte("absent")), hb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !have[0] || have[1] || !have[2] {
+		t.Fatalf("HasMany = %v", have)
+	}
+	seen := map[Hash]bool{}
+	if err := s.ForEach(func(h Hash) error { seen[h] = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || !seen[ha] || !seen[hb] {
+		t.Fatalf("ForEach visited %v", seen)
+	}
+	if err := s.Delete(hb); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(hb); err != nil {
+		t.Fatalf("double Delete failed: %v", err)
+	}
+	if ok, _ := s.Has(hb); ok {
+		t.Fatal("deleted chunk still present")
+	}
+	if ok, _ := s.Has(ha); !ok {
+		t.Fatal("Delete removed the wrong chunk")
+	}
+}
+
+func TestMem(t *testing.T) { testStore(t, NewMem()) }
+
+func TestDir(t *testing.T) { testStore(t, NewDir(filepath.Join(t.TempDir(), "chunks"))) }
+
+func TestDirTornChunkIsMissing(t *testing.T) {
+	d := NewDir(filepath.Join(t.TempDir(), "chunks"))
+	data := []byte("some chunk content that will be torn")
+	h := Sum(data)
+	if err := d.Put(h, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(d.PathOf(h), int64(len(data)/2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(h); !errors.Is(err, ErrMissing) {
+		t.Fatalf("Get of torn chunk = %v, want ErrMissing", err)
+	}
+	// The failed Get quarantined the corpse, so the store no longer
+	// claims the name and the next checkpoint re-Puts good bytes —
+	// without this, Put's skip-if-exists would pin the torn file forever.
+	if ok, err := d.Has(h); err != nil || ok {
+		t.Fatalf("torn chunk still claimed after failed Get: %v, %v", ok, err)
+	}
+	if err := d.Put(h, data); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := d.Get(h); err != nil || string(got) != string(data) {
+		t.Fatalf("re-Put after quarantine: %q, %v", got, err)
+	}
+}
+
+func TestDirForEachSkipsStrays(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "chunks")
+	d := NewDir(root)
+	data := []byte("x")
+	if err := d.Put(Sum(data), data); err != nil {
+		t.Fatal(err)
+	}
+	// Drop junk: a tmp leftover and an alien file.
+	sub := filepath.Dir(d.PathOf(Sum(data)))
+	if err := os.WriteFile(filepath.Join(sub, "junk.txt"), []byte("j"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.PathOf(Sum(data))+".tmp99", []byte("t"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := d.ForEach(func(Hash) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("ForEach visited %d chunks, want 1", n)
+	}
+}
+
+func TestHashHexRoundTrip(t *testing.T) {
+	h := Sum([]byte("round trip"))
+	back, err := ParseHash(h.String())
+	if err != nil || back != h {
+		t.Fatalf("ParseHash(%s) = %s, %v", h, back, err)
+	}
+	for _, bad := range []string{"", "abcd", h.String()[:63], h.String() + "00", "ZZ" + h.String()[2:]} {
+		if _, err := ParseHash(bad); err == nil {
+			t.Fatalf("ParseHash(%q) succeeded", bad)
+		}
+	}
+}

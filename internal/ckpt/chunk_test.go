@@ -1,0 +1,183 @@
+package ckpt
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mxq/internal/chunkstore"
+	"mxq/internal/tx"
+	"mxq/internal/wal"
+)
+
+// TestChunkGCNeverOrphansRetainedImage: after several checkpoints the
+// sweep must have (a) kept every chunk any retained image references —
+// so each retained image stays materializable — and (b) actually
+// deleted everything else.
+func TestChunkGCNeverOrphansRetainedImage(t *testing.T) {
+	e := newEnv(t, 160)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 3; i++ {
+			e.commitBook(t, "s1", fmt.Sprintf("r%d-%d", round, i))
+		}
+		if _, err := e.ck.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := e.baseXML(t)
+
+	imgs, err := Images(e.dir, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imgs) != 2 {
+		t.Fatalf("retention kept %d images, want 2 (current + previous)", len(imgs))
+	}
+	cs := DefaultChunkStore(e.dir, "d")
+	live := make(map[chunkstore.Hash]bool)
+	for _, img := range imgs {
+		hs, err := ImageChunks(filepath.Join(e.dir, img.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range hs {
+			if ok, err := cs.Has(h); err != nil || !ok {
+				t.Fatalf("retained image %s references swept chunk %s (%v)", img.File, h, err)
+			}
+			live[h] = true
+		}
+	}
+	if err := cs.ForEach(func(h chunkstore.Hash) error {
+		if !live[h] {
+			return fmt.Errorf("chunk %s referenced by no retained image survived GC", h)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The point of keeping the previous image's chunks: losing the
+	// current image (and the manifest) must still recover to full state.
+	if err := os.Remove(filepath.Join(e.dir, imgs[0].File)); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(e.dir, "d"+manifestSuffix))
+	store, _ := e.recover(t)
+	if got := viewXML(t, store); got != want {
+		t.Fatalf("recovery from previous image after GC:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+// TestTornChunkDegradesWholeImage: a torn chunk file fails its whole
+// image — recovery falls back to the previous image plus WAL roll
+// forward, never a mix of the two checkpoints, and a repeat recovery
+// (after the failed Get quarantined the corpse) lands the same place.
+func TestTornChunkDegradesWholeImage(t *testing.T) {
+	e := newEnv(t, 192)
+	for i := 0; i < 4; i++ {
+		e.commitBook(t, "s1", fmt.Sprintf("a%d", i))
+	}
+	if _, err := e.ck.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		e.commitBook(t, "s2", fmt.Sprintf("b%d", i))
+	}
+	if _, err := e.ck.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.commitBook(t, "s1", "tail")
+	want := e.baseXML(t)
+
+	imgs, err := Images(e.dir, "d")
+	if err != nil || len(imgs) != 2 {
+		t.Fatalf("images = %v, %v; want 2", imgs, err)
+	}
+	newHS, err := ImageChunks(filepath.Join(e.dir, imgs[0].File))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldHS, err := ImageChunks(filepath.Join(e.dir, imgs[1].File))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := make(map[chunkstore.Hash]bool)
+	for _, h := range oldHS {
+		shared[h] = true
+	}
+	var victim chunkstore.Hash
+	found := false
+	for _, h := range newHS {
+		if !shared[h] {
+			victim, found = h, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no chunk unique to the newest image — churn between checkpoints produced none?")
+	}
+	cs := DefaultChunkStore(e.dir, "d")
+	fi, err := os.Stat(cs.PathOf(victim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(cs.PathOf(victim), fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	store, _ := e.recover(t)
+	if got := viewXML(t, store); got != want {
+		t.Fatalf("recovery over a torn chunk:\nwant %s\ngot  %s", want, got)
+	}
+	store2, _ := e.recover(t)
+	if got := viewXML(t, store2); got != want {
+		t.Fatalf("second recovery diverged:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+// TestLegacyImageMigration: a pre-chunk monolithic image recovers, is
+// flagged for migration, and one checkpoint re-publishes the document
+// content-addressed and retires the legacy file.
+func TestLegacyImageMigration(t *testing.T) {
+	e := newEnv(t, wal.DefaultSegmentBytes)
+	// Publish a legacy unversioned image by hand — byte-for-byte what an
+	// old version wrote: LSN header + monolithic gob.
+	err := writeFileAtomic(e.dir, "d.ckpt", func(w io.Writer) error {
+		if err := tx.WriteSnapshotHeader(w, 0); err != nil {
+			return err
+		}
+		return e.s.Save(w)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !NeedsMigration(e.dir, "d") {
+		t.Fatal("legacy image not flagged for migration")
+	}
+
+	e.commitBook(t, "s1", "post-legacy")
+	want := e.baseXML(t)
+	store, lsn := e.recover(t)
+	if lsn != 1 {
+		t.Fatalf("recovered lsn = %d, want 1", lsn)
+	}
+	if got := viewXML(t, store); got != want {
+		t.Fatalf("legacy recovery differs:\nwant %s\ngot  %s", want, got)
+	}
+
+	if _, err := e.ck.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if NeedsMigration(e.dir, "d") {
+		t.Fatal("still flagged for migration after a checkpoint")
+	}
+	if _, err := os.Stat(filepath.Join(e.dir, "d.ckpt")); !os.IsNotExist(err) {
+		t.Fatalf("legacy image not retired: %v", err)
+	}
+	store2, _ := e.recover(t)
+	if got := viewXML(t, store2); got != want {
+		t.Fatalf("post-migration recovery differs:\nwant %s\ngot  %s", want, got)
+	}
+}

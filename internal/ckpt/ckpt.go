@@ -1,47 +1,67 @@
-// Package ckpt is the online durability subsystem: checkpoints that
-// never stall commits, a crash-safe manifest, and recovery that degrades
-// gracefully over torn artifacts.
+// Package ckpt is the online durability subsystem: incremental
+// content-addressed checkpoints that never stall commits, a crash-safe
+// manifest chain, and recovery that degrades gracefully over torn
+// artifacts.
 //
 // The paper's transaction protocol (Section 3.2 / Figure 8) rests on two
 // legs: a single-I/O WAL commit and a checkpointed store image. This
-// package makes the checkpoint leg *online*. A checkpoint pins a
-// (snapshot, LSN) pair inside the commit critical section — an O(pages)
-// refcount sweep under the shared read lock (tx.Manager.PinCheckpoint) —
-// and then streams core.Store.Save from that immutable snapshot outside
-// any lock, so commits proceed at full speed for the whole O(document)
-// write. Completion is recorded in a manifest written via
-// tmp+rename+fsync; only then are WAL segments wholly below the
-// checkpoint's LSN deleted (wal.Log.Prune), which closes the legacy
-// lost-commit window by construction: a record the checkpoint does not
-// cover lives in a segment Prune keeps.
+// package makes the checkpoint leg *online* and *O(churn)*. A checkpoint
+// pins a (snapshot, LSN) pair inside the commit critical section — an
+// O(pages) refcount sweep under the shared read lock
+// (tx.Manager.PinCheckpoint) — and then writes the snapshot in
+// content-addressed form (core.Store.SaveChunked) outside any lock:
+// every column chunk serializes to a SHA-256-named file in the
+// document's chunk store, and the LSN-stamped image shrinks to a small
+// manifest of chunk names. Chunks the store already holds — everything
+// the COW layer did not see dirtied since the previous checkpoint — are
+// re-referenced, not rewritten, so checkpoint I/O tracks churn, not
+// document size, and frequent auto-checkpoints are cheap. Completion is
+// recorded in a manifest written via tmp+rename+fsync; only then are
+// WAL segments wholly below the checkpoint's LSN deleted
+// (wal.Log.Prune), which closes the legacy lost-commit window by
+// construction: a record the checkpoint does not cover lives in a
+// segment Prune keeps.
 //
 // # Artifacts
 //
 // For a document <name> in directory dir:
 //
-//	<name>-<LSN as 16 hex digits>.ckpt   checkpoint images (LSN-stamped)
+//	<name>-<LSN as 16 hex digits>.ckpt   checkpoint images: magic +
+//	                                     JSON {lsn, store manifest}
+//	                                     (or a legacy monolithic gob)
+//	<name>.chunks/ab/<sha256>.chunk      content-addressed column chunks
 //	<name>.manifest                      JSON {file, lsn} naming the
 //	                                     current checkpoint
 //	<name>.wal.NNNNNNNN                  WAL segments (see internal/wal)
 //
-// Every artifact is published atomically (write to *.tmp, fsync, rename,
-// fsync dir). Cleanup keeps the previous checkpoint image besides the
-// current one, and the WAL is pruned only below the *oldest retained*
-// checkpoint — so if the current image or manifest is lost or torn,
-// recovery still has an older image plus every record needed to roll it
+// Every image/manifest is published atomically (write to *.tmp, fsync,
+// rename, fsync dir), and chunks are synced before any image naming
+// them is published. Cleanup keeps the previous checkpoint image
+// besides the current one, prunes the WAL only below the *oldest
+// retained* checkpoint, and garbage-collects chunks by mark-and-sweep:
+// a chunk referenced by ANY retained image is never deleted, so every
+// retained image stays materializable — if the current image, its
+// manifest, or one of its chunks is lost or torn, recovery still has an
+// older image plus every chunk and WAL record needed to roll it
 // forward.
 //
 // # Recovery
 //
 // Recover tries candidates in order of preference — the manifest's
-// target first, then every other image on disk by descending LSN — and
-// accepts the first one that loads and whose WAL replay is gap-free
-// (contiguous LSNs from the image's pin). A leftover *.tmp, a manifest
-// naming a missing file, a torn image, or an empty segment tail all
-// degrade to the next candidate instead of failing.
+// target first, then every other image on disk by descending LSN, then
+// a legacy unversioned image — and accepts the first one that loads and
+// whose WAL replay is gap-free (contiguous LSNs from the image's pin).
+// Image manifests are self-contained (each names every chunk of the
+// full document), so a candidate either materializes completely or is
+// skipped whole — recovery never mixes two checkpoints. A leftover
+// *.tmp, a manifest naming a missing file, a torn image, a torn or
+// missing chunk file, or an empty segment tail all degrade to the next
+// candidate instead of failing.
 package ckpt
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -52,7 +72,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"mxq/internal/chunkstore"
 	"mxq/internal/core"
 	"mxq/internal/tx"
 	"mxq/internal/wal"
@@ -84,6 +106,41 @@ type manifest struct {
 	LSN  uint64 `json:"lsn"`
 }
 
+// imageMagicV2 opens a content-addressed checkpoint image. A legacy
+// image starts with its little-endian pin LSN instead; this magic
+// decodes to an LSN upwards of 10^16, which no real WAL reaches, so the
+// two formats cannot be confused.
+var imageMagicV2 = [8]byte{'M', 'X', 'Q', 'C', 'K', 'V', '2', 0}
+
+// imageV2 is the JSON body of a content-addressed image: the pin LSN
+// plus the store's chunk manifest.
+type imageV2 struct {
+	LSN   uint64              `json:"lsn"`
+	Store *core.ChunkManifest `json:"store"`
+}
+
+// ChunkDir returns the document's default chunk-store directory.
+func ChunkDir(dir, name string) string { return filepath.Join(dir, name+".chunks") }
+
+// DefaultChunkStore opens the document's default local chunk store.
+func DefaultChunkStore(dir, name string) *chunkstore.Dir {
+	return chunkstore.NewDir(ChunkDir(dir, name))
+}
+
+// RemoveChunks deletes the document's default chunk directory (document
+// drop; RemoveArtifacts deliberately leaves chunks in place because a
+// re-bootstrapped document on a new LSN line reuses them by content).
+func RemoveChunks(dir, name string) { os.RemoveAll(ChunkDir(dir, name)) }
+
+// Stats is the checkpointer's cumulative I/O accounting — the
+// observable incremental-checkpoint win.
+type Stats struct {
+	Checkpoints   uint64 // images published
+	ChunksWritten uint64 // chunks the store was missing (bytes moved)
+	ChunksReused  uint64 // chunk references served by dedupe
+	BytesWritten  uint64 // chunk bytes actually written
+}
+
 // Checkpointer writes online checkpoints for one document.
 type Checkpointer struct {
 	dir  string
@@ -103,10 +160,18 @@ type Checkpointer struct {
 	mu     sync.Mutex
 	closed bool
 
-	// saveWrap, when non-nil, wraps the checkpoint image writer (testing
-	// hook: throttling it stretches the streaming phase to prove commits
-	// do not stall behind it).
-	saveWrap func(io.Writer) io.Writer
+	// cs is the chunk store images reference; nil until first use, then
+	// the document's default local directory unless SetChunkStore
+	// installed another backend.
+	cs chunkstore.Store
+
+	// chunkWrap, when non-nil, wraps the chunk store for the duration of
+	// a save (testing hook: throttling Put stretches the write phase to
+	// prove commits do not stall behind it).
+	chunkWrap func(chunkstore.Store) chunkstore.Store
+
+	// Cumulative Stats counters.
+	statCkpts, statChunksW, statChunksR, statBytes atomic.Uint64
 
 	// pruneBarrier, when non-nil, returns the highest LSN the WAL may be
 	// pruned up to for reasons beyond checkpoint retention — the
@@ -121,9 +186,40 @@ func New(dir, name string, log *wal.Log, pin Pin) *Checkpointer {
 	return &Checkpointer{dir: dir, name: name, log: log, pin: pin, keep: 1}
 }
 
-// SetSaveWrapper installs a writer wrapper around the image stream
-// (testing hook; pass nil to remove).
-func (c *Checkpointer) SetSaveWrapper(fn func(io.Writer) io.Writer) { c.saveWrap = fn }
+// SetChunkWrapper installs a chunk-store wrapper applied for the
+// duration of each save (testing hook; pass nil to remove).
+func (c *Checkpointer) SetChunkWrapper(fn func(chunkstore.Store) chunkstore.Store) {
+	c.chunkWrap = fn
+}
+
+// SetChunkStore installs the chunk store images reference (an
+// alternative backend, or a store shared with a bootstrap). Install it
+// before the first Run; nil keeps the document's default local
+// directory.
+func (c *Checkpointer) SetChunkStore(cs chunkstore.Store) {
+	c.mu.Lock()
+	c.cs = cs
+	c.mu.Unlock()
+}
+
+// chunks returns the chunk store, defaulting lazily. Caller holds c.mu.
+func (c *Checkpointer) chunks() chunkstore.Store {
+	if c.cs == nil {
+		c.cs = DefaultChunkStore(c.dir, c.name)
+	}
+	return c.cs
+}
+
+// Stats returns cumulative checkpoint I/O counters (safe concurrently
+// with a running checkpoint).
+func (c *Checkpointer) Stats() Stats {
+	return Stats{
+		Checkpoints:   c.statCkpts.Load(),
+		ChunksWritten: c.statChunksW.Load(),
+		ChunksReused:  c.statChunksR.Load(),
+		BytesWritten:  c.statBytes.Load(),
+	}
+}
 
 // SetPruneBarrier installs an external prune constraint, queried once
 // per checkpoint while the checkpointer's own lock is held. Install it
@@ -233,11 +329,13 @@ func CurrentLSN(dir, name string) uint64 {
 	return m.LSN
 }
 
-// Run writes one checkpoint: pin, stream, publish, retire. It returns
-// the LSN the new checkpoint covers. The pin is the only step that
-// shares a lock with committers (a shared read lock held for an
-// O(pages) refcount sweep); the O(document) Save streams from the
-// pinned immutable snapshot while commits continue.
+// Run writes one checkpoint: pin, write missing chunks, publish,
+// retire, collect garbage chunks. It returns the LSN the new checkpoint
+// covers. The pin is the only step that shares a lock with committers
+// (a shared read lock held for an O(pages) refcount sweep); the chunk
+// writes — O(chunks dirtied since the previous checkpoint), thanks to
+// content-addressed dedupe — proceed from the pinned immutable snapshot
+// while commits continue.
 func (c *Checkpointer) Run() (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -248,15 +346,22 @@ func (c *Checkpointer) Run() (uint64, error) {
 	img, lsn := c.pin()
 	defer img.Release()
 
+	// Chunks first: SaveChunked syncs them, so by the time an image
+	// naming them exists, every chunk it references is durable.
+	cs := c.chunks()
+	if c.chunkWrap != nil {
+		cs = c.chunkWrap(cs)
+	}
+	man, stats, err := img.SaveChunked(cs)
+	if err != nil {
+		return 0, fmt.Errorf("ckpt: writing chunks: %w", err)
+	}
 	file := ckptFile(c.name, lsn)
-	err := writeFileAtomic(c.dir, file, func(w io.Writer) error {
-		if c.saveWrap != nil {
-			w = c.saveWrap(w)
+	err = writeFileAtomic(c.dir, file, func(w io.Writer) error {
+		if _, werr := w.Write(imageMagicV2[:]); werr != nil {
+			return werr
 		}
-		if err := tx.WriteSnapshotHeader(w, lsn); err != nil {
-			return err
-		}
-		return img.Save(w)
+		return json.NewEncoder(w).Encode(imageV2{LSN: lsn, Store: man})
 	})
 	if err != nil {
 		return 0, fmt.Errorf("ckpt: writing image: %w", err)
@@ -270,6 +375,10 @@ func (c *Checkpointer) Run() (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("ckpt: writing manifest: %w", err)
 	}
+	c.statCkpts.Add(1)
+	c.statChunksW.Add(uint64(stats.ChunksWritten))
+	c.statChunksR.Add(uint64(stats.ChunksReused))
+	c.statBytes.Add(uint64(stats.BytesWritten))
 
 	// The manifest is durable: the new checkpoint is the recovery root.
 	// Retire images beyond the retention horizon and prune WAL segments
@@ -288,7 +397,121 @@ func (c *Checkpointer) Run() (uint64, error) {
 			return 0, fmt.Errorf("ckpt: pruning wal: %w", err)
 		}
 	}
+	// With retirement settled, sweep chunks no retained image references.
+	c.gc()
 	return lsn, nil
+}
+
+// gc garbage-collects the chunk store by mark-and-sweep: every chunk
+// referenced by ANY image still on disk is live (the retention
+// invariant — a retained image must stay materializable); everything
+// else is swept. If any retained image cannot be read, the sweep is
+// skipped entirely: an unreadable reference list means an unknowable
+// mark set, and leaking chunks until the image retires is strictly
+// safer than deleting one it might name. Legacy gob images reference no
+// chunks. Caller holds c.mu.
+func (c *Checkpointer) gc() {
+	imgs, err := Images(c.dir, c.name)
+	if err != nil {
+		return
+	}
+	live := make(map[chunkstore.Hash]bool)
+	for _, img := range imgs {
+		hs, err := ImageChunks(filepath.Join(c.dir, img.File))
+		if err != nil {
+			return
+		}
+		for _, h := range hs {
+			live[h] = true
+		}
+	}
+	var dead []chunkstore.Hash
+	if err := c.chunks().ForEach(func(h chunkstore.Hash) error {
+		if !live[h] {
+			dead = append(dead, h)
+		}
+		return nil
+	}); err != nil {
+		return
+	}
+	for _, h := range dead {
+		c.chunks().Delete(h)
+	}
+}
+
+// Image describes one LSN-stamped checkpoint image on disk.
+type Image struct {
+	File string // bare file name, relative to the document directory
+	LSN  uint64
+}
+
+// Images lists the document's LSN-stamped checkpoint images, newest
+// first (the legacy unversioned <name>.ckpt, if any, is not included).
+func Images(dir, name string) ([]Image, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var imgs []Image
+	for _, e := range entries {
+		if lsn, ok := parseCkptLSN(name, e.Name()); ok {
+			imgs = append(imgs, Image{File: e.Name(), LSN: lsn})
+		}
+	}
+	sort.Slice(imgs, func(i, j int) bool { return imgs[i].LSN > imgs[j].LSN })
+	return imgs, nil
+}
+
+// ImageChunks returns the chunk hashes a checkpoint image references,
+// in manifest order — nil (and no error) for a legacy monolithic image,
+// which references none.
+func ImageChunks(path string) ([]chunkstore.Hash, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(imageMagicV2) || !bytes.Equal(data[:len(imageMagicV2)], imageMagicV2[:]) {
+		return nil, nil // legacy image
+	}
+	var img imageV2
+	if err := json.Unmarshal(data[len(imageMagicV2):], &img); err != nil {
+		return nil, fmt.Errorf("ckpt: corrupt image %s: %w", filepath.Base(path), err)
+	}
+	if img.Store == nil {
+		return nil, fmt.Errorf("ckpt: corrupt image %s: no store manifest", filepath.Base(path))
+	}
+	return img.Store.ChunkHashes()
+}
+
+// NeedsMigration reports whether the document's current recovery root
+// is a legacy monolithic image: its next checkpoint (which the open
+// path forces) re-publishes the document in the content-addressed
+// format, after which the legacy image retires normally.
+func NeedsMigration(dir, name string) bool {
+	legacyAt := func(path string) bool {
+		f, err := os.Open(path)
+		if err != nil {
+			return false
+		}
+		defer f.Close()
+		var hdr [8]byte
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return false
+		}
+		return hdr != imageMagicV2
+	}
+	if m, err := readManifest(dir, name); err == nil {
+		if _, err := os.Stat(filepath.Join(dir, m.File)); err == nil {
+			return legacyAt(filepath.Join(dir, m.File))
+		}
+	}
+	if imgs, err := Images(dir, name); err == nil && len(imgs) > 0 {
+		return legacyAt(filepath.Join(dir, imgs[0].File))
+	}
+	if _, err := os.Stat(filepath.Join(dir, name+".ckpt")); err == nil {
+		return true
+	}
+	return false
 }
 
 // Close marks the checkpointer closed, first waiting out an in-flight
@@ -384,9 +607,17 @@ func writeFileAtomic(dir, file string, write func(io.Writer) error) error {
 // checkpoint plus the WAL. Candidates are tried in order — the
 // manifest's target first, then every image on disk by descending LSN,
 // then a legacy unversioned <name>.ckpt — and the first one that loads
-// cleanly and replays without an LSN gap wins. It returns the store and
-// the LSN of the last replayed record (the durable horizon).
-func Recover(dir, name string, log *wal.Log) (*core.Store, uint64, error) {
+// cleanly and replays without an LSN gap wins. A content-addressed
+// image materializes from cs (nil means the document's default chunk
+// directory); because each image names every chunk of the full
+// document, a torn chunk or image fails that candidate whole and
+// recovery degrades to the next-older image — never a mix of two. It
+// returns the store and the LSN of the last replayed record (the
+// durable horizon).
+func Recover(dir, name string, log *wal.Log, cs chunkstore.Store) (*core.Store, uint64, error) {
+	if cs == nil {
+		cs = DefaultChunkStore(dir, name)
+	}
 	var candidates []string
 	seen := map[string]bool{}
 	add := func(file string) {
@@ -422,7 +653,7 @@ func Recover(dir, name string, log *wal.Log) (*core.Store, uint64, error) {
 
 	var firstErr error
 	for _, file := range candidates {
-		store, lsn, err := tryRecover(filepath.Join(dir, file), log)
+		store, lsn, err := tryRecover(filepath.Join(dir, file), log, cs)
 		if err == nil {
 			if log != nil {
 				log.EnsureLSN(lsn)
@@ -455,21 +686,41 @@ func readManifest(dir, name string) (manifest, error) {
 	return m, nil
 }
 
-// tryRecover loads one image and rolls it forward, insisting on
+// tryRecover loads one image — content-addressed or legacy monolithic,
+// dispatched on the leading magic — and rolls it forward, insisting on
 // gap-free LSNs so a missing segment can never surface as silent loss.
-func tryRecover(path string, log *wal.Log) (*core.Store, uint64, error) {
+func tryRecover(path string, log *wal.Log, cs chunkstore.Store) (*core.Store, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, 0, err
 	}
 	defer f.Close()
-	lsn, err := tx.ReadSnapshotHeader(f)
-	if err != nil {
-		return nil, 0, err
-	}
-	store, err := core.Load(f)
-	if err != nil {
-		return nil, 0, err
+	br := bufio.NewReader(f)
+	var store *core.Store
+	var lsn uint64
+	if peek, perr := br.Peek(len(imageMagicV2)); perr == nil && bytes.Equal(peek, imageMagicV2[:]) {
+		br.Discard(len(imageMagicV2))
+		var img imageV2
+		if err := json.NewDecoder(br).Decode(&img); err != nil {
+			return nil, 0, fmt.Errorf("ckpt: corrupt image: %w", err)
+		}
+		if img.Store == nil {
+			return nil, 0, errors.New("ckpt: corrupt image: no store manifest")
+		}
+		store, err = core.LoadChunked(img.Store, cs)
+		if err != nil {
+			return nil, 0, err
+		}
+		lsn = img.LSN
+	} else {
+		lsn, err = tx.ReadSnapshotHeader(br)
+		if err != nil {
+			return nil, 0, err
+		}
+		store, err = core.Load(br)
+		if err != nil {
+			return nil, 0, err
+		}
 	}
 	last := lsn
 	if log != nil {

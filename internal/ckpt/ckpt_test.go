@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"mxq/internal/chunkstore"
 	"mxq/internal/core"
 	"mxq/internal/serialize"
 	"mxq/internal/shred"
@@ -108,7 +108,7 @@ func (e *env) recover(t testing.TB) (*core.Store, uint64) {
 		t.Fatal(err)
 	}
 	defer log.Close()
-	store, lsn, err := Recover(e.dir, "d", log)
+	store, lsn, err := Recover(e.dir, "d", log, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,24 +139,27 @@ func TestCheckpointAndRecover(t *testing.T) {
 
 func TestRecoverNoCheckpoint(t *testing.T) {
 	dir := t.TempDir()
-	if _, _, err := Recover(dir, "nope", nil); !errors.Is(err, ErrNoCheckpoint) {
+	if _, _, err := Recover(dir, "nope", nil, nil); !errors.Is(err, ErrNoCheckpoint) {
 		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
 	}
 }
 
-// throttledWriter stretches the checkpoint streaming phase so the test
-// can prove commits overlap it.
-type throttledWriter struct {
-	w     io.Writer
+// slowStore stretches the checkpoint streaming phase so the test can
+// prove commits overlap it: every chunk Put pauses before landing.
+type slowStore struct {
+	chunkstore.Store
 	delay time.Duration
+	puts  atomic.Int64
+	onPut func()
 }
 
-func (tw *throttledWriter) Write(p []byte) (int, error) {
-	// Write in small slices with a pause per slice: a gob stream of a
-	// document produces many Write calls already, but forcing a floor
-	// keeps the streaming window wide even for small images.
-	time.Sleep(tw.delay)
-	return tw.w.Write(p)
+func (ss *slowStore) Put(h chunkstore.Hash, data []byte) error {
+	if ss.onPut != nil {
+		ss.onPut()
+	}
+	time.Sleep(ss.delay)
+	ss.puts.Add(1)
+	return ss.Store.Put(h, data)
 }
 
 // TestOnlineCheckpointNonBlocking is the acceptance test for the
@@ -169,9 +172,11 @@ func TestOnlineCheckpointNonBlocking(t *testing.T) {
 	e := newEnv(t, wal.DefaultSegmentBytes)
 	e.commitBook(t, "s1", "seed")
 
-	const delay = 2 * time.Millisecond
-	e.ck.SetSaveWrapper(func(w io.Writer) io.Writer {
-		return &throttledWriter{w: w, delay: delay}
+	// The small test document yields only a handful of chunks; a per-Put
+	// pause keeps the streaming window wide enough to observe overlap.
+	const delay = 25 * time.Millisecond
+	e.ck.SetChunkWrapper(func(s chunkstore.Store) chunkstore.Store {
+		return &slowStore{Store: s, delay: delay}
 	})
 
 	stop := make(chan struct{})
@@ -421,7 +426,7 @@ func TestTornArtifacts(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer log.Close()
-		_, _, err = Recover(e.dir, "d", log)
+		_, _, err = Recover(e.dir, "d", log, nil)
 		if err == nil {
 			t.Fatal("recovery over a missing needed segment succeeded silently")
 		}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mxq/internal/chunkstore"
+)
+
+// saveBytes flattens a store through the legacy gob path — the
+// canonical state comparison for chunked round trips.
+func saveBytes(t *testing.T, s *Store) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := s.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// itemsDoc builds an n-item document with attributes and text so every
+// chunk kind (pages, nodes, free, both dictionaries) is exercised.
+func itemsDoc(n int) string {
+	var b strings.Builder
+	b.WriteString("<items>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `<item id="i%d" cat="c%d">value %d</item>`, i, i%7, i)
+	}
+	b.WriteString("</items>")
+	return b.String()
+}
+
+func mustSaveChunked(t *testing.T, s *Store, cs chunkstore.Store) (*ChunkManifest, ChunkSaveStats) {
+	t.Helper()
+	m, stats, err := s.SaveChunked(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, stats
+}
+
+func mustLoadChunked(t *testing.T, m *ChunkManifest, cs chunkstore.Store) *Store {
+	t.Helper()
+	s, err := LoadChunked(m, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestChunkedRoundTrip(t *testing.T) {
+	s := mustBuild(t, itemsDoc(200), Options{PageSize: 16, FillFactor: 0.75})
+	// Populate the free list and churn the dictionaries.
+	for i := 0; i < 5; i++ {
+		if err := s.Delete(s.NthChild(s.Root(), 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetAttr(s.NthChild(s.Root(), 0), "extra", "late-dict-entry"); err != nil {
+		t.Fatal(err)
+	}
+	want := saveBytes(t, s)
+
+	cs := chunkstore.NewMem()
+	m, stats := mustSaveChunked(t, s, cs)
+	if stats.ChunksWritten == 0 || stats.BytesWritten == 0 {
+		t.Fatalf("first save wrote nothing: %+v", stats)
+	}
+	if stats.ChunksTotal != m.TotalChunks() {
+		t.Fatalf("stats count %d chunks, manifest %d", stats.ChunksTotal, m.TotalChunks())
+	}
+
+	// The manifest must survive its wire form (JSON inside the image).
+	wire, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ChunkManifest
+	if err := json.Unmarshal(wire, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	got := mustLoadChunked(t, &back, cs)
+	if !bytes.Equal(saveBytes(t, got), want) {
+		t.Fatal("chunked round trip diverged from the gob image")
+	}
+
+	// A loaded store arrives with hashes cached: re-saving it moves no
+	// bytes at all.
+	_, stats2 := mustSaveChunked(t, got, cs)
+	if stats2.ChunksWritten != 0 {
+		t.Fatalf("re-save of a just-loaded store wrote %d chunks", stats2.ChunksWritten)
+	}
+	if stats2.ChunksReused != stats2.ChunksTotal {
+		t.Fatalf("re-save reused %d of %d chunks", stats2.ChunksReused, stats2.ChunksTotal)
+	}
+}
+
+func TestChunkedIncrementalWritesOnlyChurn(t *testing.T) {
+	s := mustBuild(t, itemsDoc(2000), Options{PageSize: 64, FillFactor: 0.8})
+	cs := chunkstore.NewMem()
+	_, full := mustSaveChunked(t, s, cs)
+
+	// One localized edit: a rename dirties one page chunk (and nothing
+	// NodeID-keyed).
+	if err := s.Rename(s.NthChild(s.Root(), 17), "renamed"); err != nil {
+		t.Fatal(err)
+	}
+	m2, inc := mustSaveChunked(t, s, cs)
+	if inc.ChunksWritten == 0 {
+		t.Fatal("edit produced no chunk writes")
+	}
+	// The rename touches one page plus the name-dictionary tail group.
+	if inc.ChunksWritten > 3 {
+		t.Fatalf("1-node edit wrote %d chunks (full image is %d)", inc.ChunksWritten, full.ChunksTotal)
+	}
+	if inc.BytesWritten*10 > full.BytesWritten {
+		t.Fatalf("incremental save wrote %d bytes, full image was %d — not even 10x smaller",
+			inc.BytesWritten, full.BytesWritten)
+	}
+	got := mustLoadChunked(t, m2, cs)
+	if !bytes.Equal(saveBytes(t, got), saveBytes(t, s)) {
+		t.Fatal("incremental manifest did not reproduce the store")
+	}
+}
+
+// TestChunkedFreeTailNotCached is the regression test for the one spot
+// where the COW dirty hooks under-report change: popFree shrinks
+// freeLen without dirtying the tail chunk, so a free chunk that was
+// full (hash cached) at one save and partial at the next must be
+// re-encoded, not served from the stale cache.
+func TestChunkedFreeTailNotCached(t *testing.T) {
+	s := mustBuild(t, itemsDoc(300), Options{PageSize: 16, FillFactor: 0.75})
+	// Delete enough subtrees to push the free stack past one chunk.
+	for ids, _, _ := s.FreeListStats(); ids < 20; ids, _, _ = s.FreeListStats() {
+		if err := s.Delete(s.NthChild(s.Root(), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := chunkstore.NewMem()
+	mustSaveChunked(t, s, cs) // caches the full free chunks' hashes
+
+	// Recycle ids: popFree shrinks freeLen below the cached chunk's
+	// boundary with no dirty-hook call.
+	before, _, _ := s.FreeListStats()
+	for i := 0; i < 10; i++ {
+		if _, err := s.AppendChild(s.Root(), mustFragment(t, "<recycled/>")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _, _ := s.FreeListStats()
+	if after >= before {
+		t.Fatalf("free list did not shrink (%d -> %d); test builds no pops", before, after)
+	}
+
+	m, _ := mustSaveChunked(t, s, cs)
+	got := mustLoadChunked(t, m, cs)
+	if !bytes.Equal(saveBytes(t, got), saveBytes(t, s)) {
+		t.Fatal("free-list state diverged after pops (stale tail-chunk hash served)")
+	}
+	gotIDs, _, _ := got.FreeListStats()
+	if gotIDs != after {
+		t.Fatalf("loaded free depth %d, want %d", gotIDs, after)
+	}
+}
+
+// TestChunkedSharesChunksWithPinnedSnapshot: saving a snapshot must not
+// be disturbed by base writes, and hashes cached through one side stay
+// correct on the other.
+func TestChunkedSnapshotIsolation(t *testing.T) {
+	base := mustBuild(t, itemsDoc(400), Options{PageSize: 32, FillFactor: 0.8})
+	snap := base.Snapshot()
+	defer snap.Release()
+	liveBefore := snap.LiveNodes()
+
+	// Base churns after the pin.
+	for i := 0; i < 50; i++ {
+		if _, err := base.AppendChild(base.Root(), mustFragment(t, fmt.Sprintf("<late n=\"%d\"/>", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cs := chunkstore.NewMem()
+	m, _ := mustSaveChunked(t, snap, cs)
+	got := mustLoadChunked(t, m, cs)
+	// The snapshot's tree is frozen (COW pages); only the shared
+	// append-only dictionaries may have grown, and both sides of the
+	// comparison see the same grown dictionaries.
+	if got.LiveNodes() != liveBefore {
+		t.Fatalf("snapshot image has %d live nodes, pinned at %d", got.LiveNodes(), liveBefore)
+	}
+	if !bytes.Equal(saveBytes(t, got), saveBytes(t, snap)) {
+		t.Fatal("snapshot image saw base writes")
+	}
+
+	// The base's own save now reuses every chunk it still shares with
+	// the snapshot image.
+	_, stats := mustSaveChunked(t, base, cs)
+	if stats.ChunksReused == 0 {
+		t.Fatal("base save reused nothing despite sharing most chunks with the snapshot")
+	}
+	got2, err := LoadChunked(mustSaveChunkedManifest(t, base, cs), cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saveBytes(t, got2), saveBytes(t, base)) {
+		t.Fatal("base image diverged")
+	}
+}
+
+func mustSaveChunkedManifest(t *testing.T, s *Store, cs chunkstore.Store) *ChunkManifest {
+	t.Helper()
+	m, _, err := s.SaveChunked(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestChunkedBuildManifestResolver: the replication path computes the
+// manifest in memory and serves chunk bytes on demand; every referenced
+// chunk must resolve and verify, and a store fed from the resolver must
+// equal the source.
+func TestChunkedBuildManifestResolver(t *testing.T) {
+	s := mustBuild(t, itemsDoc(250), Options{PageSize: 16, FillFactor: 0.75})
+	m, resolve := s.BuildManifest()
+	hs, err := m.ChunkHashes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := chunkstore.NewMem()
+	for _, h := range hs {
+		data, ok := resolve(h)
+		if !ok {
+			t.Fatalf("resolver missing chunk %s", h)
+		}
+		if chunkstore.Sum(data) != h {
+			t.Fatalf("resolver served bytes not matching %s", h)
+		}
+		if err := dst.Put(h, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := resolve(chunkstore.Sum([]byte("alien"))); ok {
+		t.Fatal("resolver invented an alien chunk")
+	}
+	got := mustLoadChunked(t, m, dst)
+	if !bytes.Equal(saveBytes(t, got), saveBytes(t, s)) {
+		t.Fatal("resolver-fed store diverged")
+	}
+}
+
+func TestChunkedLoadRejectsCorruption(t *testing.T) {
+	s := mustBuild(t, itemsDoc(60), Options{PageSize: 16, FillFactor: 0.75})
+	cs := chunkstore.NewMem()
+	m, _ := mustSaveChunked(t, s, cs)
+
+	mutate := func(fn func(c ChunkManifest) ChunkManifest) error {
+		c := *m
+		c = fn(c)
+		_, err := LoadChunked(&c, cs)
+		return err
+	}
+	cases := map[string]func(c ChunkManifest) ChunkManifest{
+		"bad page bits": func(c ChunkManifest) ChunkManifest { c.PageBits = 40; return c },
+		"missing chunk": func(c ChunkManifest) ChunkManifest {
+			c.Pages = append([]string(nil), c.Pages...)
+			c.Pages[0] = chunkstore.Sum([]byte("gone")).String()
+			return c
+		},
+		"bad hash": func(c ChunkManifest) ChunkManifest {
+			c.Pages = append([]string(nil), c.Pages...)
+			c.Pages[0] = "zz"
+			return c
+		},
+		"node count": func(c ChunkManifest) ChunkManifest { c.NodeLen += 1000; return c },
+		"free depth": func(c ChunkManifest) ChunkManifest { c.FreeLen = -1; return c },
+		"kind confusion": func(c ChunkManifest) ChunkManifest {
+			c.Pages = append([]string(nil), c.Pages...)
+			c.Pages[0] = c.Nodes[0]
+			return c
+		},
+	}
+	for name, fn := range cases {
+		if err := mutate(fn); err == nil {
+			t.Errorf("%s: LoadChunked succeeded on corrupt manifest", name)
+		}
+	}
+	// Torn chunk file on disk: the Dir backend detects it via content
+	// verification and the load fails loudly.
+	dir := chunkstore.NewDir(filepath.Join(t.TempDir(), "chunks"))
+	m2, _ := mustSaveChunked(t, s, dir)
+	h, err := chunkstore.ParseHash(m2.Pages[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := dir.Get(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Delete(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Put(chunkstore.Sum(data), data); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.Delete(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadChunked(m2, dir); err == nil {
+		t.Fatal("LoadChunked succeeded with a missing page chunk")
+	}
+}
+
+// TestChunkedDeterministicAcrossStores: two independently built stores
+// with identical content produce identical manifests — the property
+// that makes primary/follower chunk dedupe work.
+func TestChunkedDeterministic(t *testing.T) {
+	doc := itemsDoc(150)
+	a := mustBuild(t, doc, Options{PageSize: 16, FillFactor: 0.75})
+	b := mustBuild(t, doc, Options{PageSize: 16, FillFactor: 0.75})
+	ma, _ := a.BuildManifest()
+	mb, _ := b.BuildManifest()
+	ja, _ := json.Marshal(ma)
+	jb, _ := json.Marshal(mb)
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("identical stores produced different manifests")
+	}
+}

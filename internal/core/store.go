@@ -116,6 +116,7 @@ type attrRef struct {
 // was live), never a permanent copy-on-every-write tax.
 type page struct {
 	refs  atomic.Int32
+	hash  chunkHash // content address of the serialized chunk (see chunked.go)
 	size  []int32
 	level []int16
 	kind  []uint8
@@ -155,6 +156,7 @@ func (p *page) clone() *page {
 // copy-on-write with the same refcount discipline as page.
 type nodeChunk struct {
 	refs   atomic.Int32
+	hash   chunkHash
 	pos    []int32     // NodeID -> Pos (-1 when the id is free)
 	parent []int32     // NodeID -> parent NodeID (NoNode for a root)
 	attrs  [][]attrRef // NodeID -> attribute refs
@@ -188,6 +190,7 @@ func (c *nodeChunk) clone() *nodeChunk {
 // deletes.
 type freeChunk struct {
 	refs atomic.Int32
+	hash chunkHash
 	ids  []int32
 }
 
@@ -359,6 +362,10 @@ func (s *Store) dirtyPage(pg int32) *page {
 		s.pages[pg] = c
 		p = c
 	}
+	// The caller is about to write: whatever content hash the chunk had
+	// cached no longer describes it. (A clone starts without one; the
+	// shared original keeps its — still valid — hash.)
+	p.hash.invalidate()
 	return p
 }
 
@@ -371,6 +378,7 @@ func (s *Store) dirtyNodeChunk(ch int32) *nodeChunk {
 		s.nodes[ch] = n
 		c = n
 	}
+	c.hash.invalidate()
 	return c
 }
 
@@ -383,6 +391,7 @@ func (s *Store) dirtyFreeChunk(ch int32) *freeChunk {
 		s.freeChunks[ch] = n
 		c = n
 	}
+	c.hash.invalidate()
 	return c
 }
 

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"mxq/internal/chunkstore"
 	"mxq/internal/ckpt"
 	"mxq/internal/core"
 	"mxq/internal/naive"
@@ -33,6 +34,12 @@ type CrashConfig struct {
 	// CheckpointEvery runs an online checkpoint every N committed
 	// batches (0: only the initial checkpoint).
 	CheckpointEvery int
+	// TearCkpt additionally tears a checkpoint artifact after the WAL
+	// cut — the newest image, the manifest pointer, or a chunk file only
+	// the newest image references, truncated at a random offset — so
+	// recovery must degrade to the previous retained checkpoint.
+	// Requires CheckpointEvery > 0 (two images must be on disk).
+	TearCkpt bool
 }
 
 // RunCrash executes one crash-injection workload. The durability
@@ -104,15 +111,23 @@ func RunCrash(t *testing.T, cfg CrashConfig) {
 	log.Close()
 
 	// Crash: sever the WAL at a random byte offset across the
-	// concatenated live segments.
+	// concatenated live segments, and — when configured — tear a
+	// checkpoint artifact too (a crash mid-checkpoint can leave both).
 	cutAll := cutWAL(t, rng, walPath)
+	floor := ckptLSN
+	if cfg.TearCkpt {
+		// Recovery may lose the newest image wholesale; the floor drops
+		// to the previous retained checkpoint, whose chunks and WAL
+		// records retention guarantees are still on disk.
+		floor = tearCkptArtifact(t, rng, dir)
+	}
 
 	recovered, recLSN := recoverOnce(t, cfg, dir, walPath)
 
 	// Prefix property: at least the checkpoint floor, at most (and after
 	// a no-op cut, exactly) the full history.
-	if recLSN < ckptLSN {
-		t.Fatalf("seed %d: recovered LSN %d below checkpoint %d", cfg.Seed, recLSN, ckptLSN)
+	if recLSN < floor {
+		t.Fatalf("seed %d: recovered LSN %d below checkpoint floor %d", cfg.Seed, recLSN, floor)
 	}
 	if recLSN > lastLSN {
 		t.Fatalf("seed %d: recovered LSN %d beyond committed history %d", cfg.Seed, recLSN, lastLSN)
@@ -160,7 +175,7 @@ func recoverOnce(t *testing.T, cfg CrashConfig, dir, walPath string) (*core.Stor
 		t.Fatalf("seed %d: reopening wal after crash: %v", cfg.Seed, err)
 	}
 	defer log.Close()
-	store, lsn, err := ckpt.Recover(dir, "d", log)
+	store, lsn, err := ckpt.Recover(dir, "d", log, nil)
 	if err != nil {
 		t.Fatalf("seed %d: recovery errored (must degrade, never fail): %v", cfg.Seed, err)
 	}
@@ -212,6 +227,78 @@ func cutWAL(t *testing.T, rng *rand.Rand, walPath string) (noop bool) {
 	return true
 }
 
+// tearCkptArtifact truncates one checkpoint artifact at a random
+// offset — the newest image, the document manifest, or a chunk file
+// referenced only by the newest image (a chunk shared with an older
+// image cannot be torn by a crash: the chunk store skips writes for
+// chunks it already holds). It returns the new recovery floor: the LSN
+// of the previous retained image, which must stay materializable
+// whatever was torn.
+func tearCkptArtifact(t *testing.T, rng *rand.Rand, dir string) uint64 {
+	t.Helper()
+	imgs, err := ckpt.Images(dir, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imgs) < 2 {
+		t.Fatalf("TearCkpt needs two retained images to degrade across, have %d", len(imgs))
+	}
+	newest, prev := imgs[0], imgs[1]
+	imgPath := filepath.Join(dir, newest.File)
+	switch rng.Intn(3) {
+	case 0:
+		tearFile(t, rng, imgPath)
+	case 1:
+		tearFile(t, rng, filepath.Join(dir, "d.manifest"))
+	default:
+		newHashes, err := ckpt.ImageChunks(imgPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared := make(map[chunkstore.Hash]bool)
+		for _, old := range imgs[1:] {
+			hs, err := ckpt.ImageChunks(filepath.Join(dir, old.File))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, h := range hs {
+				shared[h] = true
+			}
+		}
+		var unique []chunkstore.Hash
+		for _, h := range newHashes {
+			if !shared[h] {
+				unique = append(unique, h)
+			}
+		}
+		if len(unique) == 0 {
+			// Every chunk is shared (no churn between the checkpoints):
+			// nothing a crash could have torn; tear the image instead.
+			tearFile(t, rng, imgPath)
+			break
+		}
+		cs := ckpt.DefaultChunkStore(dir, "d")
+		tearFile(t, rng, cs.PathOf(unique[rng.Intn(len(unique))]))
+	}
+	return prev.LSN
+}
+
+// tearFile truncates path at a uniformly random offset strictly inside
+// the file (offset 0 = emptied, never a clean full copy).
+func tearFile(t *testing.T, rng *rand.Rand, path string) {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		return
+	}
+	if err := os.Truncate(path, rng.Int63n(fi.Size())); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // CrashConfigs returns the seeded crash-injection matrix; iters scales
 // the number of random cuts per shape (the nightly soak raises it).
 func CrashConfigs(iters int) []CrashConfig {
@@ -223,6 +310,10 @@ func CrashConfigs(iters int) []CrashConfig {
 		{Batches: 20, BatchOps: 3, DocSize: 60, PageSize: 32, Fill: 0.8, SegmentBytes: wal.DefaultSegmentBytes},
 		// Tiny segments, no mid-run checkpoints: long replay chains.
 		{Batches: 25, BatchOps: 5, DocSize: 120, PageSize: 16, Fill: 0.75, SegmentBytes: 256},
+		// Torn checkpoint artifacts on top of the WAL cut: recovery must
+		// degrade whole to the previous retained image, never mix two.
+		{Batches: 30, BatchOps: 4, DocSize: 90, PageSize: 16, Fill: 0.7, SegmentBytes: 512, CheckpointEvery: 7, TearCkpt: true},
+		{Batches: 24, BatchOps: 5, DocSize: 120, PageSize: 32, Fill: 0.8, SegmentBytes: 1024, CheckpointEvery: 5, TearCkpt: true},
 	}
 	for i := 0; i < iters; i++ {
 		for j, s := range shapes {
@@ -235,5 +326,9 @@ func CrashConfigs(iters int) []CrashConfig {
 
 // crashName labels one config for subtest naming.
 func crashName(c CrashConfig) string {
-	return fmt.Sprintf("seed=%d/seg=%d/ckpt=%d", c.Seed, c.SegmentBytes, c.CheckpointEvery)
+	n := fmt.Sprintf("seed=%d/seg=%d/ckpt=%d", c.Seed, c.SegmentBytes, c.CheckpointEvery)
+	if c.TearCkpt {
+		n += "/tear"
+	}
+	return n
 }

@@ -499,7 +499,7 @@ func (s *replSink) crash(t *testing.T, rng *rand.Rand, cfg ReplConfig) (uint64, 
 	if err != nil {
 		t.Fatalf("seed %d: reopening follower wal: %v", cfg.Seed, err)
 	}
-	store, lsn, err := ckpt.Recover(s.dir, "f", log)
+	store, lsn, err := ckpt.Recover(s.dir, "f", log, nil)
 	if err != nil {
 		t.Fatalf("seed %d: follower recovery errored (must degrade, never fail): %v", cfg.Seed, err)
 	}

@@ -1,12 +1,16 @@
 package repl
 
 import (
+	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"time"
 
+	"mxq/internal/chunkstore"
+	"mxq/internal/core"
 	"mxq/internal/wal"
 	"mxq/internal/wire"
 )
@@ -29,6 +33,23 @@ type Sink interface {
 	// returning the LSN to ack (normally the batch's last). An error
 	// ends the subscription — a follower that cannot apply must not ack.
 	Apply(recs []*wal.Record) (uint64, error)
+}
+
+// ChunkSink is a Sink that can bootstrap by content: the follower
+// advertises wire.FeatChunkedSnap, diffs the primary's manifest against
+// its local chunk store, and receives only the chunks it is missing. A
+// re-bootstrap after a crash-restart then transfers O(churn), not the
+// whole document.
+type ChunkSink interface {
+	Sink
+	// ChunkStore returns the local store received chunks land in — the
+	// same one the document's checkpoints use, so checkpointed chunks
+	// count as "already have" during the diff.
+	ChunkStore() (chunkstore.Store, error)
+	// BootstrapManifest replaces the follower's entire state from the
+	// manifest, whose chunks are all present in ChunkStore() by the time
+	// it is called. After it returns, AppliedLSN must report lsn.
+	BootstrapManifest(m *core.ChunkManifest, lsn uint64) error
 }
 
 // Follower maintains one document's subscription to a primary:
@@ -127,19 +148,25 @@ func (f *Follower) runOnce(stop <-chan struct{}) (progressed bool, err error) {
 		if !haveState || start != after {
 			return false, fmt.Errorf("repl: primary streams from %d, asked for %d", start, after)
 		}
-	case wire.ModeSnapshot:
+	case wire.ModeSnapshot, wire.ModeSnapshotChunked:
 		if haveState && start < after {
 			// The primary is behind what this follower already applied:
 			// it lost history (or we subscribed to the wrong primary).
 			// Rewinding silently would un-happen acknowledged commits.
 			return false, fmt.Errorf("repl: primary offers snapshot at %d but %d is already applied locally", start, after)
 		}
-		sr := &snapshotReader{conn: conn, max: f.MaxFrame}
-		if err := f.Sink.Bootstrap(sr, start); err != nil {
-			return false, fmt.Errorf("repl: bootstrap: %w", err)
-		}
-		if err := sr.drain(); err != nil {
-			return false, err
+		if mode == wire.ModeSnapshotChunked {
+			if err := f.chunkedBootstrap(conn, start); err != nil {
+				return false, fmt.Errorf("repl: chunked bootstrap: %w", err)
+			}
+		} else {
+			sr := &snapshotReader{conn: conn, max: f.MaxFrame}
+			if err := f.Sink.Bootstrap(sr, start); err != nil {
+				return false, fmt.Errorf("repl: bootstrap: %w", err)
+			}
+			if err := sr.drain(); err != nil {
+				return false, err
+			}
 		}
 		if got, ok := f.Sink.AppliedLSN(); !ok || got != start {
 			return true, fmt.Errorf("repl: bootstrap left applied at %d, image was %d", got, start)
@@ -185,12 +212,17 @@ func (f *Follower) dial() (net.Conn, error) {
 	return net.DialTimeout("tcp", f.Addr, 5*time.Second)
 }
 
-// hello negotiates protocol 2 + replication. A primary that answers
-// with anything but OK (an old server saying BadRequest, or a version
-// rejection) cannot serve this subscription.
+// hello negotiates protocol 2 + replication (and, when the sink can
+// bootstrap by content, the chunked-bootstrap feature). A primary that
+// answers with anything but OK (an old server saying BadRequest, or a
+// version rejection) cannot serve this subscription.
 func (f *Follower) hello(conn net.Conn) error {
+	feats := wire.FeatReplication
+	if _, ok := f.Sink.(ChunkSink); ok {
+		feats |= wire.FeatChunkedSnap
+	}
 	var p wire.PayloadBuilder
-	p.Uvarint(wire.MaxVersion).Uvarint(wire.FeatReplication)
+	p.Uvarint(wire.MaxVersion).Uvarint(feats)
 	if err := wire.WriteFrame(conn, wire.Frame{ID: 1, Op: wire.OpHello, Payload: p.Bytes()}); err != nil {
 		return err
 	}
@@ -206,7 +238,7 @@ func (f *Follower) hello(conn net.Conn) error {
 	if err != nil {
 		return err
 	}
-	feats, err := r.Uvarint()
+	feats, err = r.Uvarint()
 	if err != nil {
 		return err
 	}
@@ -237,6 +269,122 @@ func (f *Follower) subscribe(conn net.Conn, after uint64) (mode byte, start uint
 		return 0, 0, err
 	}
 	return mode, start, nil
+}
+
+// chunkedBootstrap runs the follower side of ModeSnapshotChunked: read
+// the manifest, diff it against the local chunk store, request exactly
+// the missing chunks, verify and store each as it arrives, then hand
+// the complete manifest to the sink.
+func (f *Follower) chunkedBootstrap(conn net.Conn, start uint64) error {
+	sink, ok := f.Sink.(ChunkSink)
+	if !ok {
+		// The primary only answers chunked to sessions that asked for it
+		// (hello sets the bit exactly when the sink is a ChunkSink).
+		return errors.New("repl: primary sent chunked mode to a sink that cannot take it")
+	}
+	fr, err := wire.ReadFrame(conn, f.MaxFrame)
+	if err != nil {
+		return err
+	}
+	if fr.Op != wire.OpSnapManifest {
+		return fmt.Errorf("repl: op %d where SnapManifest expected", fr.Op)
+	}
+	var man core.ChunkManifest
+	if err := json.Unmarshal(fr.Payload, &man); err != nil {
+		return fmt.Errorf("repl: decoding manifest: %w", err)
+	}
+	all, err := man.ChunkHashes()
+	if err != nil {
+		return err
+	}
+	// Unique hashes only — a dedupe-heavy manifest repeats names.
+	seen := make(map[chunkstore.Hash]bool, len(all))
+	uniq := all[:0]
+	for _, h := range all {
+		if !seen[h] {
+			seen[h] = true
+			uniq = append(uniq, h)
+		}
+	}
+	cs, err := sink.ChunkStore()
+	if err != nil {
+		return err
+	}
+	have, err := cs.HasMany(uniq)
+	if err != nil {
+		return err
+	}
+	var need []chunkstore.Hash
+	for i, h := range uniq {
+		if !have[i] {
+			need = append(need, h)
+		}
+	}
+	var p wire.PayloadBuilder
+	p.Uvarint(uint64(len(need)))
+	for _, h := range need {
+		p.Raw(h[:])
+	}
+	if err := wire.WriteFrame(conn, wire.Frame{Op: wire.OpChunkNeed, Payload: p.Bytes()}); err != nil {
+		return err
+	}
+	pending := make(map[chunkstore.Hash]bool, len(need))
+	for _, h := range need {
+		pending[h] = true
+	}
+	for last := false; !last; {
+		fr, err := wire.ReadFrame(conn, f.MaxFrame)
+		if err != nil {
+			return err
+		}
+		if fr.Op != wire.OpChunkData {
+			return fmt.Errorf("repl: op %d inside chunk stream", fr.Op)
+		}
+		r := wire.NewPayloadReader(fr.Payload)
+		lastB, err := r.Byte()
+		if err != nil {
+			return err
+		}
+		last = lastB == 1
+		n, err := r.Uvarint()
+		if err != nil {
+			return err
+		}
+		b := r.Rest()
+		for i := uint64(0); i < n; i++ {
+			if len(b) < chunkstore.HashSize {
+				return errors.New("repl: truncated chunk hash")
+			}
+			var h chunkstore.Hash
+			copy(h[:], b)
+			b = b[chunkstore.HashSize:]
+			size, w := binary.Uvarint(b)
+			if w <= 0 || size > uint64(len(b)-w) {
+				return errors.New("repl: truncated chunk data")
+			}
+			body := b[w : w+int(size)]
+			b = b[w+int(size):]
+			if !pending[h] {
+				return fmt.Errorf("repl: primary shipped chunk %s that was not requested", h)
+			}
+			delete(pending, h)
+			// Put verifies content against the name, so a corrupted
+			// transfer fails here rather than landing under a false name.
+			if err := cs.Put(h, body); err != nil {
+				return err
+			}
+		}
+		if len(b) != 0 {
+			return fmt.Errorf("repl: %d stray bytes after chunk batch", len(b))
+		}
+	}
+	if len(pending) > 0 {
+		return fmt.Errorf("repl: primary left %d requested chunks unshipped", len(pending))
+	}
+	if err := cs.Sync(); err != nil {
+		return err
+	}
+	return sink.BootstrapManifest(&man, start)
 }
 
 func (f *Follower) ack(conn net.Conn, lsn uint64) error {

@@ -1,11 +1,13 @@
 package repl
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 
+	"mxq/internal/chunkstore"
 	"mxq/internal/core"
 	"mxq/internal/tx"
 	"mxq/internal/wal"
@@ -29,6 +31,13 @@ type Source struct {
 	Log   *wal.Log
 	Pin   func() (*core.Store, uint64)
 	Track *Tracker
+
+	// Chunked opts a bootstrap into ModeSnapshotChunked (manifest + only
+	// the chunks the follower is missing). The caller sets it only for
+	// sessions that negotiated wire.FeatChunkedSnap on protocol >= 3 —
+	// the additivity rule: a mode the peer did not negotiate never
+	// appears on its wire.
+	Chunked bool
 }
 
 // Serve runs the primary side of one replication subscription on conn,
@@ -64,6 +73,9 @@ func Serve(conn net.Conn, reqID uint64, after uint64, src Source, maxFrame uint3
 	var img *core.Store
 	if after == wire.SubscribeNone || !src.Log.CanStream(after) {
 		mode = wire.ModeSnapshot
+		if src.Chunked {
+			mode = wire.ModeSnapshotChunked
+		}
 		img, start = src.Pin()
 		defer img.Release()
 		// The follower will restart from the image's LSN; move its fence
@@ -74,6 +86,27 @@ func Serve(conn net.Conn, reqID uint64, after uint64, src Source, maxFrame uint3
 	p.Byte(mode).Uvarint(start)
 	if err := wire.WriteFrame(conn, wire.Frame{ID: reqID, Op: wire.StatusOK, Payload: p.Bytes()}); err != nil {
 		return err
+	}
+
+	// The chunked negotiation — send the manifest, read back the list of
+	// chunks the follower is missing — must happen while this goroutine
+	// is still conn's only reader (the ack receiver below takes over the
+	// read side for good).
+	var need []chunkstore.Hash
+	var resolve func(chunkstore.Hash) ([]byte, bool)
+	if mode == wire.ModeSnapshotChunked {
+		var man *core.ChunkManifest
+		man, resolve = img.BuildManifest()
+		data, err := json.Marshal(man)
+		if err != nil {
+			return fmt.Errorf("repl %s: encoding manifest: %w", src.Name, err)
+		}
+		if err := wire.WriteFrame(conn, wire.Frame{Op: wire.OpSnapManifest, Payload: data}); err != nil {
+			return err
+		}
+		if need, err = readChunkNeed(conn, maxFrame); err != nil {
+			return fmt.Errorf("repl %s: reading chunk wants: %w", src.Name, err)
+		}
 	}
 
 	// Ack receiver: the only reader of conn from here on. Its exit (conn
@@ -98,13 +131,81 @@ func Serve(conn net.Conn, reqID uint64, after uint64, src Source, maxFrame uint3
 		}
 	}()
 
-	if mode == wire.ModeSnapshot {
+	switch mode {
+	case wire.ModeSnapshot:
 		if err := streamSnapshot(conn, img, start); err != nil {
 			return fmt.Errorf("repl %s: streaming snapshot: %w", src.Name, err)
 		}
 		logf("repl %s: follower bootstrapped with snapshot at LSN %d", src.Name, start)
+	case wire.ModeSnapshotChunked:
+		if err := streamChunks(conn, need, resolve); err != nil {
+			return fmt.Errorf("repl %s: streaming chunks: %w", src.Name, err)
+		}
+		logf("repl %s: follower bootstrapped at LSN %d shipping %d missing chunks", src.Name, start, len(need))
 	}
 	return streamRecords(conn, src.Log, start, done)
+}
+
+// readChunkNeed reads the follower's ChunkNeed frame: the chunk hashes
+// it is missing and wants shipped.
+func readChunkNeed(conn net.Conn, maxFrame uint32) ([]chunkstore.Hash, error) {
+	fr, err := wire.ReadFrame(conn, maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	if fr.Op != wire.OpChunkNeed {
+		return nil, fmt.Errorf("repl: op %d where ChunkNeed expected", fr.Op)
+	}
+	r := wire.NewPayloadReader(fr.Payload)
+	n, err := r.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n*chunkstore.HashSize != uint64(r.Remaining()) {
+		return nil, fmt.Errorf("repl: ChunkNeed claims %d hashes, carries %d bytes", n, r.Remaining())
+	}
+	rest := r.Rest()
+	need := make([]chunkstore.Hash, n)
+	for i := range need {
+		copy(need[i][:], rest[i*chunkstore.HashSize:])
+	}
+	return need, nil
+}
+
+// streamChunks ships the requested chunks in ChunkData frames of about
+// snapChunk bytes each; the final frame (sent even for an empty want
+// list) carries the last flag.
+func streamChunks(conn net.Conn, need []chunkstore.Hash, resolve func(chunkstore.Hash) ([]byte, bool)) error {
+	var p wire.PayloadBuilder
+	n, bytes := 0, 0
+	flush := func(last bool) error {
+		var hdr wire.PayloadBuilder
+		if last {
+			hdr.Byte(1)
+		} else {
+			hdr.Byte(0)
+		}
+		hdr.Uvarint(uint64(n)).Raw(p.Bytes())
+		err := wire.WriteFrame(conn, wire.Frame{Op: wire.OpChunkData, Payload: hdr.Bytes()})
+		p, n, bytes = wire.PayloadBuilder{}, 0, 0
+		return err
+	}
+	for _, h := range need {
+		data, ok := resolve(h)
+		if !ok {
+			// The follower asked for a hash the manifest does not name —
+			// a protocol violation, not a retryable miss.
+			return fmt.Errorf("repl: follower requested unknown chunk %s", h)
+		}
+		p.Raw(h[:]).Uvarint(uint64(len(data))).Raw(data)
+		n++
+		if bytes += len(data); bytes >= snapChunk {
+			if err := flush(false); err != nil {
+				return err
+			}
+		}
+	}
+	return flush(true)
 }
 
 // streamSnapshot sends the checkpoint image (header + store pages) as

@@ -48,16 +48,16 @@ func startFollower(t *testing.T, primaryAddr string, docs ...string) (addr strin
 	return l.Addr().String(), fdb
 }
 
-// TestHelloNegotiation covers the handshake in both directions: a v2
-// client against a v2 server lands on protocol 2; a client announcing
-// a version below the server's minimum is rejected typed; a v2 opcode
-// on a session that never said Hello gets CodeVersion, not
+// TestHelloNegotiation covers the handshake in both directions: an
+// up-to-date client lands on the highest mutual version; a client
+// announcing a version below the server's minimum is rejected typed; a
+// v2 opcode on a session that never said Hello gets CodeVersion, not
 // CodeBadRequest.
 func TestHelloNegotiation(t *testing.T) {
 	addr, _ := startServer(t, server.Config{})
 	c := dial(t, addr)
-	if got := c.Proto(); got != wire.V2 {
-		t.Fatalf("negotiated protocol = %d, want %d", got, wire.V2)
+	if got := c.Proto(); got != wire.MaxVersion {
+		t.Fatalf("negotiated protocol = %d, want %d", got, wire.MaxVersion)
 	}
 
 	// Raw connection announcing version 0: typed rejection.

@@ -42,9 +42,10 @@ type Config struct {
 // features reports the feature bits this server offers in Hello.
 // Replication is always offered (any durable document can be
 // subscribed); read-your-writes likewise (the applied watermark exists
-// on primaries and followers alike).
+// on primaries and followers alike); chunked bootstrap rides on the
+// same checkpoint pin replication already holds.
 func (s *Server) features() uint64 {
-	return wire.FeatReplication | wire.FeatRYW
+	return wire.FeatReplication | wire.FeatRYW | wire.FeatChunkedSnap
 }
 
 // Server is the mxqd daemon core: an accept loop spawning one session

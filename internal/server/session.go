@@ -200,6 +200,9 @@ func (s *session) handleSubscribeWAL(f Frame) bool {
 		s.respondErr(f.ID, CodeQuery, err.Error())
 		return true
 	}
+	// Chunked bootstrap only for sessions that negotiated it (v3 +
+	// feature bit) — the additivity rule for new stream opcodes.
+	src.Chunked = s.proto >= wire.V3 && s.feats&wire.FeatChunkedSnap != 0
 	logf := s.srv.cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -233,6 +236,12 @@ func (s *session) handleDocStatus(f Frame) bool {
 	}
 	var p PayloadBuilder
 	p.Byte(role).Uvarint(doc.AppliedLSN()).Uvarint(doc.LastLSN())
+	if s.proto >= wire.V3 {
+		// Appended fields (v3 growth rule): the document's cumulative
+		// checkpoint I/O — how much the incremental format is saving.
+		st := doc.Stats()
+		p.Uvarint(st.CkptBytesWritten).Uvarint(st.CkptChunksWritten).Uvarint(st.CkptChunksReused)
+	}
 	return s.respond(f.ID, StatusOK, p.Bytes())
 }
 

@@ -144,6 +144,10 @@ func (s *Shell) Execute(line string) (quit bool, err error) {
 			fmt.Fprintf(s.out, "wal tail:   %d bytes, %d records (checkpoints this session: %d)\n",
 				st.WALBytes, st.WALRecords, st.Checkpoints)
 		}
+		if st.CkptChunksWritten > 0 || st.CkptChunksReused > 0 {
+			fmt.Fprintf(s.out, "ckpt io:    %d bytes in %d chunks written, %d reused (dedupe %.1f%%)\n",
+				st.CkptBytesWritten, st.CkptChunksWritten, st.CkptChunksReused, 100*st.CkptDedupeRatio)
+		}
 	case "checkpoint":
 		doc, err := s.doc(arg(1))
 		if err != nil {

@@ -55,9 +55,13 @@ const (
 	// LSN in Update responses and the read-your-writes fields (minimum
 	// LSN + park timeout) in Query requests.
 	V2 = 2
+	// V3 adds the chunked-bootstrap opcodes (SnapManifest / ChunkNeed /
+	// ChunkData with ModeSnapshotChunked, gated by FeatChunkedSnap) and
+	// appends checkpoint I/O counters to DocStatus responses.
+	V3 = 3
 	// MinVersion..MaxVersion is the range this build speaks.
 	MinVersion = V1
-	MaxVersion = V2
+	MaxVersion = V3
 )
 
 // Feature bits exchanged in Hello (a bitmask; unknown bits are ignored,
@@ -69,6 +73,11 @@ const (
 	// FeatRYW: read-your-writes — Update responses carry the commit LSN
 	// and Query requests may carry a minimum LSN + park timeout.
 	FeatRYW uint64 = 1 << 1
+	// FeatChunkedSnap: content-addressed bootstrap — a subscription may
+	// be answered with ModeSnapshotChunked, shipping a chunk manifest and
+	// then only the chunks the follower is missing, instead of the whole
+	// image. Requires V3.
+	FeatChunkedSnap uint64 = 1 << 2
 )
 
 // Request opcodes.
@@ -88,7 +97,12 @@ const (
 	OpWALRecords   byte = 11 // primary->follower stream: one encoded record batch
 	OpSnapshot     byte = 12 // primary->follower stream: byte last, image chunk bytes
 	OpFollowerAck  byte = 13 // follower->primary stream: uvarint appliedLSN
-	OpDocStatus    byte = 14 // name -> byte role, uvarint appliedLSN, uvarint lastLSN
+	OpDocStatus    byte = 14 // name -> byte role, uvarint appliedLSN, uvarint lastLSN, [v3: uvarint ckptBytes, uvarint chunksWritten, uvarint chunksReused]
+
+	// V3 opcodes (chunked bootstrap; see ModeSnapshotChunked).
+	OpSnapManifest byte = 15 // primary->follower stream: manifest JSON
+	OpChunkNeed    byte = 16 // follower->primary stream: uvarint n, then n raw 32-byte hashes the follower is missing
+	OpChunkData    byte = 17 // primary->follower stream: byte last, uvarint n, then n x (raw 32-byte hash, uvarint len, bytes)
 )
 
 // SubscribeNone is the afterLSN a follower with no local state sends
@@ -108,6 +122,14 @@ const (
 	// follower diverged); the primary streams a full checkpoint image
 	// (Snapshot frames) pinned at startLSN, then WALRecords from there.
 	ModeSnapshot byte = 1
+	// ModeSnapshotChunked (v3, FeatChunkedSnap): bootstrap by content.
+	// The primary sends a SnapManifest frame naming every chunk of the
+	// pinned image; the follower answers with one ChunkNeed frame listing
+	// the hashes it is missing; the primary ships exactly those in
+	// ChunkData frames (last flag on the final one), then WALRecords from
+	// startLSN. A re-bootstrapping follower that already holds most
+	// chunks transfers only the churn.
+	ModeSnapshotChunked byte = 2
 )
 
 // DocStatus roles.

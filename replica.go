@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"mxq/internal/chunkstore"
 	"mxq/internal/ckpt"
 	"mxq/internal/core"
 	"mxq/internal/repl"
@@ -184,7 +185,42 @@ func (s *docSink) Bootstrap(r io.Reader, lsn uint64) error {
 	if err != nil {
 		return fmt.Errorf("mxq: loading bootstrap image: %w", err)
 	}
+	return s.install(store, lsn)
+}
 
+// ChunkStore exposes the document's chunk store to the chunked
+// bootstrap — the same store local checkpoints write, so everything a
+// previous incarnation of this follower checkpointed counts as already
+// transferred when the manifest is diffed.
+func (s *docSink) ChunkStore() (chunkstore.Store, error) {
+	if cs := s.db.chunkStoreFor(s.name); cs != nil {
+		return cs, nil
+	}
+	return ckpt.DefaultChunkStore(s.db.opts.Dir, s.name), nil
+}
+
+// BootstrapManifest is the chunked counterpart of Bootstrap: every
+// chunk the manifest names is already in ChunkStore(), so the swap
+// materializes locally with no further transfer. The chunk directory
+// deliberately survives the artifact wipe below — chunks are named by
+// content, not by LSN line, so they are exactly as valid for the new
+// incarnation, and the initial local checkpoint re-references them
+// instead of rewriting the document.
+func (s *docSink) BootstrapManifest(m *core.ChunkManifest, lsn uint64) error {
+	cs, err := s.ChunkStore()
+	if err != nil {
+		return err
+	}
+	store, err := core.LoadChunked(m, cs)
+	if err != nil {
+		return fmt.Errorf("mxq: materializing bootstrap manifest: %w", err)
+	}
+	return s.install(store, lsn)
+}
+
+// install publishes a bootstrapped store as the document's new
+// incarnation (shared tail of Bootstrap and BootstrapManifest).
+func (s *docSink) install(store *core.Store, lsn uint64) error {
 	db := s.db
 	db.mu.Lock()
 	if db.closed {

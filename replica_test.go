@@ -2,39 +2,64 @@ package mxq
 
 import (
 	"errors"
+	"fmt"
 	"net"
+	"path/filepath"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"mxq/internal/ckpt"
 	"mxq/internal/repl"
 	"mxq/internal/tx"
+	"mxq/internal/wal"
 	"mxq/internal/wire"
 )
 
+// countingConn counts the bytes the primary writes to the follower —
+// the transfer volume chunked bootstrap exists to shrink.
+type countingConn struct {
+	net.Conn
+	sent *atomic.Int64
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.sent.Add(int64(n))
+	return n, err
+}
+
 // replListener is a minimal primary endpoint: Hello + SubscribeWAL
 // delegated to repl.Serve over the document's ReplSource (the real
-// daemon wires the same calls through internal/server).
-func replListener(t *testing.T, doc *Document) net.Listener {
+// daemon wires the same calls through internal/server). It negotiates
+// features exactly like the server — a follower that advertises
+// FeatChunkedSnap on protocol 3 gets chunked bootstraps — and the
+// returned counter accumulates every byte sent to followers.
+func replListener(t *testing.T, doc *Document) (net.Listener, *atomic.Int64) {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	sent := new(atomic.Int64)
 	var wg sync.WaitGroup
 	t.Cleanup(func() { ln.Close(); wg.Wait() })
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for {
-			conn, err := ln.Accept()
+			raw, err := ln.Accept()
 			if err != nil {
 				return
 			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				conn := &countingConn{Conn: raw, sent: sent}
 				defer conn.Close()
+				var proto, feats uint64
 				for {
 					fr, err := wire.ReadFrame(conn, 0)
 					if err != nil {
@@ -42,8 +67,16 @@ func replListener(t *testing.T, doc *Document) net.Listener {
 					}
 					switch fr.Op {
 					case wire.OpHello:
+						r := wire.NewPayloadReader(fr.Payload)
+						cliVer, _ := r.Uvarint()
+						cliFeats, _ := r.Uvarint()
+						var ok bool
+						proto, feats, ok = wire.Negotiate(cliVer, wire.FeatReplication|wire.FeatRYW|wire.FeatChunkedSnap, cliFeats)
+						if !ok {
+							return
+						}
 						var b wire.PayloadBuilder
-						b.Uvarint(wire.MaxVersion).Uvarint(wire.FeatReplication | wire.FeatRYW)
+						b.Uvarint(proto).Uvarint(feats)
 						wire.WriteFrame(conn, wire.Frame{ID: fr.ID, Op: wire.StatusOK, Payload: b.Bytes()})
 					case wire.OpSubscribeWAL:
 						r := wire.NewPayloadReader(fr.Payload)
@@ -58,6 +91,7 @@ func replListener(t *testing.T, doc *Document) net.Listener {
 						if err != nil {
 							return
 						}
+						src.Chunked = proto >= wire.V3 && feats&wire.FeatChunkedSnap != 0
 						repl.Serve(conn, fr.ID, after, src, 0, t.Logf)
 						return
 					default:
@@ -67,7 +101,7 @@ func replListener(t *testing.T, doc *Document) net.Listener {
 			}()
 		}
 	}()
-	return ln
+	return ln, sent
 }
 
 func waitUntil(t *testing.T, what string, cond func() bool) {
@@ -112,7 +146,7 @@ func TestFollowDocument(t *testing.T) {
 		t.Fatal(err)
 	}
 	appendBook(t, doc, "B")
-	ln := replListener(t, doc)
+	ln, _ := replListener(t, doc)
 
 	followerDir := t.TempDir()
 	followerDB, err := Open(Options{Dir: followerDir, NoSync: true})
@@ -186,6 +220,104 @@ func TestFollowDocument(t *testing.T) {
 	}
 	if got != want {
 		t.Fatalf("follower diverged after restart:\n%s\n%s", got, want)
+	}
+}
+
+// TestFollowerRebootstrapShipsOnlyMissingChunks is the payoff of the
+// chunked bootstrap: a follower that crash-restarts with its recovery
+// artifacts gone but its content-addressed chunk store intact
+// re-bootstraps by diffing the primary's manifest against that store,
+// so the wire carries only the chunks the churn since then dirtied —
+// a small fraction of the first (cold) bootstrap's transfer.
+func TestFollowerRebootstrapShipsOnlyMissingChunks(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString(`<lib><shelf id="s1">`)
+	for i := 0; i < 20000; i++ {
+		fmt.Fprintf(&sb, "<book>title-%05d</book>", i)
+	}
+	sb.WriteString(`</shelf></lib>`)
+
+	primaryDB, err := Open(Options{Dir: t.TempDir(), NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primaryDB.Close()
+	doc, err := primaryDB.LoadXMLString("lib", sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, sent := replListener(t, doc)
+
+	// Cold bootstrap: the follower's chunk store is empty, every chunk
+	// ships. This transfer is the doc-size yardstick.
+	followerDir := t.TempDir()
+	followerDB, err := Open(Options{Dir: followerDir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop, err := followerDB.FollowDocument(ln.Addr().String(), "lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "cold bootstrap", func() bool {
+		d, ok := followerDB.Document("lib")
+		return ok && d.AppliedLSN() == doc.LastLSN()
+	})
+	stop()
+	if err := followerDB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cold := sent.Load()
+	if cold == 0 {
+		t.Fatal("counting conn saw no bootstrap bytes")
+	}
+
+	// The crash: WAL and checkpoint images gone (the follower cannot
+	// recover locally), chunk store intact. Then a little churn on the
+	// primary, so the manifest is not even identical.
+	wal.RemoveSegments(filepath.Join(followerDir, "lib.wal"))
+	ckpt.RemoveArtifacts(followerDir, "lib")
+	lsn := appendBook(t, doc, "churn")
+
+	followerDB, err = Open(Options{Dir: followerDir, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer followerDB.Close()
+	if _, ok := followerDB.Document("lib"); ok {
+		t.Fatal("document recovered without WAL or images; crash simulation is broken")
+	}
+	base := sent.Load()
+	stop, err = followerDB.FollowDocument(ln.Addr().String(), "lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	waitUntil(t, "re-bootstrap", func() bool {
+		d, ok := followerDB.Document("lib")
+		return ok && d.AppliedLSN() == lsn
+	})
+	rebootstrap := sent.Load() - base
+
+	// The re-bootstrap is a full snapshot bootstrap on the wire protocol
+	// level (manifest + chunks + stream), but almost every chunk is
+	// already local: the transfer must be a small fraction of cold.
+	if rebootstrap*5 > cold {
+		t.Fatalf("re-bootstrap shipped %d bytes, cold bootstrap %d: chunk reuse is not happening", rebootstrap, cold)
+	}
+	t.Logf("cold bootstrap %d bytes, re-bootstrap %d bytes (%.1f%%)", cold, rebootstrap, 100*float64(rebootstrap)/float64(cold))
+
+	fdoc, _ := followerDB.Document("lib")
+	want, err := doc.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fdoc.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatal("follower diverged after chunked re-bootstrap")
 	}
 }
 
